@@ -1,0 +1,123 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (one benchmark per artifact; see DESIGN.md §4 for the
+// index and EXPERIMENTS.md for paper-vs-measured results). Experiments are
+// deterministic simulations, so a single iteration reproduces the artifact;
+// sizes scale with TOKENFLOW_SCALE (default 1.0 = paper scale).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig16 -v          # print the regenerated table
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/request"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// runExperiment wraps one experiment as a benchmark: each b.N iteration
+// regenerates the artifact; the table is logged under -v.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tbl != nil {
+		b.Log("\n" + tbl.Format())
+	}
+}
+
+func BenchmarkFig01ConsumptionRates(b *testing.B)       { runExperiment(b, "fig01") }
+func BenchmarkFig02SGLangBurst(b *testing.B)            { runExperiment(b, "fig02") }
+func BenchmarkFig06ToyExample(b *testing.B)             { runExperiment(b, "fig06") }
+func BenchmarkFig08WriteStrategies(b *testing.B)        { runExperiment(b, "fig08") }
+func BenchmarkFig09ChunkedWriting(b *testing.B)         { runExperiment(b, "fig09") }
+func BenchmarkFig10LoadEvictOverlap(b *testing.B)       { runExperiment(b, "fig10") }
+func BenchmarkFig11TraceDistribution(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12EndToEndH200(b *testing.B)           { runExperiment(b, "fig12") }
+func BenchmarkFig13EndToEndA6000(b *testing.B)          { runExperiment(b, "fig13") }
+func BenchmarkFig14QueueTimeline(b *testing.B)          { runExperiment(b, "fig14") }
+func BenchmarkFig15RunningTimeline(b *testing.B)        { runExperiment(b, "fig15") }
+func BenchmarkTab01Configurations(b *testing.B)         { runExperiment(b, "tab01") }
+func BenchmarkFig16Burst(b *testing.B)                  { runExperiment(b, "fig16") }
+func BenchmarkFig17Poisson(b *testing.B)                { runExperiment(b, "fig17") }
+func BenchmarkFig18Timelines(b *testing.B)              { runExperiment(b, "fig18") }
+func BenchmarkFig19MultiRate(b *testing.B)              { runExperiment(b, "fig19") }
+func BenchmarkFig20SpeedSweep(b *testing.B)             { runExperiment(b, "fig20") }
+func BenchmarkFig21Ascend(b *testing.B)                 { runExperiment(b, "fig21") }
+func BenchmarkFig22RescheduleInterval(b *testing.B)     { runExperiment(b, "fig22") }
+func BenchmarkFig23BufferConservativeness(b *testing.B) { runExperiment(b, "fig23") }
+func BenchmarkTab02Ablation(b *testing.B)               { runExperiment(b, "tab02") }
+
+// The §7.6 overhead analysis as direct testing.B microbenchmarks: the
+// wall-clock cost of one scheduling decision on a stressed view (the
+// paper reports ~0.07 ms for SGLang and ~0.4 ms for TokenFlow).
+
+func stressedView(b *testing.B) *sched.View {
+	b.Helper()
+	cost, err := gpu.NewCostModel(gpu.H200, model.Llama3_8B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := &sched.View{
+		Now: simclock.FromSeconds(100), FreeTokens: 50_000, TotalTokens: 200_000,
+		PageTokens: 16, Cost: cost, AvgIterTime: 20 * time.Millisecond,
+	}
+	clock := simclock.New()
+	for i := 0; i < 128; i++ {
+		r := request.New(i, 0, 512, 2048, 20)
+		r.State = request.StateRunning
+		r.PrefilledTokens = 512
+		r.DeliverTokens(clock, 0, 40+i)
+		r.CancelConsumption(clock)
+		v.Running = append(v.Running, r)
+	}
+	for i := 0; i < 64; i++ {
+		v.Waiting = append(v.Waiting, request.New(1000+i, simclock.FromSeconds(99), 512, 2048, 20))
+	}
+	return v
+}
+
+func BenchmarkOverheadSchedulerSGLang(b *testing.B) {
+	v := stressedView(b)
+	s := sched.NewSGLang()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Decide(v)
+	}
+}
+
+func BenchmarkOverheadSchedulerAndes(b *testing.B) {
+	v := stressedView(b)
+	a := sched.NewAndes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Quantum = 0 // force a full quantum decision every call
+		_ = a.Decide(v)
+	}
+}
+
+func BenchmarkOverheadSchedulerTokenFlow(b *testing.B) {
+	v := stressedView(b)
+	s := core.MustNew(core.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForceFullPass()
+		_ = s.Decide(v)
+	}
+}

@@ -1,0 +1,49 @@
+// Command tokenflow-bench regenerates the paper's tables and figures on
+// the simulated substrate and prints them as aligned text tables.
+//
+// Usage:
+//
+//	tokenflow-bench            # run everything, paper order
+//	tokenflow-bench fig16 tab02
+//	TOKENFLOW_SCALE=0.25 tokenflow-bench fig14
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ids := os.Args[1:]
+	var exps []experiments.Experiment
+	if len(ids) == 0 {
+		exps = experiments.All()
+	} else {
+		for _, id := range ids {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", id)
+				for _, k := range experiments.All() {
+					fmt.Fprintf(os.Stderr, " %s", k.ID)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+	fmt.Printf("TokenFlow evaluation harness (scale=%.2f)\n\n", experiments.Scale)
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(tbl.Format())
+		fmt.Printf("   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

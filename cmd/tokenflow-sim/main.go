@@ -1,0 +1,65 @@
+// Command tokenflow-sim runs one simulated deployment against one
+// generated workload and prints the serving report.
+//
+//	tokenflow-sim -system tokenflow -gpu H200 -model Llama3-8B \
+//	    -workload burst -n 300 -prompt 512 -output 4096 -rate 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/tokenflow"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "tokenflow", "sglang | sglang-chunked | andes | tokenflow")
+		gpuName  = flag.String("gpu", "H200", "RTX-4090 | A6000 | H200 | Ascend-910B")
+		modelID  = flag.String("model", "Llama3-8B", "Llama3-8B | Qwen2-7B | Qwen2.5-7B | Qwen2.5-32B")
+		memFrac  = flag.Float64("mem-fraction", 0.9, "device memory share for weights+KV")
+		kind     = flag.String("workload", "burst", "burst | poisson | burstgpt")
+		n        = flag.Int("n", 100, "burst size")
+		lambda   = flag.Float64("lambda", 2, "poisson arrival rate (req/s)")
+		duration = flag.Float64("duration", 60, "arrival window for poisson/burstgpt (s)")
+		prompt   = flag.Int("prompt", 512, "mean prompt tokens")
+		output   = flag.Int("output", 1024, "mean output tokens")
+		rate     = flag.Float64("rate", 20, "client consumption rate (tok/s); 0 = instant")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var w tokenflow.Workload
+	switch *kind {
+	case "burst":
+		w = tokenflow.BurstWorkload(*n, *prompt, *output, *rate, *seed)
+	case "poisson":
+		w = tokenflow.PoissonWorkload(*lambda, *duration, *prompt, *output, *rate, *seed)
+	case "burstgpt":
+		w = tokenflow.BurstGPTWorkload(*duration, *lambda, *rate, *seed)
+	default:
+		log.Fatalf("unknown workload kind %q", *kind)
+	}
+
+	res, err := tokenflow.Run(tokenflow.Config{
+		System:      tokenflow.System(*system),
+		GPU:         *gpuName,
+		Model:       *modelID,
+		MemFraction: *memFrac,
+	}, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system              %s\n", res.System)
+	fmt.Printf("requests            %d finished / %d total (timed out: %v)\n", res.Finished, res.Total, res.TimedOut)
+	fmt.Printf("makespan            %.2fs\n", res.MakespanSec)
+	fmt.Printf("throughput          %.1f tok/s\n", res.Throughput)
+	fmt.Printf("effective thpt      %.1f tok/s\n", res.EffectiveThroughput)
+	fmt.Printf("QoS                 %.1f\n", res.QoS)
+	fmt.Printf("TTFT mean/p50/p99   %.2fs / %.2fs / %.2fs\n",
+		res.MeanTTFT.Seconds(), res.P50TTFT.Seconds(), res.P99TTFT.Seconds())
+	fmt.Printf("total rebuffer      %.2fs across %d requests\n", res.TotalRebuffer.Seconds(), res.Total)
+	fmt.Printf("preemptions         %d\n", res.Preemptions)
+}

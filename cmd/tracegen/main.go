@@ -1,0 +1,57 @@
+// Command tracegen emits generated workload traces as CSV
+// (arrival_s,prompt_tokens,output_tokens,rate_tok_s) for external tooling.
+//
+//	tracegen -kind burstgpt -duration 300 -lambda 2 > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "burstgpt", "burst | poisson | burstgpt | industrial")
+		n        = flag.Int("n", 100, "burst size")
+		lambda   = flag.Float64("lambda", 2, "arrival rate (req/s)")
+		duration = flag.Float64("duration", 60, "trace duration (s)")
+		rate     = flag.Float64("rate", 20, "client consumption rate (tok/s)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	lengths := trace.ShareGPTLengths()
+	rates := trace.FixedRate(*rate)
+	var w trace.Workload
+	switch *kind {
+	case "burst":
+		w = trace.Burst("burst", *n, 0, lengths, rates, *seed)
+	case "poisson":
+		w = trace.Poisson("poisson", *lambda, simclock.FromSeconds(*duration), lengths, rates, *seed)
+	case "burstgpt":
+		w = trace.BurstGPT("burstgpt", trace.BurstGPTConfig{
+			Duration: simclock.FromSeconds(*duration),
+			BaseRate: *lambda,
+			Lengths:  lengths,
+			Rates:    rates,
+			Seed:     *seed,
+		})
+	case "industrial":
+		w = trace.Industrial("industrial", simclock.FromSeconds(*duration), *lambda, rates, *seed)
+	default:
+		log.Fatalf("unknown trace kind %q", *kind)
+	}
+	if err := w.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stdout, "arrival_s,prompt_tokens,output_tokens,rate_tok_s")
+	for _, it := range w.Items {
+		fmt.Printf("%.6f,%d,%d,%.2f\n", it.Arrival.Seconds(), it.PromptLen, it.OutputLen, it.Rate)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d requests (%s)\n", w.Len(), *kind)
+}

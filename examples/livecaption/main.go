@@ -1,0 +1,66 @@
+// Livecaption: real-time captioning requires steady token delivery at the
+// listener's speech rate — stalls are immediately visible. This example
+// runs a mixed-rate burst (the paper's Figure 19 scenario: 40% of streams
+// at 15 tokens/s, 60% at 20 tokens/s) and verifies each class is paced at
+// its own target without manual configuration.
+//
+//	go run ./examples/livecaption
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/tokenflow"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(19))
+	var workload tokenflow.Workload
+	for i := 0; i < 160; i++ {
+		rate := 20.0
+		if rng.Float64() < 0.4 {
+			rate = 15.0
+		}
+		workload = append(workload, tokenflow.Request{
+			PromptTokens: 256,
+			OutputTokens: 900,
+			RatePerSec:   rate,
+		})
+	}
+
+	res, err := tokenflow.Run(tokenflow.Config{
+		System: tokenflow.SystemTokenFlow,
+		GPU:    "H200",
+		Model:  "Llama3-8B",
+	}, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type agg struct {
+		n       int
+		stall   float64
+		deliver float64
+	}
+	classes := map[float64]*agg{15: {}, 20: {}}
+	for i, r := range res.Requests {
+		c := classes[workload[i].RatePerSec]
+		c.n++
+		c.stall += r.Rebuffer.Seconds()
+		if n := len(r.TokenTimesSeconds); n >= 2 {
+			span := r.TokenTimesSeconds[n-1] - r.TokenTimesSeconds[0]
+			if span > 0 {
+				c.deliver += float64(n-1) / span
+			}
+		}
+	}
+	fmt.Printf("served %d/%d caption streams\n\n", res.Finished, res.Total)
+	for _, rate := range []float64{15, 20} {
+		c := classes[rate]
+		fmt.Printf("class %2.0f tok/s: %3d streams, mean generation pace %5.1f tok/s, mean stall %5.2fs\n",
+			rate, c.n, c.deliver/float64(c.n), c.stall/float64(c.n))
+	}
+	fmt.Println("\nHigher-rate streams drain buffers faster and gain implicit scheduling priority (§7.4).")
+}

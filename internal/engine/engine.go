@@ -1,0 +1,360 @@
+// Package engine is the serving engine of the simulator: an SGLang-style
+// iteration-level batching executor (continuous batching, prefill-priority
+// or chunked-prefill iterations, reactive OOM eviction) driven by a
+// pluggable scheduler, wired to the hierarchical KV cache manager and the
+// client consumption processes. One Engine simulates one device serving
+// one workload; runs are deterministic.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/request"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// KVPolicy selects the memory-management feature set (the Table 2
+// ablation switches).
+type KVPolicy struct {
+	Offload          bool
+	WriteThrough     bool
+	ChunkedWriting   bool
+	LoadEvictOverlap bool
+	PriorityWrites   bool
+}
+
+// TokenFlowKVPolicy enables the full hierarchical manager of §5.
+func TokenFlowKVPolicy() KVPolicy {
+	return KVPolicy{Offload: true, WriteThrough: true, ChunkedWriting: true,
+		LoadEvictOverlap: true, PriorityWrites: true}
+}
+
+// BaselineKVPolicy is reactive recompute-based preemption: no host
+// offload, as in the SGLang and Andes baselines.
+func BaselineKVPolicy() KVPolicy { return KVPolicy{} }
+
+// Config describes one simulated serving deployment.
+type Config struct {
+	GPU   gpu.Spec
+	Model model.Spec
+
+	// MemFraction is the device-memory share for weights + KV cache
+	// (SGLang's --mem-fraction-static; default 0.9).
+	MemFraction float64
+
+	// PageTokens is the KV page granularity (default 16).
+	PageTokens int
+
+	// MaxBatch caps the decode batch (default 256).
+	MaxBatch int
+
+	// MaxPrefillTokens caps the tokens of one prefill iteration batch
+	// (default 8192).
+	MaxPrefillTokens int
+
+	// Scheduler decides admissions and preemptions. Required.
+	Scheduler sched.Scheduler
+
+	// KV selects the memory-management policies.
+	KV KVPolicy
+
+	// SampleEvery enables queued/running time-series sampling (Figures
+	// 14-15); zero disables it.
+	SampleEvery time.Duration
+
+	// QoS parameterizes the report metrics; zero value selects defaults.
+	QoS metrics.QoSParams
+
+	// MaxSimTime aborts runaway simulations (default 4 simulated hours).
+	MaxSimTime time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemFraction == 0 {
+		c.MemFraction = 0.9
+	}
+	if c.PageTokens == 0 {
+		c.PageTokens = 16
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxPrefillTokens == 0 {
+		c.MaxPrefillTokens = 8192
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 4 * time.Hour
+	}
+	if c.QoS == (metrics.QoSParams{}) {
+		c.QoS = metrics.DefaultQoSParams()
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Scheduler == nil {
+		return fmt.Errorf("engine: nil scheduler")
+	}
+	if err := c.GPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.MemFraction < 0 || c.MemFraction > 1 {
+		return fmt.Errorf("engine: mem fraction %v out of range", c.MemFraction)
+	}
+	return nil
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Scheduler string
+	Report    metrics.Report
+	Samples   []request.Sample
+	KV        kvcache.Stats
+	Requests  []*request.Request
+
+	// Iteration statistics.
+	Iterations   int64
+	PrefillIters int64
+	DecodeIters  int64
+	MixedIters   int64
+
+	// BoundaryStall is time lost waiting for unchunked write-through
+	// traffic at iteration boundaries.
+	BoundaryStall time.Duration
+
+	// Makespan is the time of the last generated token (T in Eq. 2).
+	Makespan time.Duration
+
+	// TimedOut is set when the run hit MaxSimTime before completing.
+	TimedOut bool
+}
+
+// prefillJob tracks one admitted request through (possibly chunked or
+// recompute) prefill.
+type prefillJob struct {
+	req *request.Request
+	// target is the tokens this prefill must process: the prompt for
+	// fresh requests, prompt+generated for recompute resumes.
+	target int
+	done   int
+	// allocated marks that device pages were claimed.
+	allocated bool
+	// resume marks a recompute resume (no first-token semantics: the
+	// request already streamed tokens before preemption).
+	resume bool
+}
+
+// Engine simulates one device.
+type Engine struct {
+	cfg   Config
+	clock *simclock.Clock
+	cost  gpu.CostModel
+	d2h   *gpu.Link
+	h2d   *gpu.Link
+	mem   *kvcache.Manager
+	track *request.Tracker
+
+	waiting   []*request.Request
+	backlog   []*prefillJob
+	running   []*request.Request
+	preempted []*request.Request
+	loading   []*request.Request
+
+	gpuBusy   bool
+	inKick    bool
+	retryTick *simclock.Event
+
+	// Profiled estimates exposed to schedulers.
+	avgIter       time.Duration
+	avgPrefillTok time.Duration
+
+	iterations    int64
+	prefillIters  int64
+	decodeIters   int64
+	mixedIters    int64
+	boundaryStall time.Duration
+
+	arrivalsDone bool
+	timedOut     bool
+}
+
+// New builds an engine for the given deployment.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cost, err := gpu.NewCostModel(cfg.GPU, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	capTokens := cost.KVCapacityTokens(cfg.MemFraction)
+	if capTokens < int64(cfg.PageTokens) {
+		return nil, fmt.Errorf("engine: %s with mem fraction %.2f leaves no KV capacity for %s",
+			cfg.GPU.Name, cfg.MemFraction, cfg.Model.Name)
+	}
+	e := &Engine{
+		cfg:   cfg,
+		clock: simclock.New(),
+		cost:  cost,
+		d2h:   gpu.NewLink("d2h", cfg.GPU.PCIeBytesPerSec()),
+		h2d:   gpu.NewLink("h2d", cfg.GPU.PCIeBytesPerSec()),
+		track: request.NewTracker(),
+	}
+	kvcfg := kvcache.Config{
+		PageTokens:       cfg.PageTokens,
+		GPUPages:         int(capTokens) / cfg.PageTokens,
+		BytesPerToken:    cfg.Model.KVBytesPerToken(),
+		Offload:          cfg.KV.Offload,
+		WriteThrough:     cfg.KV.WriteThrough,
+		ChunkedWriting:   cfg.KV.ChunkedWriting,
+		LoadEvictOverlap: cfg.KV.LoadEvictOverlap,
+		PriorityWrites:   cfg.KV.PriorityWrites,
+	}
+	e.mem, err = kvcache.New(kvcfg, e.clock, e.d2h, e.h2d, kvcache.Callbacks{
+		EvictDone: e.onEvictDone,
+		LoadDone:  e.onLoadDone,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Clock exposes the engine's virtual clock (for tests and harnesses).
+func (e *Engine) Clock() *simclock.Clock { return e.clock }
+
+// Mem exposes the KV manager (read-only use).
+func (e *Engine) Mem() *kvcache.Manager { return e.mem }
+
+// QueueLengths reports the live occupancy of the engine's queues
+// (waiting, prefill backlog, running, preempted, loading) for telemetry.
+func (e *Engine) QueueLengths() (waiting, backlog, running, preempted, loading int) {
+	return len(e.waiting), len(e.backlog), len(e.running), len(e.preempted), len(e.loading)
+}
+
+// Run simulates the workload to completion and returns the result.
+func (e *Engine) Run(w trace.Workload) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Len() == 0 {
+		return nil, fmt.Errorf("engine: empty workload")
+	}
+	capTokens := e.mem.TotalPages() * e.cfg.PageTokens
+	for i, it := range w.Items {
+		if it.PromptLen+it.OutputLen+1 > capTokens {
+			return nil, fmt.Errorf("engine: request %d context %d exceeds KV capacity %d tokens",
+				i, it.PromptLen+it.OutputLen, capTokens)
+		}
+	}
+	for i, it := range w.Items {
+		it := it
+		id := i
+		e.clock.At(it.Arrival, func(now simclock.Time) {
+			r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
+			e.track.Register(r)
+			e.waiting = append(e.waiting, r)
+			if id == w.Len()-1 {
+				e.arrivalsDone = true
+			}
+			e.kick(now)
+		})
+	}
+	if e.cfg.SampleEvery > 0 {
+		var sample func(now simclock.Time)
+		sample = func(now simclock.Time) {
+			e.track.Sample(now)
+			if !e.done() {
+				e.clock.After(e.cfg.SampleEvery, sample)
+			}
+		}
+		e.clock.At(0, sample)
+	}
+
+	deadline := simclock.Time(e.cfg.MaxSimTime)
+	for e.clock.Step() {
+		if e.clock.Now() > deadline {
+			e.timedOut = true
+			break
+		}
+	}
+	e.teardown()
+
+	var makespan simclock.Time
+	for _, r := range e.track.All() {
+		if r.FinishedAt > makespan {
+			makespan = r.FinishedAt
+		}
+		if r.Generated > 0 && r.TokenTimes[len(r.TokenTimes)-1] > makespan {
+			makespan = r.TokenTimes[len(r.TokenTimes)-1]
+		}
+	}
+	if makespan == 0 {
+		makespan = e.clock.Now()
+	}
+
+	res := &Result{
+		Scheduler:     e.cfg.Scheduler.Name(),
+		Report:        metrics.Analyze(e.track.All(), makespan, e.cfg.QoS),
+		Samples:       e.track.Samples(),
+		KV:            e.mem.Stats(),
+		Requests:      e.track.All(),
+		Iterations:    e.iterations,
+		PrefillIters:  e.prefillIters,
+		DecodeIters:   e.decodeIters,
+		MixedIters:    e.mixedIters,
+		BoundaryStall: e.boundaryStall,
+		Makespan:      time.Duration(makespan),
+		TimedOut:      e.timedOut,
+	}
+	return res, nil
+}
+
+// done reports whether all registered requests finished generating and no
+// more arrivals are pending.
+func (e *Engine) done() bool {
+	return e.arrivalsDone && e.track.FinishedAll()
+}
+
+// teardown cancels outstanding consumption events after an aborted run.
+func (e *Engine) teardown() {
+	for _, r := range e.track.All() {
+		r.CancelConsumption(e.clock)
+	}
+}
+
+// view assembles the scheduler's View.
+func (e *Engine) view(now simclock.Time) *sched.View {
+	backlogReqs := make([]*request.Request, len(e.backlog))
+	for i, j := range e.backlog {
+		backlogReqs[i] = j.req
+	}
+	return &sched.View{
+		Now:                now,
+		Waiting:            e.waiting,
+		PrefillBacklog:     backlogReqs,
+		Running:            e.running,
+		Preempted:          e.preempted,
+		Loading:            e.loading,
+		FreeTokens:         e.mem.FreePages() * e.cfg.PageTokens,
+		TotalTokens:        e.mem.TotalPages() * e.cfg.PageTokens,
+		PageTokens:         e.cfg.PageTokens,
+		MaxBatch:           e.cfg.MaxBatch,
+		Mem:                e.mem,
+		Cost:               e.cost,
+		AvgIterTime:        e.avgIter,
+		AvgPrefillPerToken: e.avgPrefillTok,
+	}
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Property: for any random workload and any scheduler, a completed run
+// conserves tokens (every request generates exactly its output length,
+// with per-token timestamps), frees all KV memory, and leaves no request
+// in a transient state.
+func TestPropertyRunInvariants(t *testing.T) {
+	mk := []func() (sched.Scheduler, KVPolicy){
+		func() (sched.Scheduler, KVPolicy) { return sched.NewSGLang(), BaselineKVPolicy() },
+		func() (sched.Scheduler, KVPolicy) { return sched.NewSGLangChunked(128), BaselineKVPolicy() },
+		func() (sched.Scheduler, KVPolicy) { return sched.NewAndes(), BaselineKVPolicy() },
+		func() (sched.Scheduler, KVPolicy) {
+			return core.MustNew(core.DefaultConfig()), TokenFlowKVPolicy()
+		},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 3
+		var w trace.Workload
+		w.Name = "prop"
+		at := simclock.Time(0)
+		for i := 0; i < n; i++ {
+			at = at.Add(simclock.Duration(rng.Float64() * 2))
+			w.Items = append(w.Items, trace.Item{
+				Arrival:   at,
+				PromptLen: rng.Intn(256) + 16,
+				OutputLen: rng.Intn(256) + 16,
+				Rate:      float64(rng.Intn(30) + 5),
+			})
+		}
+		s, kv := mk[rng.Intn(len(mk))]()
+		e, err := New(testConfig(s, kv))
+		if err != nil {
+			return false
+		}
+		res, err := e.Run(w)
+		if err != nil || res.TimedOut {
+			return false
+		}
+		if res.Report.Finished != n {
+			return false
+		}
+		for i, r := range res.Requests {
+			if r.Generated != w.Items[i].OutputLen {
+				return false
+			}
+			if len(r.TokenTimes) != r.Generated || len(r.BufferAtGen) != r.Generated {
+				return false
+			}
+			if r.RebufferTotal < 0 {
+				return false
+			}
+		}
+		// All device memory returned.
+		if e.Mem().FreePages() != e.Mem().TotalPages() {
+			return false
+		}
+		wq, bq, rq, pq, lq := e.QueueLengths()
+		return wq+bq+rq+pq+lq == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raw throughput over a fixed workload never differs by more
+// than the preemption overhead would explain — effective throughput is
+// always <= raw throughput for every system.
+func TestPropertyEffectiveLEQRaw(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed % 8)
+		if n < 0 {
+			n = -n
+		}
+		w := trace.Burst("p", n+4, 0,
+			trace.FixedLengths{Prompt: 128, Output: 128}, trace.FixedRate(15), seed)
+		e, err := New(testConfig(core.MustNew(core.DefaultConfig()), TokenFlowKVPolicy()))
+		if err != nil {
+			return false
+		}
+		res, err := e.Run(w)
+		if err != nil {
+			return false
+		}
+		return res.Report.EffectiveThroughput <= res.Report.Throughput+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure-mode coverage: an abandoned run (deadline hit) still tears down
+// cleanly and reports honestly.
+func TestTimedOutRunReportsPartialState(t *testing.T) {
+	cfg := testConfig(sched.NewSGLang(), BaselineKVPolicy())
+	cfg.MaxSimTime = simclock.Duration(1.0)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(burst(10, 256, 512, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("1s cap must time out")
+	}
+	if res.Report.Finished == res.Report.N {
+		t.Error("timed-out run should leave unfinished requests")
+	}
+	for _, rm := range res.Report.Requests {
+		if !rm.Finished && rm.Tokens == 0 && !rm.TTFTCensored {
+			t.Error("unserved requests must be TTFT-censored")
+		}
+	}
+}

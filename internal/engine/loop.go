@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/kvcache"
+	"repro/internal/request"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// retryInterval bounds how long the engine idles while schedulable work
+// exists (e.g. a quantum-gated scheduler declined everything).
+const retryInterval = 50 * time.Millisecond
+
+// kick runs one scheduling step if the device is free: consult the
+// scheduler, apply its decision, and launch the next iteration.
+func (e *Engine) kick(now simclock.Time) {
+	// The KV manager's callbacks (EvictDone for an instant discard) can
+	// fire synchronously from inside applyDecision; the reentrancy guard
+	// keeps one kick as the sole iteration launcher.
+	if e.gpuBusy || e.inKick {
+		return
+	}
+	e.inKick = true
+	defer func() { e.inKick = false }()
+	// Scheduling dependency of unchunked write-through (§5.2): the
+	// boundary waits for outstanding writes.
+	if stall := e.mem.IterBoundaryStall(now); stall > 0 {
+		e.gpuBusy = true
+		e.boundaryStall += stall
+		e.clock.After(stall, func(t simclock.Time) {
+			e.gpuBusy = false
+			e.kick(t)
+		})
+		return
+	}
+
+	d := e.cfg.Scheduler.Decide(e.view(now))
+	e.applyDecision(d, now)
+
+	if e.startIteration(now) {
+		return
+	}
+	// Idle with outstanding work: retry on a short tick so quantum-gated
+	// schedulers and in-flight transfers make progress.
+	if e.outstanding() && (e.retryTick == nil || !e.retryTick.Pending()) {
+		e.retryTick = e.clock.After(retryInterval, func(t simclock.Time) {
+			e.kick(t)
+		})
+	}
+}
+
+// outstanding reports whether any request still needs device time.
+func (e *Engine) outstanding() bool {
+	return len(e.waiting)+len(e.backlog)+len(e.running)+len(e.preempted)+len(e.loading) > 0
+}
+
+// applyDecision executes preemptions then admissions, skipping entries
+// that are no longer feasible (the scheduler is optimistic by contract).
+func (e *Engine) applyDecision(d sched.Decision, now simclock.Time) {
+	for _, r := range d.Preempt {
+		if r.State != request.StateRunning || e.mem.Residency(r) != kvcache.ResGPU {
+			continue
+		}
+		e.preemptRunning(r, now)
+	}
+	for _, adm := range d.Admit {
+		r := adm.Req
+		switch r.State {
+		case request.StateQueued:
+			e.admitFresh(r)
+		case request.StatePreempted:
+			e.resume(r, adm.Mode, now)
+		}
+	}
+}
+
+// preemptRunning evicts a running request via the KV manager.
+func (e *Engine) preemptRunning(r *request.Request, now simclock.Time) {
+	if _, err := e.mem.Preempt(r, now); err != nil {
+		return
+	}
+	r.Preemptions++
+	e.running = removeReq(e.running, r)
+	e.preempted = append(e.preempted, r)
+	e.track.Transition(r, request.StatePreempted)
+}
+
+// admitFresh moves a waiting request into the prefill backlog.
+func (e *Engine) admitFresh(r *request.Request) {
+	e.waiting = removeReq(e.waiting, r)
+	e.backlog = append(e.backlog, &prefillJob{req: r, target: r.PromptLen})
+}
+
+// resume re-admits a preempted request, via host-copy load or recompute.
+func (e *Engine) resume(r *request.Request, mode sched.ResumeMode, now simclock.Time) {
+	switch e.mem.Residency(r) {
+	case kvcache.ResHost:
+		if mode == sched.ResumeLoad {
+			need := int(e.mem.HostBytes(r) / e.mem.PageBytes())
+			if need > e.mem.FreePages() {
+				return // no room yet; scheduler retries later
+			}
+			if _, err := e.mem.StartLoad(r, now); err != nil {
+				return
+			}
+			r.Resumes++
+			r.LoadedResumes++
+			e.preempted = removeReq(e.preempted, r)
+			e.loading = append(e.loading, r)
+			e.track.Transition(r, request.StateLoading)
+			return
+		}
+		// Recompute chosen although a host copy exists: drop the copy.
+		e.mem.Discard(r)
+	case kvcache.ResNone:
+		// Discarded at preemption (no offload): recompute is the only way.
+	default:
+		return // still evicting or already loading; retry later
+	}
+	r.Resumes++
+	e.preempted = removeReq(e.preempted, r)
+	e.backlog = append(e.backlog, &prefillJob{
+		req:    r,
+		target: r.PromptLen + r.Generated,
+		resume: true,
+	})
+	e.track.Transition(r, request.StateQueued)
+}
+
+// onLoadDone is the KV manager's load-completion callback.
+func (e *Engine) onLoadDone(r *request.Request, now simclock.Time) {
+	e.loading = removeReq(e.loading, r)
+	e.running = append(e.running, r)
+	e.track.Transition(r, request.StateRunning)
+	e.kick(now)
+}
+
+// onEvictDone fires when a preempted request's pages fully left the
+// device; freed memory may unblock prefill or loads.
+func (e *Engine) onEvictDone(_ *request.Request, now simclock.Time) {
+	e.kick(now)
+}
+
+// startIteration selects and launches the next device iteration. It
+// reports false when there is nothing to run.
+func (e *Engine) startIteration(now simclock.Time) bool {
+	chunk := e.cfg.Scheduler.PrefillChunkTokens()
+	if chunk > 0 {
+		return e.startMixedIteration(now, chunk)
+	}
+	if len(e.backlog) > 0 && e.startPrefillIteration(now) {
+		return true
+	}
+	return e.startDecodeIteration(now)
+}
+
+// startPrefillIteration launches a prefill-priority iteration over as many
+// backlog jobs as fit the token budget and device memory.
+func (e *Engine) startPrefillIteration(now simclock.Time) bool {
+	var jobs []*prefillJob
+	budget := e.cfg.MaxPrefillTokens
+	for _, j := range e.backlog {
+		if len(jobs) > 0 && j.target > budget {
+			break
+		}
+		if !e.ensureAllocated(j, now) {
+			break // memory exhausted even after reactive eviction
+		}
+		jobs = append(jobs, j)
+		budget -= j.target
+		if budget <= 0 {
+			break
+		}
+	}
+	if len(jobs) == 0 {
+		return false
+	}
+	total := 0
+	for _, j := range jobs {
+		total += j.target
+	}
+	dur := e.cost.PrefillTime(total)
+	e.mem.BackgroundSync(now, dur)
+	e.launch(now, dur, func(t simclock.Time) {
+		e.prefillIters++
+		for _, j := range jobs {
+			e.completePrefill(j, t)
+		}
+		e.observePrefill(dur, total)
+	})
+	return true
+}
+
+// startMixedIteration launches a chunked-prefill iteration: up to
+// chunkTokens of the head prefill job ride along the decode batch.
+func (e *Engine) startMixedIteration(now simclock.Time, chunkTokens int) bool {
+	batch := e.decodeBatch()
+	var job *prefillJob
+	prefillTokens := 0
+	if len(e.backlog) > 0 {
+		j := e.backlog[0]
+		if e.ensureAllocated(j, now) {
+			job = j
+			prefillTokens = j.target - j.done
+			if prefillTokens > chunkTokens {
+				prefillTokens = chunkTokens
+			}
+		}
+	}
+	if job == nil && len(batch) == 0 {
+		return false
+	}
+	var ctx int64
+	for _, r := range batch {
+		ctx += int64(r.ContextLen())
+	}
+	dur := e.cost.MixedStepTime(prefillTokens, len(batch), ctx)
+	e.mem.BackgroundSync(now, dur)
+	e.launch(now, dur, func(t simclock.Time) {
+		e.mixedIters++
+		if job != nil {
+			job.done += prefillTokens
+			if job.done >= job.target {
+				e.completePrefill(job, t)
+			}
+			e.observePrefill(dur, prefillTokens)
+		}
+		e.advanceDecode(batch, t)
+	})
+	return true
+}
+
+// startDecodeIteration launches a pure decode iteration over the running
+// batch.
+func (e *Engine) startDecodeIteration(now simclock.Time) bool {
+	batch := e.decodeBatch()
+	if len(batch) == 0 {
+		return false
+	}
+	var ctx int64
+	for _, r := range batch {
+		ctx += int64(r.ContextLen())
+	}
+	dur := e.cost.DecodeStepTime(len(batch), ctx)
+	e.mem.BackgroundSync(now, dur)
+	e.launch(now, dur, func(t simclock.Time) {
+		e.decodeIters++
+		e.advanceDecode(batch, t)
+		e.observeDecode(dur)
+	})
+	return true
+}
+
+// launch marks the device busy for dur and runs fn at completion, then
+// re-kicks the loop.
+func (e *Engine) launch(now simclock.Time, dur time.Duration, fn func(simclock.Time)) {
+	e.iterations++
+	e.gpuBusy = true
+	e.clock.After(dur, func(t simclock.Time) {
+		e.gpuBusy = false
+		fn(t)
+		e.kick(t)
+	})
+}
+
+// decodeBatch collects runnable decode requests up to MaxBatch.
+func (e *Engine) decodeBatch() []*request.Request {
+	var batch []*request.Request
+	for _, r := range e.running {
+		if r.PrefillDone() && !r.GenerationDone() {
+			batch = append(batch, r)
+			if len(batch) >= e.cfg.MaxBatch {
+				break
+			}
+		}
+	}
+	return batch
+}
+
+// ensureAllocated claims device pages for a prefill job. Admission never
+// evicts running requests (that is a scheduling decision); when the pool
+// is full the job stays in the backlog and retries after memory frees.
+func (e *Engine) ensureAllocated(j *prefillJob, _ simclock.Time) bool {
+	if j.allocated {
+		return true
+	}
+	// +1 covers the token generated by the prefill's own forward pass.
+	need := j.target + 1
+	if !e.mem.CanAllocate(need) {
+		return false
+	}
+	if err := e.mem.AllocateResident(j.req, need); err != nil {
+		return false
+	}
+	j.allocated = true
+	return true
+}
+
+// completePrefill finishes a prefill job: the prompt (or recomputed
+// context) is resident and the forward pass yields one token.
+func (e *Engine) completePrefill(j *prefillJob, now simclock.Time) {
+	r := j.req
+	r.PrefilledTokens = r.PromptLen
+	e.backlog = removeJob(e.backlog, j)
+	e.running = append(e.running, r)
+	e.track.Transition(r, request.StateRunning)
+	if !r.GenerationDone() {
+		r.DeliverTokens(e.clock, now, 1)
+	}
+	if r.GenerationDone() {
+		e.finish(r)
+	}
+}
+
+// advanceDecode appends one token to every batch member, handling page
+// growth, OOM, and completion.
+func (e *Engine) advanceDecode(batch []*request.Request, now simclock.Time) {
+	for _, r := range batch {
+		if r.State != request.StateRunning || r.GenerationDone() {
+			continue // preempted or finished mid-iteration bookkeeping
+		}
+		if e.mem.NeedsGrowth(r) {
+			grew := false
+			for {
+				if err := e.mem.GrowOne(r); err == nil {
+					grew = true
+					break
+				}
+				if !e.reactiveEvict(r, now) {
+					break
+				}
+			}
+			if !grew {
+				continue // stalled this iteration; retries next time
+			}
+		} else if err := e.mem.GrowOne(r); err != nil {
+			continue
+		}
+		r.DeliverTokens(e.clock, now, 1)
+		if r.GenerationDone() {
+			e.finish(r)
+		}
+	}
+}
+
+// reactiveEvict preempts the most recently arrived running request (other
+// than protect) to relieve memory pressure — the baseline systems'
+// reactive strategy (§2.4). Reports false when no victim exists.
+func (e *Engine) reactiveEvict(protect *request.Request, now simclock.Time) bool {
+	var victim *request.Request
+	for _, r := range e.running {
+		if r == protect || !r.PrefillDone() {
+			continue
+		}
+		if victim == nil || r.Arrival > victim.Arrival {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	e.preemptRunning(victim, now)
+	return true
+}
+
+// finish releases a completed request.
+func (e *Engine) finish(r *request.Request) {
+	e.mem.Discard(r)
+	e.running = removeReq(e.running, r)
+	e.track.Transition(r, request.StateFinished)
+}
+
+// observeDecode updates the profiled decode iteration latency (EWMA).
+func (e *Engine) observeDecode(dur time.Duration) {
+	if e.avgIter == 0 {
+		e.avgIter = dur
+		return
+	}
+	e.avgIter = (e.avgIter*4 + dur) / 5
+}
+
+// observePrefill updates the profiled per-token prefill latency (the
+// sliding-window estimate of §4.2.3).
+func (e *Engine) observePrefill(dur time.Duration, tokens int) {
+	if tokens <= 0 {
+		return
+	}
+	per := dur / time.Duration(tokens)
+	if e.avgPrefillTok == 0 {
+		e.avgPrefillTok = per
+		return
+	}
+	e.avgPrefillTok = (e.avgPrefillTok*4 + per) / 5
+}
+
+func removeReq(s []*request.Request, r *request.Request) []*request.Request {
+	for i, x := range s {
+		if x == r {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func removeJob(s []*prefillJob, j *prefillJob) []*prefillJob {
+	for i, x := range s {
+		if x == j {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

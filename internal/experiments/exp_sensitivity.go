@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/request"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Fig18 reproduces Figure 18: token generation timelines under SGLang and
+// TokenFlow for a small burst. For every request we report TTFT and the
+// times its stream reached 25/50/75/100% of its tokens: SGLang shows
+// head-of-line blocking (late TTFTs, then full-speed bursts); TokenFlow
+// starts everyone early and paces near the required speed.
+func Fig18() (*Table, error) {
+	w := trace.Burst("fig18", 36, 0, trace.FixedLengths{Prompt: 512, Output: 1200}, trace.FixedRate(20), 18)
+	dep := dep4090Llama
+	t := &Table{
+		ID:     "Figure 18",
+		Title:  "Token generation timelines, SGLang (top) vs TokenFlow (bottom)",
+		Header: []string{"system", "req", "TTFT", "t25%", "t50%", "t75%", "t100%", "stall"},
+	}
+	for _, spec := range []SystemSpec{systems()[1], systems()[3]} {
+		res, err := runOne(dep, spec, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res.Requests[:8] {
+			row := []string{spec.Name, fmt.Sprintf("#%d", r.ID), fsec(r.TTFT())}
+			for _, q := range []float64{0.25, 0.5, 0.75, 1.0} {
+				idx := int(q*float64(len(r.TokenTimes))) - 1
+				if idx < 0 {
+					idx = 0
+				}
+				row = append(row, ffloat(r.TokenTimes[idx].Seconds(), 1)+"s")
+			}
+			row = append(row, fsec(r.RebufferTotal))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = "Paper shape: TokenFlow initiates service earlier (lower TTFT spread) and paces delivery; SGLang serializes late requests."
+	return t, nil
+}
+
+// Fig19 reproduces Figure 19: multi-rate request scheduling. A mixed-rate
+// burst (40% at 15 tok/s, 60% at 20 tok/s) on TokenFlow: each class's
+// streams should track their own target rate with no stalls.
+func Fig19() (*Table, error) {
+	w := trace.Burst("fig19", scaled(240), 0, trace.FixedLengths{Prompt: 256, Output: 900},
+		trace.MixtureRate{Rates: []float64{15, 20}, Weights: []float64{0.4, 0.6}}, 19)
+	res, err := runOne(depH200Llama, systems()[3], w, 0)
+	if err != nil {
+		return nil, err
+	}
+	type class struct {
+		n          int
+		deliver    float64
+		stall      time.Duration
+		effective  float64
+		preemptons int
+	}
+	classes := map[float64]*class{15: {}, 20: {}}
+	for i, r := range res.Requests {
+		c := classes[r.Rate]
+		if c == nil {
+			continue
+		}
+		rm := res.Report.Requests[i]
+		c.n++
+		// Delivery pacing: tokens over the stream's span; under pacing it
+		// approaches the class target.
+		if n := len(r.TokenTimes); n >= 2 {
+			span := r.TokenTimes[n-1].Sub(r.TokenTimes[0]).Seconds()
+			if span > 0 {
+				c.deliver += float64(n-1) / span
+			}
+		}
+		c.stall += rm.Rebuffer
+		c.effective += rm.Effective
+		c.preemptons += r.Preemptions
+	}
+	t := &Table{
+		ID:     "Figure 19",
+		Title:  "Multi-rate scheduling: 40% @15 tok/s, 60% @20 tok/s (TokenFlow)",
+		Header: []string{"class", "requests", "mean-delivery(tok/s)", "total-stall", "preemptions"},
+	}
+	for _, rate := range []float64{15, 20} {
+		c := classes[rate]
+		mean := 0.0
+		if c.n > 0 {
+			mean = c.deliver / float64(c.n)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f tok/s", rate), fint(int64(c.n)), ftps(mean), fsec(c.stall), fint(int64(c.preemptons)),
+		})
+	}
+	t.Notes = "Paper shape: each class tracks its target rate within tolerance; higher-rate requests drain buffers faster and gain implicit priority."
+	return t, nil
+}
+
+// Fig22 reproduces Figure 22: impact of the rescheduling interval Δt on
+// TTFT and effective throughput (0.5-1.5s sweep).
+func Fig22() (*Table, error) {
+	// Demand just under the capacity bound keeps the scheduler in its
+	// buffer-balancing mode (not the FCFS overload fallback) while memory
+	// stays 2x overcommitted, so the interval length actually matters.
+	w := trace.Burst("fig22", scaled(100), 0, lengthDist(512, 4096), trace.FixedRate(20), 22)
+	t := &Table{
+		ID:     "Figure 22",
+		Title:  "Rescheduling interval sensitivity (TokenFlow, H200 burst)",
+		Header: []string{"Δt", "eff-thpt(tok/s)", "mean-TTFT", "P99-TTFT", "full-reschedules"},
+	}
+	for _, dt := range []float64{0.5, 1.0, 1.5} {
+		cfg := core.DefaultConfig()
+		cfg.RescheduleInterval = simclock.Duration(dt)
+		s := core.MustNew(cfg)
+		res, err := runOne(depH200Llama, SystemSpec{"tokenflow", func() (sched.Scheduler, engine.KVPolicy) {
+			return s, engine.TokenFlowKVPolicy()
+		}}, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1fs", dt),
+			ftps(res.Report.EffectiveThroughput),
+			fsec(res.Report.MeanTTFT),
+			fsec(res.Report.P99TTFT),
+			fint(s.FullReschedules),
+		})
+	}
+	t.Notes = "Paper shape: shorter intervals marginally improve effective throughput and TTFT at higher scheduling overhead."
+	return t, nil
+}
+
+// Fig23 reproduces Figure 23: buffer conservativeness μ. Low μ enables
+// agile preemption (more context switches, lower TTFT); high μ behaves
+// like SGLang (stable, fewer preemptions); SGLang itself is the reference.
+func Fig23() (*Table, error) {
+	// Same regime selection as Figure 22: near-capacity demand with
+	// memory overcommit keeps buffer balancing (and hence μ) in play.
+	w := trace.Burst("fig23", scaled(40), 0, lengthDist(512, 2048), trace.FixedRate(10), 23)
+	dep := dep4090Llama
+	t := &Table{
+		ID:     "Figure 23",
+		Title:  "Buffer conservativeness μ (scheduler aggressiveness)",
+		Header: []string{"config", "preemptions", "mean-TTFT", "P99-TTFT", "eff-thpt(tok/s)", "total-stall"},
+	}
+	addRow := func(name string, res *engine.Result) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fint(int64(res.Report.Preemptions)),
+			fsec(res.Report.MeanTTFT),
+			fsec(res.Report.P99TTFT),
+			ftps(res.Report.EffectiveThroughput),
+			fsec(res.Report.TotalRebuffer),
+		})
+	}
+	sg, err := runOne(dep, systems()[1], w, 0)
+	if err != nil {
+		return nil, err
+	}
+	addRow("sglang", sg)
+	for _, mu := range []float64{1.0, 20.0} {
+		cfg := core.DefaultConfig()
+		cfg.BufferConservativeness = mu
+		res, err := runOne(dep, tokenFlowWith(cfg), w, 0)
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("tokenflow μ=%.0f", mu), res)
+	}
+	t.Notes = "Paper shape: μ=1 is agile (many preemptions, best TTFT, slight stutter risk); μ=20 is cautious and SGLang-like."
+	return t, nil
+}
+
+// Tab02 reproduces Table 2: the ablation of the hierarchical memory
+// manager on setup 4090 (b). The paper reports completion times 66.00s
+// (full), 127.28s (w/o offload), 82.76s (w/o write-through), 74.43s (w/o
+// evict-load overlap).
+func Tab02() (*Table, error) {
+	setup := Tab01Setups()[3] // 4090 (b)
+	// PCIe-3.0-class host link (3 GB/s effective): consumer testbeds of
+	// the paper's class see constrained host links, and this surfaces the
+	// transfer-latency differences the ablation isolates; results are
+	// averaged over three workload seeds (see EXPERIMENTS.md).
+	setup.dep.GPU.PCIeGBps = 3
+	variants := []struct {
+		name string
+		mod  func(*engine.KVPolicy)
+	}{
+		{"TokenFlow", func(*engine.KVPolicy) {}},
+		{"w/o Offload", func(p *engine.KVPolicy) { p.Offload = false }},
+		{"w/o Write-Through", func(p *engine.KVPolicy) { p.WriteThrough = false; p.ChunkedWriting = false }},
+		{"w/o Evict-Load Overlap", func(p *engine.KVPolicy) { p.LoadEvictOverlap = false }},
+	}
+	t := &Table{
+		ID:     "Table 2",
+		Title:  "Ablation of hierarchical memory management (setup 4090 (b), 3-seed mean)",
+		Header: []string{"variant", "completion", "mean-TTFT", "total-stall", "preemptions", "loads", "recomputes"},
+	}
+	seeds := []int64{2, 3, 5}
+	for _, v := range variants {
+		kv := engine.TokenFlowKVPolicy()
+		v.mod(&kv)
+		var totalMakespan, totalTTFT, totalStall time.Duration
+		var preempts, loads, resumes int
+		for _, seed := range seeds {
+			w := setup.workload(seed)
+			spec := SystemSpec{v.name, func() (sched.Scheduler, engine.KVPolicy) {
+				return core.MustNew(core.DefaultConfig()), kv
+			}}
+			res, err := runOne(setup.dep, spec, w, 0)
+			if err != nil {
+				return nil, err
+			}
+			totalMakespan += res.Makespan
+			totalTTFT += res.Report.MeanTTFT
+			totalStall += res.Report.TotalRebuffer
+			preempts += res.Report.Preemptions
+			for _, r := range res.Requests {
+				loads += r.LoadedResumes
+				resumes += r.Resumes
+			}
+		}
+		n := time.Duration(len(seeds))
+		t.Rows = append(t.Rows, []string{
+			v.name, fsec(totalMakespan / n), fsec(totalTTFT / n), fsec(totalStall / n),
+			fint(int64(preempts / len(seeds))),
+			fint(int64(loads / len(seeds))), fint(int64((resumes - loads) / len(seeds))),
+		})
+	}
+	t.Notes = "Paper shape (Table 2): 66.00s full < 74.43s w/o overlap < 82.76s w/o write-through < 127.28s w/o offload."
+	return t, nil
+}
+
+// Overhead reproduces the §7.6 scheduling-overhead analysis: wall-clock
+// cost of one scheduling decision on a stressed view (the paper reports
+// ~0.07ms for SGLang's scheduler and ~0.4ms for TokenFlow's).
+func Overhead() (*Table, error) {
+	cost, err := gpu.NewCostModel(gpu.H200, model.Llama3_8B)
+	if err != nil {
+		return nil, err
+	}
+	mkView := func() *sched.View {
+		v := &sched.View{
+			Now: simclock.FromSeconds(100), FreeTokens: 50_000, TotalTokens: 200_000,
+			PageTokens: 16, Cost: cost, AvgIterTime: 20 * time.Millisecond,
+		}
+		clock := simclock.New()
+		for i := 0; i < 128; i++ {
+			r := request.New(i, 0, 512, 2048, 20)
+			r.State = request.StateRunning
+			r.PrefilledTokens = 512
+			r.DeliverTokens(clock, 0, 40+i)
+			r.CancelConsumption(clock)
+			v.Running = append(v.Running, r)
+		}
+		for i := 0; i < 64; i++ {
+			v.Waiting = append(v.Waiting, request.New(1000+i, simclock.FromSeconds(99), 512, 2048, 20))
+		}
+		return v
+	}
+	measure := func(s sched.Scheduler, reset func()) time.Duration {
+		v := mkView()
+		const iters = 200
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if reset != nil {
+				reset()
+			}
+			_ = s.Decide(v)
+		}
+		return time.Since(start) / iters
+	}
+	tf := core.MustNew(core.DefaultConfig())
+	rows := [][]string{}
+	rows = append(rows, []string{"sglang", fmt.Sprintf("%.4fms", measure(sched.NewSGLang(), nil).Seconds()*1e3)})
+	rows = append(rows, []string{"tokenflow (full pass)", fmt.Sprintf("%.4fms", measure(tf, func() { tf.ForceFullPass() }).Seconds()*1e3)})
+	t := &Table{
+		ID:     "Overhead (§7.6)",
+		Title:  "Wall-clock cost per scheduling decision (192 live requests)",
+		Header: []string{"scheduler", "decision-cost"},
+		Rows:   rows,
+		Notes:  "Paper shape: TokenFlow's decision stays sub-millisecond (~0.4ms vs ~0.07ms for SGLang).",
+	}
+	return t, nil
+}
+
+// Analyze exposes report computation for external harnesses.
+var _ = metrics.DefaultQoSParams

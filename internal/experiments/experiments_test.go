@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact (§7) must be registered.
+	want := []string{
+		"fig01", "fig02", "fig06", "fig08", "fig09", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "tab01", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "tab02",
+		"overhead",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown ID should not resolve")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "note",
+	}
+	out := tbl.Format()
+	for _, want := range []string{"== X: demo ==", "333", "-- note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	old := Scale
+	defer func() { Scale = old }()
+	Scale = 0.001
+	if scaled(10) != 1 {
+		t.Error("scaled should floor at 1")
+	}
+	Scale = 2
+	if scaled(10) != 20 {
+		t.Error("scaled should multiply")
+	}
+}
+
+// The fast experiments run end-to-end in tests; the heavy ones are covered
+// by the root bench harness.
+func TestFastExperiments(t *testing.T) {
+	old := Scale
+	Scale = 0.05
+	defer func() { Scale = old }()
+	for _, id := range []string{"fig01", "fig06", "fig08", "fig10", "fig11", "tab01"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+}
+
+func TestFig06ShowsPreemption(t *testing.T) {
+	tbl, err := Fig06()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.Notes, "preemption") {
+		t.Errorf("notes = %q", tbl.Notes)
+	}
+	// The toy must exhibit at least one preemption cycle.
+	if strings.Contains(tbl.Notes, "0 preemption(s)") {
+		t.Error("toy example should preempt at least once")
+	}
+}
+
+func TestFig08Ordering(t *testing.T) {
+	tbl, err := Fig08()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: write-back, write-through, rearranged — latency must strictly
+	// decrease down the table.
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	parse := func(s string) float64 {
+		v, err := parseMs(s)
+		if err != nil {
+			t.Fatalf("bad latency cell %q", s)
+		}
+		return v
+	}
+	wb := parse(tbl.Rows[0][1])
+	wt := parse(tbl.Rows[1][1])
+	re := parse(tbl.Rows[2][1])
+	if !(re < wt && wt < wb) {
+		t.Errorf("latencies should strictly improve: %v > %v > %v", wb, wt, re)
+	}
+}
+
+// parseMs parses "12.34ms" into millis.
+func parseMs(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+}

@@ -1,0 +1,45 @@
+package experiments
+
+// Experiment pairs an artifact ID with its generator.
+type Experiment struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All lists every reproduced table and figure in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig01", Fig01},
+		{"fig02", Fig02},
+		{"fig06", Fig06},
+		{"fig08", Fig08},
+		{"fig09", Fig09},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"fig15", Fig15},
+		{"tab01", func() (*Table, error) { return Tab01(), nil }},
+		{"fig16", Fig16},
+		{"fig17", Fig17},
+		{"fig18", Fig18},
+		{"fig19", Fig19},
+		{"fig20", Fig20},
+		{"fig21", Fig21},
+		{"fig22", Fig22},
+		{"fig23", Fig23},
+		{"tab02", Tab02},
+		{"overhead", Overhead},
+	}
+}
+
+// ByID finds an experiment by its ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

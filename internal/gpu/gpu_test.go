@@ -1,0 +1,304 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/simclock"
+)
+
+func TestZooValidates(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("H200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryGB != 141 {
+		t.Errorf("H200 memory = %v", s.MemoryGB)
+	}
+	if _, err := ByName("TPU-v9"); err == nil {
+		t.Error("unknown device should error")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"zero flops", func(s *Spec) { s.FP16TFLOPS = 0 }},
+		{"zero bw", func(s *Spec) { s.HBMGBps = 0 }},
+		{"zero pcie", func(s *Spec) { s.PCIeGBps = 0 }},
+		{"zero memory", func(s *Spec) { s.MemoryGB = 0 }},
+		{"eff > 1", func(s *Spec) { s.ComputeEff = 1.5 }},
+		{"eff zero", func(s *Spec) { s.BandwidthEff = 0 }},
+		{"negative overhead", func(s *Spec) { s.IterOverhead = -time.Millisecond }},
+	}
+	for _, tc := range cases {
+		s := H200
+		tc.mod(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func mustCost(t testing.TB, g Spec, m model.Spec) CostModel {
+	t.Helper()
+	c, err := NewCostModel(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCostModelRejectsOversizedModel(t *testing.T) {
+	if _, err := NewCostModel(RTX4090, model.Qwen25_32B); err == nil {
+		t.Error("32B model should not fit a 24GB card")
+	}
+}
+
+func TestKVCapacityH200Llama(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	// mem-frac 0.3 on 141 GB = 42.3 GB; minus 16.06 GB weights = 26.2 GB;
+	// at 131072 B/token that is ~200k tokens.
+	got := c.KVCapacityTokens(0.3)
+	if got < 150_000 || got > 250_000 {
+		t.Errorf("KV capacity = %d tokens, want ~200k", got)
+	}
+	if c.KVCapacityTokens(0.05) != 0 {
+		t.Error("capacity should clamp to 0 when weights exceed budget")
+	}
+}
+
+func TestKVCapacity4090Llama(t *testing.T) {
+	c := mustCost(t, RTX4090, model.Llama3_8B)
+	got := c.KVCapacityTokens(0.9)
+	// 21.6 - 16.06 = 5.54 GB -> ~42k tokens.
+	if got < 30_000 || got > 55_000 {
+		t.Errorf("KV capacity = %d tokens, want ~42k", got)
+	}
+}
+
+func TestPrefillTimeScalesWithTokens(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	t512 := c.PrefillTime(512)
+	t4096 := c.PrefillTime(4096)
+	if t4096 <= t512 {
+		t.Errorf("prefill(4096)=%v should exceed prefill(512)=%v", t4096, t512)
+	}
+	// Beyond the fixed overhead, an 8x token count costs ~8x compute.
+	ratio := float64(t4096-H200.IterOverhead) / float64(t512-H200.IterOverhead)
+	if ratio < 4 || ratio > 9 {
+		t.Errorf("prefill scaling ratio = %.1f, want roughly 8x (compute-bound)", ratio)
+	}
+	if c.PrefillTime(0) != 0 {
+		t.Error("prefill of zero tokens should be free")
+	}
+}
+
+func TestPrefillTimePlausible(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	// 512-token prompt on H200 should land in the tens of milliseconds.
+	got := c.PrefillTime(512)
+	if got < 5*time.Millisecond || got > 200*time.Millisecond {
+		t.Errorf("prefill(512) = %v, implausible", got)
+	}
+}
+
+func TestDecodeMemoryBound(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	// Small batches are weight-streaming bound: doubling batch should not
+	// double step time.
+	s1 := c.DecodeStepTime(1, 1024)
+	s2 := c.DecodeStepTime(2, 2048)
+	if float64(s2) > 1.5*float64(s1) {
+		t.Errorf("decode step nearly doubled (%v -> %v); should be memory-bound", s1, s2)
+	}
+	// But growing total context grows the step time.
+	sBig := c.DecodeStepTime(64, 64*8192)
+	sSmall := c.DecodeStepTime(64, 64*128)
+	if sBig <= sSmall {
+		t.Errorf("longer context should slow decode: %v vs %v", sBig, sSmall)
+	}
+}
+
+func TestDecodeSpeedPlausible(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	// Single-request decode speed on H200 should be tens of tokens/s
+	// (memory-bound on 16 GB of weights + overhead).
+	step := c.DecodeStepTime(1, 1024)
+	perSec := 1 / step.Seconds()
+	if perSec < 30 || perSec > 300 {
+		t.Errorf("single-stream decode = %.0f tok/s, implausible", perSec)
+	}
+	// Batch-32 aggregate throughput should be far higher than 1-stream.
+	agg := c.PeakDecodeTokensPerSec(32, 1536)
+	if agg < 5*perSec {
+		t.Errorf("batch-32 aggregate %.0f tok/s should dominate 1-stream %.0f", agg, perSec)
+	}
+}
+
+func TestMixedStepTime(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	if got, want := c.MixedStepTime(0, 8, 8*1024), c.DecodeStepTime(8, 8*1024); got != want {
+		t.Errorf("mixed with no prefill = %v, want pure decode %v", got, want)
+	}
+	if got, want := c.MixedStepTime(256, 0, 0), c.PrefillTime(256); got != want {
+		t.Errorf("mixed with no decode = %v, want pure prefill %v", got, want)
+	}
+	mixed := c.MixedStepTime(256, 8, 8*1024)
+	if mixed < c.DecodeStepTime(8, 8*1024) {
+		t.Error("mixed step should not be faster than its decode part")
+	}
+}
+
+func TestPeakDecodeZeroBatch(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	if got := c.PeakDecodeTokensPerSec(0, 1024); got != 0 {
+		t.Errorf("zero batch throughput = %v", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	c := mustCost(t, H200, model.Llama3_8B)
+	// 1 GB at 50 GB/s = 20 ms.
+	got := c.TransferTime(1e9)
+	if got < 15*time.Millisecond || got > 25*time.Millisecond {
+		t.Errorf("transfer(1GB) = %v, want ~20ms", got)
+	}
+	if c.TransferTime(0) != 0 || c.TransferTime(-5) != 0 {
+		t.Error("non-positive transfers should be free")
+	}
+}
+
+func TestLinkFIFOQueueing(t *testing.T) {
+	l := NewLink("d2h", 1e9) // 1 GB/s
+	now := simclock.FromSeconds(0)
+	s1, d1 := l.Enqueue(now, 1e9) // 1s wire time
+	if s1 != now || d1 != simclock.FromSeconds(1) {
+		t.Errorf("first transfer start=%v done=%v", s1, d1)
+	}
+	s2, d2 := l.Enqueue(now, 5e8) // queued behind first
+	if s2 != simclock.FromSeconds(1) || d2 != simclock.FromSeconds(1.5) {
+		t.Errorf("second transfer start=%v done=%v", s2, d2)
+	}
+	if got := l.QueueDelay(now); got != 1500*time.Millisecond {
+		t.Errorf("queue delay = %v", got)
+	}
+	if l.Idle(now) {
+		t.Error("link should be busy")
+	}
+	if !l.Idle(simclock.FromSeconds(2)) {
+		t.Error("link should be idle after draining")
+	}
+}
+
+func TestLinkStatsAndUtilization(t *testing.T) {
+	l := NewLink("h2d", 2e9)
+	l.Enqueue(simclock.FromSeconds(0), 2e9) // 1s busy
+	bytes, busy, n := l.Stats()
+	if bytes != 2e9 || n != 1 {
+		t.Errorf("stats bytes=%d n=%d", bytes, n)
+	}
+	if busy != time.Second {
+		t.Errorf("busy = %v", busy)
+	}
+	u := l.Utilization(simclock.FromSeconds(2))
+	if u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if l.Utilization(0) != 0 {
+		t.Error("utilization at t=0 should be 0")
+	}
+}
+
+func TestLinkZeroByteTransfer(t *testing.T) {
+	l := NewLink("d2h", 1e9)
+	s, d := l.Enqueue(simclock.FromSeconds(1), 0)
+	if s != d || s != simclock.FromSeconds(1) {
+		t.Errorf("zero-byte transfer start=%v done=%v", s, d)
+	}
+}
+
+func TestLinkNegativeTransferPanics(t *testing.T) {
+	l := NewLink("d2h", 1e9)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative transfer should panic")
+		}
+	}()
+	l.Enqueue(0, -1)
+}
+
+func TestNewLinkZeroBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth should panic")
+		}
+	}()
+	NewLink("bad", 0)
+}
+
+// Property: FIFO link never starts a transfer before submission nor before
+// the previous transfer's completion, and completion ordering matches
+// submission ordering.
+func TestPropertyLinkFIFO(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		l := NewLink("p", 1e8)
+		var lastDone simclock.Time
+		now := simclock.Time(0)
+		for i, raw := range sizes {
+			if i > 300 {
+				break
+			}
+			n := int64(raw % 1e7)
+			now = now.Add(time.Duration(raw%5) * time.Millisecond)
+			start, done := l.Enqueue(now, n)
+			if start < now || done < start || done < lastDone {
+				return false
+			}
+			lastDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decode step time is monotone in batch and context.
+func TestPropertyDecodeMonotone(t *testing.T) {
+	c := mustCost(t, A6000, model.Qwen2_7B)
+	f := func(b1, b2 uint8, ctx1, ctx2 uint16) bool {
+		lo, hi := int(b1%64)+1, int(b2%64)+1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c1, c2 := int64(ctx1), int64(ctx2)
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		return c.DecodeStepTime(lo, c1) <= c.DecodeStepTime(hi, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecodeStepTime(b *testing.B) {
+	c := mustCost(b, H200, model.Llama3_8B)
+	for i := 0; i < b.N; i++ {
+		_ = c.DecodeStepTime(32, 32*1536)
+	}
+}

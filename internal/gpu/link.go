@@ -1,0 +1,98 @@
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Link models one direction of the host PCIe connection as a FIFO
+// bandwidth queue: transfers serialize, and a transfer enqueued while the
+// link is busy starts when the link drains. The KV cache manager uses two
+// Links (device-to-host for eviction, host-to-device for loading) because
+// PCIe is full duplex.
+type Link struct {
+	name        string
+	bytesPerSec float64
+
+	busyUntil simclock.Time
+
+	// Profiling counters: the scheduler consumes these to estimate I/O
+	// latency for its admission and recompute-vs-load decisions (§4.2.3).
+	totalBytes int64
+	totalBusy  time.Duration
+	transfers  int64
+}
+
+// NewLink returns a link with the given name (for diagnostics) and
+// bandwidth in bytes per second.
+func NewLink(name string, bytesPerSec float64) *Link {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("gpu: non-positive link bandwidth %v", bytesPerSec))
+	}
+	return &Link{name: name, bytesPerSec: bytesPerSec}
+}
+
+// Name reports the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// BytesPerSec reports the link's configured bandwidth.
+func (l *Link) BytesPerSec() float64 { return l.bytesPerSec }
+
+// TransferTime reports the pure wire time for n bytes (no queueing).
+func (l *Link) TransferTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
+}
+
+// Enqueue books an n-byte transfer submitted at time now and reports when
+// it starts and completes. Transfers are FIFO: a submission while the link
+// is busy starts when the previous transfer finishes.
+func (l *Link) Enqueue(now simclock.Time, n int64) (start, done simclock.Time) {
+	if n < 0 {
+		panic(fmt.Sprintf("gpu: negative transfer size %d", n))
+	}
+	start = now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	wire := l.TransferTime(n)
+	done = start.Add(wire)
+	l.busyUntil = done
+	l.totalBytes += n
+	l.totalBusy += wire
+	l.transfers++
+	return start, done
+}
+
+// QueueDelay reports how long a transfer submitted now would wait before
+// reaching the wire.
+func (l *Link) QueueDelay(now simclock.Time) time.Duration {
+	if l.busyUntil <= now {
+		return 0
+	}
+	return l.busyUntil.Sub(now)
+}
+
+// BusyUntil reports the virtual time at which the link drains.
+func (l *Link) BusyUntil() simclock.Time { return l.busyUntil }
+
+// Idle reports whether the link has no queued or in-flight transfer at now.
+func (l *Link) Idle(now simclock.Time) bool { return l.busyUntil <= now }
+
+// Stats reports cumulative transferred bytes, cumulative wire-busy time,
+// and the number of transfers, for profiling.
+func (l *Link) Stats() (bytes int64, busy time.Duration, transfers int64) {
+	return l.totalBytes, l.totalBusy, l.transfers
+}
+
+// Utilization reports the fraction of [0, now] the link spent transferring.
+func (l *Link) Utilization(now simclock.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return l.totalBusy.Seconds() / now.Seconds()
+}

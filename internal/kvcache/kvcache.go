@@ -1,0 +1,294 @@
+// Package kvcache implements the paper's hierarchical KV cache manager
+// (§5): a paged GPU memory pool backed by host memory, with a write-through
+// policy that mirrors freshly generated KV entries to the host in the
+// background (§5.1), synchronous chunked writing that sizes background
+// transfers to fit inside compute intervals (§5.2), and load-evict overlap
+// that reclaims already-synchronized pages immediately on preemption (§5.3).
+//
+// Each policy is a switch so the Table 2 ablations (w/o offload, w/o
+// write-through, w/o evict-load overlap) run on the same code path.
+package kvcache
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/request"
+	"repro/internal/simclock"
+)
+
+// Config selects the memory-management policies and pool geometry.
+type Config struct {
+	// PageTokens is the page granularity in tokens (SGLang/vLLM-style
+	// paged attention blocks).
+	PageTokens int
+
+	// GPUPages is the KV pool capacity in pages.
+	GPUPages int
+
+	// BytesPerToken is the model's KV footprint per context token.
+	BytesPerToken int64
+
+	// Offload enables host offload on preemption. When false, preemption
+	// discards the KV cache and resumption must recompute (the Table 2
+	// "w/o Offload" ablation and the recompute-style baselines).
+	Offload bool
+
+	// WriteThrough mirrors generated KV to host memory continuously in the
+	// background. When false (write-back), all resident pages are dirty at
+	// preemption time and must be transferred then.
+	WriteThrough bool
+
+	// ChunkedWriting sizes background writes to complete within the next
+	// compute interval. When false, write-through still happens but the
+	// engine must stall at iteration boundaries until outstanding writes
+	// drain (the scheduling dependency of §5.2).
+	ChunkedWriting bool
+
+	// LoadEvictOverlap frees already-synchronized pages immediately at
+	// preemption and lets loads proceed concurrently with evictions. When
+	// false, pages free only when the whole eviction completes and loads
+	// serialize behind in-flight evictions.
+	LoadEvictOverlap bool
+
+	// PriorityWrites orders background sync by descending client buffer
+	// (requests most likely to be preempted sync first, §5.2); when false
+	// the write queue is FIFO by request admission.
+	PriorityWrites bool
+}
+
+// Validate reports an error for non-positive geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.PageTokens <= 0:
+		return fmt.Errorf("kvcache: non-positive page size %d", c.PageTokens)
+	case c.GPUPages <= 0:
+		return fmt.Errorf("kvcache: non-positive pool size %d", c.GPUPages)
+	case c.BytesPerToken <= 0:
+		return fmt.Errorf("kvcache: non-positive bytes/token %d", c.BytesPerToken)
+	}
+	return nil
+}
+
+// Residency describes where a request's KV cache lives.
+type Residency int
+
+const (
+	// ResNone: no KV anywhere (fresh, discarded, or finished).
+	ResNone Residency = iota
+	// ResGPU: resident on the device.
+	ResGPU
+	// ResEvicting: leaving the device; partially freed.
+	ResEvicting
+	// ResHost: fully off the device with a complete host copy.
+	ResHost
+	// ResLoading: host-to-device transfer in progress.
+	ResLoading
+)
+
+var resNames = [...]string{"none", "gpu", "evicting", "host", "loading"}
+
+func (r Residency) String() string {
+	if int(r) < len(resNames) {
+		return resNames[r]
+	}
+	return fmt.Sprintf("residency(%d)", int(r))
+}
+
+// entry is the per-request cache state.
+type entry struct {
+	req *request.Request
+
+	res Residency
+
+	// pages is the total page count for the request's current context.
+	pages int
+	// synced counts pages with a clean host mirror.
+	synced int
+	// inFlight counts pages currently on the device-to-host wire from
+	// background sync.
+	inFlight int
+	// gpuHeld counts pages currently charged against the GPU pool (during
+	// eviction this drains; during load it grows at load start).
+	gpuHeld int
+
+	// epoch invalidates callbacks from transfers issued before a
+	// preemption or discard.
+	epoch uint64
+}
+
+// Callbacks notify the serving engine of asynchronous completions.
+type Callbacks struct {
+	// EvictDone fires when a preempted request's pages have fully left the
+	// device (its host copy is complete and usable for a later load).
+	EvictDone func(r *request.Request, now simclock.Time)
+	// LoadDone fires when a resuming request's KV is fully resident.
+	LoadDone func(r *request.Request, now simclock.Time)
+}
+
+// Manager is the hierarchical KV cache manager.
+type Manager struct {
+	cfg   Config
+	clock *simclock.Clock
+	d2h   *gpu.Link // eviction / write-through direction
+	h2d   *gpu.Link // load direction
+	cb    Callbacks
+
+	free    int
+	entries map[int]*entry
+
+	// syncOrder preserves admission order for FIFO write-through.
+	syncOrder []*entry
+
+	// stats
+	evictions, loads, discards, syncChunks int64
+	bytesEvicted, bytesLoaded, bytesSynced int64
+}
+
+// New constructs a manager. The two links model the full-duplex host
+// connection; pass distinct links for device-to-host and host-to-device.
+func New(cfg Config, clock *simclock.Clock, d2h, h2d *gpu.Link, cb Callbacks) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil || d2h == nil || h2d == nil {
+		return nil, fmt.Errorf("kvcache: nil clock or links")
+	}
+	return &Manager{
+		cfg:     cfg,
+		clock:   clock,
+		d2h:     d2h,
+		h2d:     h2d,
+		cb:      cb,
+		free:    cfg.GPUPages,
+		entries: make(map[int]*entry),
+	}, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// PageBytes reports the size of one page in bytes.
+func (m *Manager) PageBytes() int64 {
+	return int64(m.cfg.PageTokens) * m.cfg.BytesPerToken
+}
+
+// Pages reports how many pages a context of the given tokens occupies.
+func (m *Manager) Pages(tokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + m.cfg.PageTokens - 1) / m.cfg.PageTokens
+}
+
+// FreePages reports unallocated pool pages.
+func (m *Manager) FreePages() int { return m.free }
+
+// TotalPages reports the pool capacity.
+func (m *Manager) TotalPages() int { return m.cfg.GPUPages }
+
+// UsedPages reports allocated pool pages.
+func (m *Manager) UsedPages() int { return m.cfg.GPUPages - m.free }
+
+// Residency reports where a request's KV lives.
+func (m *Manager) Residency(r *request.Request) Residency {
+	e, ok := m.entries[r.ID]
+	if !ok {
+		return ResNone
+	}
+	return e.res
+}
+
+// ResidentTokens reports the total context tokens resident on the GPU
+// across all requests (for telemetry).
+func (m *Manager) ResidentTokens() int64 {
+	var n int64
+	for _, e := range m.entries {
+		if e.res == ResGPU {
+			n += int64(e.req.ContextLen())
+		}
+	}
+	return n
+}
+
+// CanAllocate reports whether a context of the given tokens fits in the
+// free pool right now.
+func (m *Manager) CanAllocate(tokens int) bool {
+	return m.Pages(tokens) <= m.free
+}
+
+// AllocateResident claims pages for a request entering the device with
+// freshly computed KV (prefill or recompute-resume). All pages start dirty
+// under write-through and unsynced under write-back.
+func (m *Manager) AllocateResident(r *request.Request, contextTokens int) error {
+	if e, ok := m.entries[r.ID]; ok && e.res != ResNone {
+		return fmt.Errorf("kvcache: request %d already has residency %v", r.ID, e.res)
+	}
+	pages := m.Pages(contextTokens)
+	if pages > m.free {
+		return fmt.Errorf("kvcache: request %d needs %d pages, %d free", r.ID, pages, m.free)
+	}
+	m.free -= pages
+	e := &entry{req: r, res: ResGPU, pages: pages, gpuHeld: pages}
+	m.entries[r.ID] = e
+	m.syncOrder = append(m.syncOrder, e)
+	return nil
+}
+
+// NeedsGrowth reports whether appending one token to the request's context
+// requires a new page.
+func (m *Manager) NeedsGrowth(r *request.Request) bool {
+	e, ok := m.entries[r.ID]
+	if !ok || e.res != ResGPU {
+		return false
+	}
+	return m.Pages(r.ContextLen()+1) > e.pages
+}
+
+// GrowOne extends a resident request's allocation for one appended token,
+// claiming a new page when the context crosses a page boundary. It fails
+// when the pool is exhausted, signalling the engine's OOM path.
+func (m *Manager) GrowOne(r *request.Request) error {
+	e, ok := m.entries[r.ID]
+	if !ok || e.res != ResGPU {
+		return fmt.Errorf("kvcache: growing non-resident request %d", r.ID)
+	}
+	need := m.Pages(r.ContextLen() + 1)
+	if need <= e.pages {
+		return nil
+	}
+	if m.free < 1 {
+		return fmt.Errorf("kvcache: pool exhausted growing request %d", r.ID)
+	}
+	m.free--
+	e.pages++
+	e.gpuHeld++
+	return nil
+}
+
+// dirtyPages reports pages without a clean host mirror and not on the wire.
+func (e *entry) dirtyPages() int { return e.pages - e.synced - e.inFlight }
+
+// Discard frees everything a request holds on the device and forgets its
+// host copy (request finished, or preemption with offload disabled).
+func (m *Manager) Discard(r *request.Request) {
+	e, ok := m.entries[r.ID]
+	if !ok {
+		return
+	}
+	m.free += e.gpuHeld
+	e.gpuHeld = 0
+	e.pages = 0
+	e.synced = 0
+	e.inFlight = 0
+	e.res = ResNone
+	e.epoch++
+	m.discards++
+	delete(m.entries, r.ID)
+	for i, se := range m.syncOrder {
+		if se == e {
+			m.syncOrder = append(m.syncOrder[:i], m.syncOrder[i+1:]...)
+			break
+		}
+	}
+}

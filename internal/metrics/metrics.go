@@ -1,0 +1,218 @@
+// Package metrics computes the paper's evaluation metrics from completed
+// simulation runs: TTFT statistics, raw token throughput, effective
+// throughput with the timeliness-based token weighting of §7.1.3
+// (full credit below τ1 of the output length, linear decay to zero at τ2),
+// and the synthetic QoS metric of §3.2 (token utility minus TTFT and
+// rebuffering penalties, Eq. 2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/request"
+	"repro/internal/simclock"
+)
+
+// QoSParams parameterizes the token-weighting and penalty terms.
+type QoSParams struct {
+	// Tau1 and Tau2 are the buffer thresholds as fractions of the
+	// request's total output length: tokens generated while the buffer is
+	// below Tau1·L count fully, decay linearly to zero at Tau2·L, and
+	// count zero beyond (§7.1.3: 10% and 20%).
+	Tau1, Tau2 float64
+
+	// Lambda weighs the TTFT penalty and Mu the rebuffering penalty in the
+	// QoS sum (Eq. 2), both in token-equivalents per second.
+	Lambda, Mu float64
+}
+
+// DefaultQoSParams mirrors the paper's evaluation settings.
+func DefaultQoSParams() QoSParams {
+	return QoSParams{Tau1: 0.10, Tau2: 0.20, Lambda: 1.0, Mu: 2.0}
+}
+
+// Validate reports an error for inconsistent thresholds.
+func (p QoSParams) Validate() error {
+	if p.Tau1 < 0 || p.Tau2 <= p.Tau1 {
+		return fmt.Errorf("metrics: need 0 <= tau1 < tau2, got (%v, %v)", p.Tau1, p.Tau2)
+	}
+	if p.Lambda < 0 || p.Mu < 0 {
+		return fmt.Errorf("metrics: negative penalty weights (%v, %v)", p.Lambda, p.Mu)
+	}
+	return nil
+}
+
+// TokenWeight is the per-token utility w_{i,j} (Eq. 1 instantiated with the
+// effective-throughput thresholds): buffer occupancy B at generation time,
+// against thresholds relative to the request's output length L.
+func (p QoSParams) TokenWeight(buffer int, outputLen int) float64 {
+	t1 := p.Tau1 * float64(outputLen)
+	t2 := p.Tau2 * float64(outputLen)
+	b := float64(buffer)
+	switch {
+	case b <= t1:
+		return 1
+	case b >= t2:
+		return 0
+	default:
+		return (t2 - b) / (t2 - t1)
+	}
+}
+
+// RequestMetrics summarizes one request.
+type RequestMetrics struct {
+	ID           int
+	Finished     bool
+	TTFT         time.Duration
+	TTFTCensored bool // request never produced a token; TTFT = makespan - arrival
+	Tokens       int
+	Effective    float64
+	Rebuffer     time.Duration
+	Preemptions  int
+	Resumes      int
+	// GenRate is the average generation rate over the request's token
+	// span (tokens-1 over last-first), zero for single-token requests.
+	GenRate float64
+}
+
+// Report aggregates a run.
+type Report struct {
+	N          int
+	Finished   int
+	Makespan   time.Duration
+	TotalIn    int64
+	TotalOut   int64
+	Throughput float64 // output tokens per second over the makespan
+
+	EffectiveTokens     float64
+	EffectiveThroughput float64
+
+	MeanTTFT time.Duration
+	P50TTFT  time.Duration
+	P99TTFT  time.Duration
+	MaxTTFT  time.Duration
+
+	TotalRebuffer time.Duration
+	MeanRebuffer  time.Duration
+	StallFraction float64 // fraction of requests with any rebuffering
+
+	Preemptions int
+	QoS         float64
+
+	Requests []RequestMetrics
+}
+
+// Analyze computes a Report from completed (or partially completed)
+// requests. makespan is the total request-processing time T of Eq. 2;
+// requests that never generated a token contribute a censored TTFT of
+// (makespan − arrival).
+func Analyze(reqs []*request.Request, makespan simclock.Time, p QoSParams) Report {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rep := Report{N: len(reqs), Makespan: time.Duration(makespan)}
+	if len(reqs) == 0 {
+		return rep
+	}
+	ttfts := make([]time.Duration, 0, len(reqs))
+	var qosSum float64
+	for _, r := range reqs {
+		m := RequestMetrics{
+			ID:          r.ID,
+			Finished:    r.GenerationDone(),
+			Tokens:      r.Generated,
+			Rebuffer:    r.RebufferTotal,
+			Preemptions: r.Preemptions,
+			Resumes:     r.Resumes,
+		}
+		if r.Generated > 0 {
+			m.TTFT = r.TTFT()
+		} else {
+			m.TTFT = makespan.Sub(r.Arrival)
+			m.TTFTCensored = true
+		}
+		for j, buf := range r.BufferAtGen {
+			_ = j
+			m.Effective += p.TokenWeight(int(buf), r.OutputLen)
+		}
+		if n := len(r.TokenTimes); n >= 2 {
+			span := r.TokenTimes[n-1].Sub(r.TokenTimes[0]).Seconds()
+			if span > 0 {
+				m.GenRate = float64(n-1) / span
+			}
+		}
+		if m.Finished {
+			rep.Finished++
+		}
+		rep.TotalIn += int64(r.PromptLen)
+		rep.TotalOut += int64(r.Generated)
+		rep.EffectiveTokens += m.Effective
+		rep.TotalRebuffer += m.Rebuffer
+		rep.Preemptions += m.Preemptions
+		if m.Rebuffer > 0 {
+			rep.StallFraction++
+		}
+		qosSum += m.Effective - p.Lambda*m.TTFT.Seconds() - p.Mu*m.Rebuffer.Seconds()
+		ttfts = append(ttfts, m.TTFT)
+		rep.Requests = append(rep.Requests, m)
+	}
+	rep.StallFraction /= float64(len(reqs))
+	rep.MeanRebuffer = rep.TotalRebuffer / time.Duration(len(reqs))
+
+	sort.Slice(ttfts, func(i, j int) bool { return ttfts[i] < ttfts[j] })
+	var sum time.Duration
+	for _, t := range ttfts {
+		sum += t
+	}
+	rep.MeanTTFT = sum / time.Duration(len(ttfts))
+	rep.P50TTFT = Percentile(ttfts, 0.50)
+	rep.P99TTFT = Percentile(ttfts, 0.99)
+	rep.MaxTTFT = ttfts[len(ttfts)-1]
+
+	if sec := makespan.Seconds(); sec > 0 {
+		rep.Throughput = float64(rep.TotalOut) / sec
+		rep.EffectiveThroughput = rep.EffectiveTokens / sec
+		rep.QoS = qosSum / sec
+	}
+	return rep
+}
+
+// Percentile reports the p-quantile of sorted durations using the
+// ceil(p·n) rank convention. It panics on an empty slice.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		panic("metrics: percentile of empty slice")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Ratio reports (a-b)/b as a percentage, the improvement convention used
+// in the paper's headline numbers ("82.5% higher effective throughput").
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b * 100
+}
+
+// Reduction reports (b-a)/b as a percentage ("80.2% lower P99 TTFT" when a
+// is TokenFlow and b the baseline).
+func Reduction(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (b - a) / b * 100
+}

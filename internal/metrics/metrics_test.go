@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/request"
+	"repro/internal/simclock"
+)
+
+func TestQoSParamsValidate(t *testing.T) {
+	if err := DefaultQoSParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []QoSParams{
+		{Tau1: -0.1, Tau2: 0.2},
+		{Tau1: 0.2, Tau2: 0.2},
+		{Tau1: 0.3, Tau2: 0.2},
+		{Tau1: 0.1, Tau2: 0.2, Lambda: -1},
+		{Tau1: 0.1, Tau2: 0.2, Mu: -1},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("params %+v should fail", p)
+		}
+	}
+}
+
+func TestTokenWeightBands(t *testing.T) {
+	p := DefaultQoSParams()
+	L := 1000 // thresholds at 100 and 200 tokens
+	if w := p.TokenWeight(50, L); w != 1 {
+		t.Errorf("below tau1: w = %v", w)
+	}
+	if w := p.TokenWeight(100, L); w != 1 {
+		t.Errorf("at tau1: w = %v", w)
+	}
+	if w := p.TokenWeight(150, L); w != 0.5 {
+		t.Errorf("midband: w = %v", w)
+	}
+	if w := p.TokenWeight(200, L); w != 0 {
+		t.Errorf("at tau2: w = %v", w)
+	}
+	if w := p.TokenWeight(500, L); w != 0 {
+		t.Errorf("beyond tau2: w = %v", w)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	d := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(d, 0.5); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(d, 0.99); got != 10 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := Percentile(d, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(d, 1); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile([]time.Duration{7}, 0.99); got != 7 {
+		t.Errorf("singleton p99 = %v", got)
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty percentile should panic")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestRatioAndReduction(t *testing.T) {
+	if got := Ratio(182.5, 100); got != 82.5 {
+		t.Errorf("ratio = %v", got)
+	}
+	if got := Reduction(19.8, 100); got < 80.1 || got > 80.3 {
+		t.Errorf("reduction = %v", got)
+	}
+	if Ratio(5, 0) != 0 || Reduction(5, 0) != 0 {
+		t.Error("zero denominators should report 0")
+	}
+}
+
+// buildRequest creates a finished request with a synthetic token history.
+// The testing.T parameter is unused but keeps call sites uniform; it may be
+// nil.
+func buildRequest(_ *testing.T, id int, arrival, firstToken float64, rate float64, out int, gap float64) *request.Request {
+	clock := simclock.New()
+	r := request.New(id, simclock.FromSeconds(arrival), 64, out, rate)
+	at := simclock.FromSeconds(firstToken)
+	for j := 0; j < out; j++ {
+		clock.RunUntil(at)
+		r.DeliverTokens(clock, at, 1)
+		at = at.Add(simclock.Duration(gap))
+	}
+	clock.Run()
+	return r
+}
+
+func TestAnalyzeSingleRequest(t *testing.T) {
+	// 100 tokens at 20 tok/s generation, consumed at 20 tok/s: buffer never
+	// grows, everything effective, no stalls.
+	r := buildRequest(t, 1, 0, 1.0, 20, 100, 0.05)
+	rep := Analyze([]*request.Request{r}, simclock.FromSeconds(10), DefaultQoSParams())
+	if rep.N != 1 || rep.Finished != 1 {
+		t.Fatalf("N=%d finished=%d", rep.N, rep.Finished)
+	}
+	if rep.MeanTTFT != time.Second {
+		t.Errorf("TTFT = %v", rep.MeanTTFT)
+	}
+	if rep.TotalOut != 100 {
+		t.Errorf("out = %d", rep.TotalOut)
+	}
+	if rep.Throughput != 10 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+	// All tokens within tau1 (buffer stays ~1 token, threshold = 10).
+	if rep.EffectiveTokens < 99 {
+		t.Errorf("effective tokens = %v", rep.EffectiveTokens)
+	}
+	if rep.TotalRebuffer != 0 || rep.StallFraction != 0 {
+		t.Errorf("unexpected stalls: %v / %v", rep.TotalRebuffer, rep.StallFraction)
+	}
+}
+
+func TestAnalyzeOverfastGenerationLosesEffectiveness(t *testing.T) {
+	// Generation 10x faster than consumption: buffer balloons, most tokens
+	// land beyond tau2 and count zero.
+	fast := buildRequest(t, 1, 0, 0.5, 10, 200, 0.01)
+	rep := Analyze([]*request.Request{fast}, simclock.FromSeconds(25), DefaultQoSParams())
+	if rep.EffectiveTokens > 100 {
+		t.Errorf("effective tokens = %.1f, want far below 200", rep.EffectiveTokens)
+	}
+	if rep.Throughput <= rep.EffectiveThroughput {
+		t.Error("raw throughput should exceed effective under over-generation")
+	}
+}
+
+func TestAnalyzeCensoredTTFT(t *testing.T) {
+	r := request.New(1, simclock.FromSeconds(2), 64, 10, 20) // never served
+	rep := Analyze([]*request.Request{r}, simclock.FromSeconds(12), DefaultQoSParams())
+	if !rep.Requests[0].TTFTCensored {
+		t.Error("unserved request should have censored TTFT")
+	}
+	if rep.Requests[0].TTFT != 10*time.Second {
+		t.Errorf("censored TTFT = %v", rep.Requests[0].TTFT)
+	}
+	if rep.Finished != 0 {
+		t.Error("unserved request is unfinished")
+	}
+}
+
+func TestAnalyzeQoSPenalties(t *testing.T) {
+	p := DefaultQoSParams()
+	// Same token profile, but second run has a 5s-later first token: QoS
+	// must be strictly lower.
+	early := buildRequest(t, 1, 0, 1, 20, 50, 0.05)
+	late := buildRequest(t, 1, 0, 6, 20, 50, 0.05)
+	repE := Analyze([]*request.Request{early}, simclock.FromSeconds(20), p)
+	repL := Analyze([]*request.Request{late}, simclock.FromSeconds(20), p)
+	if repL.QoS >= repE.QoS {
+		t.Errorf("late TTFT should lower QoS: %v vs %v", repL.QoS, repE.QoS)
+	}
+}
+
+func TestAnalyzeRebufferPenalty(t *testing.T) {
+	p := DefaultQoSParams()
+	// Smooth delivery at the consumption rate vs. delivery with a long gap
+	// mid-stream (client stalls).
+	smooth := buildRequest(t, 1, 0, 1, 20, 40, 0.05)
+	clock := simclock.New()
+	stalled := request.New(2, 0, 64, 40, 20)
+	stalled.DeliverTokens(clock, simclock.FromSeconds(1), 20)
+	clock.RunUntil(simclock.FromSeconds(8)) // buffer drains at 2s, stall 6s
+	stalled.DeliverTokens(clock, clock.Now(), 20)
+	clock.Run()
+	if stalled.RebufferTotal == 0 {
+		t.Fatal("expected a stall in the constructed history")
+	}
+	repS := Analyze([]*request.Request{smooth}, simclock.FromSeconds(20), p)
+	repT := Analyze([]*request.Request{stalled}, simclock.FromSeconds(20), p)
+	if repT.QoS >= repS.QoS {
+		t.Errorf("rebuffering should lower QoS: %v vs %v", repT.QoS, repS.QoS)
+	}
+	if repT.StallFraction != 1 {
+		t.Errorf("stall fraction = %v", repT.StallFraction)
+	}
+}
+
+func TestAnalyzeGenRate(t *testing.T) {
+	r := buildRequest(t, 1, 0, 1, 1e9, 101, 0.05) // 20 tok/s generation
+	rep := Analyze([]*request.Request{r}, simclock.FromSeconds(10), DefaultQoSParams())
+	gr := rep.Requests[0].GenRate
+	if gr < 19.9 || gr > 20.1 {
+		t.Errorf("gen rate = %v, want 20", gr)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil, simclock.FromSeconds(1), DefaultQoSParams())
+	if rep.N != 0 || rep.QoS != 0 {
+		t.Error("empty analysis should be zeroed")
+	}
+}
+
+// Property: effective tokens never exceed generated tokens, and the weight
+// function is monotone non-increasing in buffer occupancy.
+func TestPropertyWeightMonotone(t *testing.T) {
+	p := DefaultQoSParams()
+	f := func(b1, b2 uint16, lenRaw uint16) bool {
+		L := int(lenRaw%2000) + 10
+		lo, hi := int(b1), int(b2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w1, w2 := p.TokenWeight(lo, L), p.TokenWeight(hi, L)
+		return w1 >= w2 && w1 <= 1 && w2 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QoS never exceeds effective throughput (penalties only
+// subtract) and effective <= raw throughput.
+func TestPropertyQoSBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		gap := 0.02 + float64(seed%7)/100
+		r := buildRequest(nil, 1, 0, 1, 15, 80, gap)
+		rep := Analyze([]*request.Request{r}, simclock.FromSeconds(30), DefaultQoSParams())
+		return rep.QoS <= rep.EffectiveThroughput+1e-9 &&
+			rep.EffectiveThroughput <= rep.Throughput+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

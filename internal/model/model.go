@@ -1,0 +1,155 @@
+// Package model describes the transformer models served in the paper's
+// evaluation and the KV-cache geometry they imply. The serving simulator
+// only needs a model's aggregate compute cost (parameter count) and its
+// per-token KV footprint; both follow directly from the architecture
+// hyperparameters published for each model.
+package model
+
+import "fmt"
+
+// Spec captures the architecture hyperparameters of a decoder-only
+// transformer that determine serving cost: total parameters drive FLOPs and
+// weight-read bytes, and the attention geometry drives KV-cache bytes per
+// token.
+type Spec struct {
+	Name string
+
+	// Params is the total parameter count.
+	Params int64
+
+	// Layers is the number of transformer blocks.
+	Layers int
+
+	// Hidden is the model (embedding) dimension.
+	Hidden int
+
+	// Heads is the number of attention heads.
+	Heads int
+
+	// KVHeads is the number of key/value heads (< Heads under grouped-query
+	// attention, which all evaluated models use).
+	KVHeads int
+
+	// HeadDim is the per-head dimension; Hidden = Heads * HeadDim for all
+	// evaluated models.
+	HeadDim int
+
+	// DTypeBytes is the bytes per element for weights and KV cache
+	// (2 for fp16/bf16 serving, as in the paper).
+	DTypeBytes int
+}
+
+// Validate reports an error if the spec is internally inconsistent or
+// missing required fields.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("model: empty name")
+	case s.Params <= 0:
+		return fmt.Errorf("model %s: non-positive param count %d", s.Name, s.Params)
+	case s.Layers <= 0:
+		return fmt.Errorf("model %s: non-positive layer count %d", s.Name, s.Layers)
+	case s.KVHeads <= 0 || s.Heads <= 0:
+		return fmt.Errorf("model %s: non-positive head counts (%d heads, %d kv)", s.Name, s.Heads, s.KVHeads)
+	case s.KVHeads > s.Heads:
+		return fmt.Errorf("model %s: more KV heads (%d) than heads (%d)", s.Name, s.KVHeads, s.Heads)
+	case s.Heads%s.KVHeads != 0:
+		return fmt.Errorf("model %s: heads %d not a multiple of KV heads %d", s.Name, s.Heads, s.KVHeads)
+	case s.HeadDim <= 0:
+		return fmt.Errorf("model %s: non-positive head dim %d", s.Name, s.HeadDim)
+	case s.DTypeBytes <= 0:
+		return fmt.Errorf("model %s: non-positive dtype bytes %d", s.Name, s.DTypeBytes)
+	}
+	return nil
+}
+
+// KVBytesPerToken reports the KV-cache footprint of one context token:
+// keys and values for every layer and KV head.
+func (s Spec) KVBytesPerToken() int64 {
+	return 2 * int64(s.Layers) * int64(s.KVHeads) * int64(s.HeadDim) * int64(s.DTypeBytes)
+}
+
+// WeightBytes reports the resident size of the model weights.
+func (s Spec) WeightBytes() int64 {
+	return s.Params * int64(s.DTypeBytes)
+}
+
+// FLOPsPerToken reports the approximate forward-pass FLOPs to process one
+// token (the standard 2·N estimate for an N-parameter decoder model; KV
+// reuse makes decode and prefill per-token costs comparable on this axis).
+func (s Spec) FLOPsPerToken() float64 {
+	return 2 * float64(s.Params)
+}
+
+func (s Spec) String() string { return s.Name }
+
+// The model zoo used across the paper's experiments (§7.1.1). Architecture
+// numbers follow the published model cards.
+var (
+	// Llama3_8B is Meta Llama 3 8B: 32 layers, 4096 hidden, 32 heads with
+	// 8 KV heads (GQA), 128 head dim.
+	Llama3_8B = Spec{
+		Name:       "Llama3-8B",
+		Params:     8_030_000_000,
+		Layers:     32,
+		Hidden:     4096,
+		Heads:      32,
+		KVHeads:    8,
+		HeadDim:    128,
+		DTypeBytes: 2,
+	}
+
+	// Qwen2_7B is Qwen2 7B: 28 layers, 3584 hidden, 28 heads with 4 KV
+	// heads, 128 head dim.
+	Qwen2_7B = Spec{
+		Name:       "Qwen2-7B",
+		Params:     7_620_000_000,
+		Layers:     28,
+		Hidden:     3584,
+		Heads:      28,
+		KVHeads:    4,
+		HeadDim:    128,
+		DTypeBytes: 2,
+	}
+
+	// Qwen25_7B is Qwen2.5 7B (same geometry as Qwen2 7B); Figure 13 of the
+	// paper labels its A6000 experiment with this model family.
+	Qwen25_7B = Spec{
+		Name:       "Qwen2.5-7B",
+		Params:     7_620_000_000,
+		Layers:     28,
+		Hidden:     3584,
+		Heads:      28,
+		KVHeads:    4,
+		HeadDim:    128,
+		DTypeBytes: 2,
+	}
+
+	// Qwen25_32B is Qwen2.5 32B: 64 layers, 5120 hidden, 40 heads with
+	// 8 KV heads, 128 head dim.
+	Qwen25_32B = Spec{
+		Name:       "Qwen2.5-32B",
+		Params:     32_760_000_000,
+		Layers:     64,
+		Hidden:     5120,
+		Heads:      40,
+		KVHeads:    8,
+		HeadDim:    128,
+		DTypeBytes: 2,
+	}
+)
+
+// All lists every model in the zoo.
+func All() []Spec {
+	return []Spec{Llama3_8B, Qwen2_7B, Qwen25_7B, Qwen25_32B}
+}
+
+// ByName looks a model up by its Name field.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}

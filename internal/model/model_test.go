@@ -1,0 +1,108 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZooValidates(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestKVBytesPerTokenLlama3(t *testing.T) {
+	// 2 (K and V) * 32 layers * 8 kv heads * 128 head dim * 2 bytes = 131072.
+	if got := Llama3_8B.KVBytesPerToken(); got != 131072 {
+		t.Errorf("Llama3-8B KV bytes/token = %d, want 131072", got)
+	}
+}
+
+func TestKVBytesPerTokenQwen32B(t *testing.T) {
+	// 2 * 64 * 8 * 128 * 2 = 262144.
+	if got := Qwen25_32B.KVBytesPerToken(); got != 262144 {
+		t.Errorf("Qwen2.5-32B KV bytes/token = %d, want 262144", got)
+	}
+}
+
+func TestWeightBytes(t *testing.T) {
+	if got := Llama3_8B.WeightBytes(); got != 2*8_030_000_000 {
+		t.Errorf("weight bytes = %d", got)
+	}
+}
+
+func TestFLOPsPerToken(t *testing.T) {
+	if got := Llama3_8B.FLOPsPerToken(); got != 2*8.03e9 {
+		t.Errorf("flops/token = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Qwen2.5-32B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Layers != 64 {
+		t.Errorf("layers = %d", s.Layers)
+	}
+	if _, err := ByName("GPT-5"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"zero params", func(s *Spec) { s.Params = 0 }},
+		{"zero layers", func(s *Spec) { s.Layers = 0 }},
+		{"zero kv heads", func(s *Spec) { s.KVHeads = 0 }},
+		{"kv heads exceed heads", func(s *Spec) { s.KVHeads = s.Heads + 1 }},
+		{"non-divisible heads", func(s *Spec) { s.KVHeads = 7 }},
+		{"zero head dim", func(s *Spec) { s.HeadDim = 0 }},
+		{"zero dtype", func(s *Spec) { s.DTypeBytes = 0 }},
+	}
+	for _, tc := range cases {
+		s := Llama3_8B
+		tc.mod(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestStringIsName(t *testing.T) {
+	if Llama3_8B.String() != "Llama3-8B" {
+		t.Errorf("String = %q", Llama3_8B.String())
+	}
+}
+
+// Property: KV bytes per token scales linearly in layers and KV heads.
+func TestPropertyKVScaling(t *testing.T) {
+	f := func(layers, kvHeads uint8) bool {
+		l := int(layers%64) + 1
+		k := int(kvHeads%16) + 1
+		s := Spec{Name: "x", Params: 1, Layers: l, Hidden: 128, Heads: k,
+			KVHeads: k, HeadDim: 64, DTypeBytes: 2}
+		want := int64(2 * l * k * 64 * 2)
+		return s.KVBytesPerToken() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The larger model must have a strictly larger KV footprint and weight size;
+// guards against preset typos.
+func TestZooOrdering(t *testing.T) {
+	if Qwen25_32B.KVBytesPerToken() <= Llama3_8B.KVBytesPerToken() {
+		t.Error("Qwen2.5-32B should have larger KV footprint than Llama3-8B")
+	}
+	if Qwen25_32B.WeightBytes() <= Llama3_8B.WeightBytes() {
+		t.Error("Qwen2.5-32B should have larger weights than Llama3-8B")
+	}
+}

@@ -1,0 +1,79 @@
+package sched
+
+// FCFS is the SGLang baseline: conservative first-come-first-served
+// admission with prefill priority and no proactive preemption. Requests
+// are admitted while their prompt fits the free KV pool (accounting for
+// the prefill backlog's pending claims); memory exhaustion during decode
+// is handled reactively by the engine's OOM path, exactly the behaviour
+// the paper's §2.3 micro-benchmark exhibits.
+//
+// With ChunkTokens > 0 it becomes the "SGLang (chunked)" baseline:
+// admission is identical but prefill is split into chunks that ride along
+// decode iterations (Sarathi-style), trading TTFT for smoother decode.
+type FCFS struct {
+	// ChunkTokens bounds prompt tokens per mixed iteration; 0 disables
+	// chunking.
+	ChunkTokens int
+
+	// Headroom reserves a fraction of the pool at admission time so that
+	// running requests have room to grow before the reactive OOM path
+	// kicks in (SGLang's new-token ratio reservation).
+	Headroom float64
+}
+
+// NewSGLang returns the unchunked SGLang baseline.
+func NewSGLang() *FCFS { return &FCFS{Headroom: 0.05} }
+
+// NewSGLangChunked returns the chunked-prefill SGLang baseline.
+func NewSGLangChunked(chunkTokens int) *FCFS {
+	if chunkTokens <= 0 {
+		chunkTokens = 512
+	}
+	return &FCFS{ChunkTokens: chunkTokens, Headroom: 0.05}
+}
+
+// Name implements Scheduler.
+func (f *FCFS) Name() string {
+	if f.ChunkTokens > 0 {
+		return "sglang-chunked"
+	}
+	return "sglang"
+}
+
+// PrefillChunkTokens implements Scheduler.
+func (f *FCFS) PrefillChunkTokens() int { return f.ChunkTokens }
+
+// Decide implements Scheduler: admit waiting requests FIFO while their
+// prompts fit, and resume preempted requests (which the engine's reactive
+// OOM path produced) before fresh arrivals, preferring a host-copy load
+// when one exists.
+func (f *FCFS) Decide(v *View) Decision {
+	var d Decision
+	avail := v.FreeTokens - v.BacklogTokens() - int(f.Headroom*float64(v.TotalTokens))
+	slots := v.SlotsFree()
+
+	// Victims of reactive eviction resume first (FCFS by arrival among
+	// them), otherwise head-of-line blocking would starve them forever.
+	for _, r := range v.Preempted {
+		need := r.PromptLen + r.Generated
+		if need > avail || slots <= 0 {
+			break
+		}
+		mode := ResumeRecompute
+		if v.Mem != nil && v.Mem.HostBytes(r) > 0 {
+			mode = ResumeLoad
+		}
+		d.Admit = append(d.Admit, Admission{Req: r, Mode: mode})
+		avail -= need
+		slots--
+	}
+	for _, r := range v.Waiting {
+		if r.PromptLen > avail || slots <= 0 {
+			break // strict FCFS: do not skip the head of the queue
+		}
+		d.Admit = append(d.Admit, Admission{Req: r})
+		avail -= r.PromptLen
+		slots--
+	}
+	return d
+}

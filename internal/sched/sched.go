@@ -1,0 +1,135 @@
+// Package sched defines the scheduling surface of the serving engine and
+// implements the paper's baseline schedulers: SGLang's conservative FCFS
+// with prefill priority, SGLang with chunked prefill, and Andes-style
+// QoE-aware preemptive scheduling with recompute-based preemption (the
+// baseline implementation described in §6 of the paper).
+//
+// The TokenFlow scheduler itself — the paper's primary contribution — lives
+// in internal/core and implements the same Scheduler interface.
+package sched
+
+import (
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/kvcache"
+	"repro/internal/request"
+	"repro/internal/simclock"
+)
+
+// View is the engine state a scheduler observes at an iteration boundary.
+// Slices are owned by the engine; schedulers must not mutate them.
+type View struct {
+	Now simclock.Time
+
+	// Waiting holds queued requests that were never admitted, FIFO by
+	// arrival. PrefillBacklog holds requests already admitted and waiting
+	// for prefill compute (they hold no memory yet). Running requests are
+	// resident and decoding. Preempted requests wait off-device for
+	// resumption. Loading requests have a resume transfer in flight.
+	Waiting        []*request.Request
+	PrefillBacklog []*request.Request
+	Running        []*request.Request
+	Preempted      []*request.Request
+	Loading        []*request.Request
+
+	// FreeTokens and TotalTokens describe the KV pool in token units.
+	FreeTokens  int
+	TotalTokens int
+	PageTokens  int
+
+	// MaxBatch is the engine's concurrent-decode cap (the B of the §3.3
+	// formulation); 0 means unbounded.
+	MaxBatch int
+
+	// Mem exposes residency and transfer-latency estimates; Cost predicts
+	// iteration latencies; AvgIterTime is the profiled recent decode
+	// iteration latency (the sliding-window estimate of §4.2.3).
+	Mem         *kvcache.Manager
+	Cost        gpu.CostModel
+	AvgIterTime time.Duration
+
+	// AvgPrefillPerToken is the profiled per-token prefill latency used to
+	// estimate recomputation cost (§4.2.3).
+	AvgPrefillPerToken time.Duration
+}
+
+// SlotsFree reports how many more requests can enter service before the
+// engine's concurrency cap is reached; a very large number when MaxBatch
+// is unbounded.
+func (v *View) SlotsFree() int {
+	if v.MaxBatch <= 0 {
+		return 1 << 30
+	}
+	n := v.MaxBatch - len(v.Running) - len(v.Loading) - len(v.PrefillBacklog)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// BacklogTokens reports the context tokens the prefill backlog will claim.
+func (v *View) BacklogTokens() int {
+	n := 0
+	for _, r := range v.PrefillBacklog {
+		n += r.ContextLen() + r.PromptLen - r.PrefilledTokens
+	}
+	return n
+}
+
+// RecomputeEstimate predicts the prefill time to rebuild a request's
+// context from scratch using the profiled per-token latency.
+func (v *View) RecomputeEstimate(r *request.Request) time.Duration {
+	tokens := r.PromptLen + r.Generated
+	if v.AvgPrefillPerToken > 0 {
+		return time.Duration(tokens) * v.AvgPrefillPerToken
+	}
+	return v.Cost.PrefillTime(tokens)
+}
+
+// ResumeMode selects how a preempted request re-enters the device.
+type ResumeMode int
+
+const (
+	// ResumeLoad transfers the host KV copy back over PCIe.
+	ResumeLoad ResumeMode = iota
+	// ResumeRecompute rebuilds the KV cache with a fresh prefill over the
+	// prompt plus already-generated tokens.
+	ResumeRecompute
+)
+
+func (m ResumeMode) String() string {
+	if m == ResumeLoad {
+		return "load"
+	}
+	return "recompute"
+}
+
+// Admission is one request entering service: a fresh prefill for waiting
+// requests, or a resume (with the chosen mode) for preempted ones.
+type Admission struct {
+	Req  *request.Request
+	Mode ResumeMode
+}
+
+// Decision is a scheduler's output for one boundary. The engine applies
+// preemptions first, then admissions in order, skipping any that no longer
+// fit.
+type Decision struct {
+	Admit   []Admission
+	Preempt []*request.Request
+}
+
+// Scheduler makes admission/preemption decisions at iteration boundaries.
+type Scheduler interface {
+	// Name identifies the scheduler in reports ("sglang", "andes", ...).
+	Name() string
+
+	// Decide inspects the view and returns the scheduling decision.
+	Decide(v *View) Decision
+
+	// PrefillChunkTokens bounds the prompt tokens processed per iteration
+	// when mixing prefill with decode (chunked prefill); zero selects
+	// unchunked prefill-priority iterations.
+	PrefillChunkTokens() int
+}

@@ -1,0 +1,233 @@
+// Package simclock provides the discrete-event simulation core used by the
+// TokenFlow serving simulator: a virtual clock and a cancellable event queue
+// with deterministic FIFO ordering for simultaneous events.
+//
+// All simulation components share one Clock. Time is virtual: it only
+// advances when events are processed, so simulations are exactly
+// reproducible for a given workload seed regardless of host speed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Zero is the origin of simulation time.
+const Zero Time = 0
+
+// Forever is a sentinel time later than any event a simulation schedules.
+const Forever Time = Time(1<<63 - 1)
+
+// FromSeconds converts a duration in seconds to a Time offset from Zero.
+func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }
+
+// Seconds reports t as a floating-point number of seconds since Zero.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Add returns t shifted later by d. Negative d shifts earlier.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts a floating-point number of seconds to a time.Duration.
+func Duration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// String formats t as seconds with millisecond precision, e.g. "12.345s".
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// Event is a scheduled callback. Events are created by Clock.At and
+// Clock.After and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64 // insertion order; breaks ties deterministically
+	index    int    // heap index, -1 when not queued
+	fn       func(now Time)
+	canceled bool
+}
+
+// At reports the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.canceled }
+
+// Clock is a virtual clock with an event queue. The zero value is not
+// usable; call New.
+type Clock struct {
+	now Time
+	pq  eventHeap
+	seq uint64
+	// processed counts events that have fired (not cancelled ones).
+	processed uint64
+}
+
+// New returns a Clock positioned at time Zero with an empty queue.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Len reports the number of pending (non-cancelled) events.
+func (c *Clock) Len() int {
+	n := 0
+	for _, e := range c.pq {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed reports how many events have fired since the clock was created.
+func (c *Clock) Processed() uint64 { return c.processed }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: that is always a simulation logic bug, and silently clamping
+// would mask it.
+func (c *Clock) At(at Time, fn func(now Time)) *Event {
+	if fn == nil {
+		panic("simclock: nil event callback")
+	}
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", at, c.now))
+	}
+	e := &Event{at: at, seq: c.seq, fn: fn, index: -1}
+	c.seq++
+	heap.Push(&c.pq, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (c *Clock) After(d time.Duration, fn func(now Time)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v", d))
+	}
+	return c.At(c.now.Add(d), fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a fired or
+// already-cancelled event is a no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	heap.Remove(&c.pq, e.index)
+	e.index = -1
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event already fired or was cancelled, Reschedule
+// schedules it afresh.
+func (c *Clock) Reschedule(e *Event, at Time) {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: rescheduling event at %v before now %v", at, c.now))
+	}
+	if e.index >= 0 && !e.canceled {
+		e.at = at
+		e.seq = c.seq
+		c.seq++
+		heap.Fix(&c.pq, e.index)
+		return
+	}
+	e.canceled = false
+	e.at = at
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.pq, e)
+}
+
+// Peek reports the time of the next pending event, or Forever if the queue
+// is empty.
+func (c *Clock) Peek() Time {
+	if len(c.pq) == 0 {
+		return Forever
+	}
+	return c.pq[0].at
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports false when the queue is empty.
+func (c *Clock) Step() bool {
+	for len(c.pq) > 0 {
+		e := heap.Pop(&c.pq).(*Event)
+		e.index = -1
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		c.processed++
+		e.fn(c.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue is exhausted or the next
+// event lies strictly after deadline. The clock ends at the later of its
+// current time and deadline (but never moves backwards).
+func (c *Clock) RunUntil(deadline Time) {
+	for {
+		next := c.Peek()
+		if next > deadline {
+			break
+		}
+		c.Step()
+	}
+	if deadline > c.now && deadline != Forever {
+		c.now = deadline
+	}
+}
+
+// Run fires events until none remain.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// eventHeap orders events by (time, insertion sequence), so events scheduled
+// for the same instant fire in the order they were scheduled.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,331 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != Time(1500*time.Millisecond) {
+		t.Errorf("FromSeconds(1.5) = %d", got)
+	}
+	if got := FromSeconds(2).Seconds(); got != 2.0 {
+		t.Errorf("Seconds round-trip = %v", got)
+	}
+	base := FromSeconds(1)
+	if got := base.Add(500 * time.Millisecond); got != FromSeconds(1.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := FromSeconds(3).Sub(FromSeconds(1)); got != 2*time.Second {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Duration(0.25); got != 250*time.Millisecond {
+		t.Errorf("Duration(0.25) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := FromSeconds(12.3456).String(); got != "12.346s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.At(FromSeconds(3), func(Time) { order = append(order, 3) })
+	c.At(FromSeconds(1), func(Time) { order = append(order, 1) })
+	c.At(FromSeconds(2), func(Time) { order = append(order, 2) })
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != FromSeconds(3) {
+		t.Errorf("final time = %v", c.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	at := FromSeconds(1)
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(at, func(Time) { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	c := New()
+	var fired Time
+	c.At(FromSeconds(5), func(now Time) {
+		c.After(2*time.Second, func(now Time) { fired = now })
+	})
+	c.Run()
+	if fired != FromSeconds(7) {
+		t.Errorf("After fired at %v, want 7s", fired)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.At(FromSeconds(1), func(Time) { fired = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending before cancel")
+	}
+	c.Cancel(e)
+	if e.Pending() {
+		t.Fatal("event should not be pending after cancel")
+	}
+	c.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling again is a no-op.
+	c.Cancel(e)
+	c.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	c := New()
+	var events []*Event
+	var fired []int
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, c.At(FromSeconds(float64(i)), func(Time) {
+			fired = append(fired, i)
+		}))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		c.Cancel(events[i])
+	}
+	c.Run()
+	for _, v := range fired {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(fired) != 13 {
+		t.Fatalf("fired %d events, want 13", len(fired))
+	}
+}
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	c := New()
+	var at Time
+	e := c.At(FromSeconds(1), func(now Time) { at = now })
+	c.Reschedule(e, FromSeconds(4))
+	c.Run()
+	if at != FromSeconds(4) {
+		t.Errorf("rescheduled event fired at %v, want 4s", at)
+	}
+}
+
+func TestRescheduleCancelledEventRequeues(t *testing.T) {
+	c := New()
+	count := 0
+	e := c.At(FromSeconds(1), func(Time) { count++ })
+	c.Cancel(e)
+	c.Reschedule(e, FromSeconds(2))
+	c.Run()
+	if count != 1 {
+		t.Errorf("event fired %d times, want 1", count)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	c := New()
+	fired := 0
+	c.At(FromSeconds(1), func(Time) { fired++ })
+	c.At(FromSeconds(10), func(Time) { fired++ })
+	c.RunUntil(FromSeconds(5))
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if c.Now() != FromSeconds(5) {
+		t.Errorf("now = %v, want 5s", c.Now())
+	}
+	// Event at 10s still pending.
+	if c.Len() != 1 {
+		t.Errorf("pending = %d, want 1", c.Len())
+	}
+	if c.Peek() != FromSeconds(10) {
+		t.Errorf("peek = %v", c.Peek())
+	}
+}
+
+func TestRunUntilInclusiveOfDeadline(t *testing.T) {
+	c := New()
+	fired := false
+	c.At(FromSeconds(5), func(Time) { fired = true })
+	c.RunUntil(FromSeconds(5))
+	if !fired {
+		t.Error("event exactly at deadline should fire")
+	}
+}
+
+func TestPeekEmptyQueue(t *testing.T) {
+	c := New()
+	if c.Peek() != Forever {
+		t.Errorf("Peek on empty queue = %v, want Forever", c.Peek())
+	}
+	if c.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := New()
+	c.At(FromSeconds(1), func(Time) {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	c.At(FromSeconds(0.5), func(Time) {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After should panic")
+		}
+	}()
+	c.After(-time.Second, func(Time) {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback should panic")
+		}
+	}()
+	c.At(FromSeconds(1), nil)
+}
+
+func TestProcessedCountsOnlyFired(t *testing.T) {
+	c := New()
+	e := c.At(FromSeconds(1), func(Time) {})
+	c.At(FromSeconds(2), func(Time) {})
+	c.Cancel(e)
+	c.Run()
+	if c.Processed() != 1 {
+		t.Errorf("Processed = %d, want 1", c.Processed())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	c := New()
+	depth := 0
+	var schedule func(now Time)
+	schedule = func(now Time) {
+		depth++
+		if depth < 100 {
+			c.After(time.Millisecond, schedule)
+		}
+	}
+	c.At(Zero, schedule)
+	c.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if c.Now() != Zero.Add(99*time.Millisecond) {
+		t.Errorf("final time = %v", c.Now())
+	}
+}
+
+// Property: for any set of (time, id) pairs, events fire sorted by time with
+// ties broken by insertion order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) > 500 {
+			offsets = offsets[:500]
+		}
+		c := New()
+		type firing struct {
+			at  Time
+			seq int
+		}
+		var fired []firing
+		for i, off := range offsets {
+			i := i
+			at := Time(off) * Time(time.Millisecond)
+			c.At(at, func(now Time) { fired = append(fired, firing{now, i}) })
+		}
+		c.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random interleavings of schedule/cancel never fire a cancelled
+// event and always fire every non-cancelled one.
+func TestPropertyCancelSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New()
+		fired := make(map[int]bool)
+		cancelled := make(map[int]bool)
+		var events []*Event
+		n := 200
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(rng.Intn(1000)) * Time(time.Millisecond)
+			events = append(events, c.At(at, func(Time) { fired[i] = true }))
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				c.Cancel(events[i])
+				cancelled[i] = true
+			}
+		}
+		c.Run()
+		for i := 0; i < n; i++ {
+			if cancelled[i] && fired[i] {
+				return false
+			}
+			if !cancelled[i] && !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	c := New()
+	for i := 0; i < b.N; i++ {
+		c.After(time.Duration(i%1000)*time.Microsecond, func(Time) {})
+		if i%1024 == 1023 {
+			c.Run()
+		}
+	}
+	c.Run()
+}

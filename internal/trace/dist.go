@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LengthDist samples (prompt, output) token lengths for one request.
+type LengthDist interface {
+	Sample(rng *rand.Rand) (prompt, output int)
+}
+
+// RateDist samples a client consumption rate for one request.
+type RateDist interface {
+	SampleRate(rng *rand.Rand) float64
+}
+
+// NormalLengths draws prompt and output lengths from independent normal
+// distributions clamped to [Min, Max], matching the controlled experiments
+// of §7.3 ("input/output lengths follow normal distributions").
+type NormalLengths struct {
+	PromptMean, PromptStd float64
+	OutputMean, OutputStd float64
+	Min, Max              int
+}
+
+// Sample implements LengthDist.
+func (d NormalLengths) Sample(rng *rand.Rand) (int, int) {
+	p := clampInt(int(rng.NormFloat64()*d.PromptStd+d.PromptMean), d.Min, d.Max)
+	o := clampInt(int(rng.NormFloat64()*d.OutputStd+d.OutputMean), d.Min, d.Max)
+	return p, o
+}
+
+// LogNormalLengths draws lengths from log-normal distributions, the shape
+// that fits ShareGPT-style conversational traces (long tails of both
+// prompts and generations).
+type LogNormalLengths struct {
+	PromptMu, PromptSigma float64
+	OutputMu, OutputSigma float64
+	Min, Max              int
+}
+
+// Sample implements LengthDist.
+func (d LogNormalLengths) Sample(rng *rand.Rand) (int, int) {
+	p := clampInt(int(math.Exp(rng.NormFloat64()*d.PromptSigma+d.PromptMu)), d.Min, d.Max)
+	o := clampInt(int(math.Exp(rng.NormFloat64()*d.OutputSigma+d.OutputMu)), d.Min, d.Max)
+	return p, o
+}
+
+// FixedLengths always returns the same lengths; used by micro-benchmarks
+// and toy examples.
+type FixedLengths struct {
+	Prompt, Output int
+}
+
+// Sample implements LengthDist.
+func (d FixedLengths) Sample(*rand.Rand) (int, int) { return d.Prompt, d.Output }
+
+// ShareGPTLengths returns a log-normal fit of the ShareGPT dataset's
+// prompt/response lengths (median prompt ≈ 250 tokens, median response
+// ≈ 320 tokens, heavy right tails), used for the "real-world patterns"
+// workloads of §7.3.
+func ShareGPTLengths() LengthDist {
+	return LogNormalLengths{
+		PromptMu: 5.5, PromptSigma: 0.9,
+		OutputMu: 5.8, OutputSigma: 0.8,
+		Min: 16, Max: 8192,
+	}
+}
+
+// IndustrialLengths returns the bimodal mixture shaped like the paper's
+// production trace (Figure 11): a mass of short interactive exchanges plus
+// a long-prompt mode from retrieval-augmented calls.
+type IndustrialLengths struct{}
+
+// Sample implements LengthDist.
+func (IndustrialLengths) Sample(rng *rand.Rand) (int, int) {
+	var p int
+	if rng.Float64() < 0.7 {
+		p = clampInt(int(math.Exp(rng.NormFloat64()*0.7+5.2)), 16, 8192) // short mode ~180
+	} else {
+		p = clampInt(int(math.Exp(rng.NormFloat64()*0.5+7.0)), 16, 8192) // long mode ~1100
+	}
+	o := clampInt(int(math.Exp(rng.NormFloat64()*0.7+5.6)), 16, 4096) // ~270
+	return p, o
+}
+
+// FixedRate always returns rate r.
+type FixedRate float64
+
+// SampleRate implements RateDist.
+func (r FixedRate) SampleRate(*rand.Rand) float64 { return float64(r) }
+
+// MixtureRate draws a rate from a weighted discrete mixture; Figure 19's
+// workload is 40% at 15 tok/s and 60% at 20 tok/s.
+type MixtureRate struct {
+	Rates   []float64
+	Weights []float64
+}
+
+// SampleRate implements RateDist.
+func (m MixtureRate) SampleRate(rng *rand.Rand) float64 {
+	if len(m.Rates) == 0 {
+		return 0
+	}
+	if len(m.Rates) != len(m.Weights) {
+		panic(fmt.Sprintf("trace: mixture has %d rates but %d weights", len(m.Rates), len(m.Weights)))
+	}
+	var total float64
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range m.Weights {
+		x -= w
+		if x < 0 {
+			return m.Rates[i]
+		}
+	}
+	return m.Rates[len(m.Rates)-1]
+}
+
+// UniformRate draws a rate uniformly from [Lo, Hi].
+type UniformRate struct {
+	Lo, Hi float64
+}
+
+// SampleRate implements RateDist.
+func (u UniformRate) SampleRate(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// sampleGamma draws from a Gamma(shape, scale) distribution using
+// Marsaglia & Tsang's method; the BurstGPT trace models inter-arrival
+// times as Gamma-distributed with shape < 1 (burstier than Poisson).
+func sampleGamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("trace: gamma parameters must be positive (shape=%v scale=%v)", shape, scale))
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package tokenflow is the public API of the TokenFlow reproduction: a
+// discrete-event simulator of LLM text-streaming serving with buffer-aware
+// preemptive scheduling and hierarchical KV cache management, after
+// "TokenFlow: Responsive LLM Text Streaming Serving under Request Burst
+// via Preemptive Scheduling" (EuroSys '26).
+//
+// A minimal session:
+//
+//	w := tokenflow.BurstWorkload(64, 512, 1024, 20, 42)
+//	res, err := tokenflow.Run(tokenflow.Config{
+//		System: tokenflow.SystemTokenFlow,
+//		GPU:    "H200",
+//		Model:  "Llama3-8B",
+//	}, w)
+//
+// Run simulates the deployment serving the workload and reports TTFT
+// statistics, raw and effective throughput, the streaming QoS metric, and
+// per-request details.
+package tokenflow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// System selects the serving system (scheduler + memory policy pairing) to
+// simulate; these are the four systems of the paper's evaluation.
+type System string
+
+// Systems under evaluation.
+const (
+	// SystemSGLang is conservative FCFS with prefill priority and
+	// reactive recompute-based eviction.
+	SystemSGLang System = "sglang"
+	// SystemSGLangChunked is SGLang with chunked prefill.
+	SystemSGLangChunked System = "sglang-chunked"
+	// SystemAndes is QoE-aware preemptive scheduling with recompute-based
+	// preemption.
+	SystemAndes System = "andes"
+	// SystemTokenFlow is the paper's system: buffer-aware two-step
+	// scheduling plus the hierarchical write-through KV cache manager.
+	SystemTokenFlow System = "tokenflow"
+)
+
+// Systems lists all supported systems in the paper's presentation order.
+func Systems() []System {
+	return []System{SystemSGLangChunked, SystemSGLang, SystemAndes, SystemTokenFlow}
+}
+
+// Request is one streaming request specification.
+type Request struct {
+	// ArrivalSeconds is the arrival time offset from the start of the run.
+	ArrivalSeconds float64
+	// PromptTokens and OutputTokens are the input and output lengths.
+	PromptTokens, OutputTokens int
+	// RatePerSec is the client's token consumption rate (reading or
+	// listening speed); 0 means the client consumes instantly.
+	RatePerSec float64
+}
+
+// Workload is an ordered list of requests.
+type Workload []Request
+
+// Config describes the simulated deployment.
+type Config struct {
+	// System selects the scheduler/memory pairing (default SystemTokenFlow).
+	System System
+
+	// GPU names the device: "RTX-4090", "A6000", "H200", "Ascend-910B".
+	GPU string
+
+	// Model names the served model: "Llama3-8B", "Qwen2-7B", "Qwen2.5-7B",
+	// "Qwen2.5-32B".
+	Model string
+
+	// MemFraction is the device-memory share for weights + KV (default 0.9).
+	MemFraction float64
+
+	// TokenFlow tunes the TokenFlow scheduler; ignored for other systems.
+	// The zero value selects the paper's defaults.
+	TokenFlow TokenFlowOptions
+
+	// SampleEverySeconds enables queued/running time-series sampling.
+	SampleEverySeconds float64
+
+	// MaxSimTimeSeconds aborts runaway simulations (default 4 sim-hours).
+	MaxSimTimeSeconds float64
+}
+
+// TokenFlowOptions tunes the TokenFlow scheduler (§4 and §7.5).
+type TokenFlowOptions struct {
+	// RescheduleIntervalSeconds is Δt (default 1.0).
+	RescheduleIntervalSeconds float64
+	// BufferConservativeness is μ (default 2.0; higher behaves more like
+	// SGLang).
+	BufferConservativeness float64
+	// DisableLocalSearch ablates the adjacent-swap refinement.
+	DisableLocalSearch bool
+	// DisableFallback ablates the §4.3 FCFS overload fallback.
+	DisableFallback bool
+	// KV ablates memory-manager features; nil selects the full §5 design.
+	KV *KVOptions
+}
+
+// KVOptions ablates the hierarchical KV cache manager (Table 2).
+type KVOptions struct {
+	DisableOffload          bool
+	DisableWriteThrough     bool
+	DisableChunkedWriting   bool
+	DisableLoadEvictOverlap bool
+}
+
+// RequestStats summarizes one request after a run.
+type RequestStats struct {
+	ID          int
+	Finished    bool
+	TTFT        time.Duration
+	Rebuffer    time.Duration
+	Tokens      int
+	Preemptions int
+	// TokenTimesSeconds are per-token generation timestamps (for
+	// timeline plots).
+	TokenTimesSeconds []float64
+}
+
+// Sample is one point of the queued/running time series.
+type Sample struct {
+	AtSeconds float64
+	Queued    int
+	Running   int
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	System   System
+	Finished int
+	Total    int
+
+	Throughput          float64 // output tokens/s over the makespan
+	EffectiveThroughput float64 // §7.1.3 timeliness-weighted tokens/s
+	QoS                 float64 // Eq. 2
+
+	MeanTTFT time.Duration
+	P50TTFT  time.Duration
+	P99TTFT  time.Duration
+
+	TotalRebuffer time.Duration
+	Preemptions   int
+	MakespanSec   float64
+	TimedOut      bool
+
+	Requests []RequestStats
+	Samples  []Sample
+}
+
+// Run simulates the deployment serving the workload.
+func Run(cfg Config, w Workload) (*Result, error) {
+	if cfg.System == "" {
+		cfg.System = SystemTokenFlow
+	}
+	ecfg, err := buildEngineConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(toTrace(w))
+	if err != nil {
+		return nil, err
+	}
+	return convert(cfg.System, res), nil
+}
+
+func buildEngineConfig(cfg Config) (engine.Config, error) {
+	if cfg.System == "" {
+		cfg.System = SystemTokenFlow
+	}
+	if cfg.GPU == "" {
+		cfg.GPU = "H200"
+	}
+	if cfg.Model == "" {
+		cfg.Model = "Llama3-8B"
+	}
+	g, err := gpu.ByName(cfg.GPU)
+	if err != nil {
+		return engine.Config{}, err
+	}
+	m, err := model.ByName(cfg.Model)
+	if err != nil {
+		return engine.Config{}, err
+	}
+	ecfg := engine.Config{
+		GPU:         g,
+		Model:       m,
+		MemFraction: cfg.MemFraction,
+		SampleEvery: simclock.Duration(cfg.SampleEverySeconds),
+		MaxSimTime:  simclock.Duration(cfg.MaxSimTimeSeconds),
+		QoS:         metrics.DefaultQoSParams(),
+	}
+	switch cfg.System {
+	case SystemSGLang:
+		ecfg.Scheduler = sched.NewSGLang()
+		ecfg.KV = engine.BaselineKVPolicy()
+	case SystemSGLangChunked:
+		ecfg.Scheduler = sched.NewSGLangChunked(0)
+		ecfg.KV = engine.BaselineKVPolicy()
+	case SystemAndes:
+		ecfg.Scheduler = sched.NewAndes()
+		ecfg.KV = engine.BaselineKVPolicy()
+	case SystemTokenFlow:
+		ccfg := core.DefaultConfig()
+		o := cfg.TokenFlow
+		if o.RescheduleIntervalSeconds > 0 {
+			ccfg.RescheduleInterval = simclock.Duration(o.RescheduleIntervalSeconds)
+		}
+		if o.BufferConservativeness > 0 {
+			ccfg.BufferConservativeness = o.BufferConservativeness
+		}
+		ccfg.LocalSearch = !o.DisableLocalSearch
+		ccfg.FallbackFCFS = !o.DisableFallback
+		s, err := core.New(ccfg)
+		if err != nil {
+			return engine.Config{}, err
+		}
+		ecfg.Scheduler = s
+		kv := engine.TokenFlowKVPolicy()
+		if o.KV != nil {
+			kv.Offload = !o.KV.DisableOffload
+			kv.WriteThrough = !o.KV.DisableWriteThrough
+			kv.ChunkedWriting = !o.KV.DisableChunkedWriting
+			kv.LoadEvictOverlap = !o.KV.DisableLoadEvictOverlap
+		}
+		ecfg.KV = kv
+	default:
+		return engine.Config{}, fmt.Errorf("tokenflow: unknown system %q", cfg.System)
+	}
+	return ecfg, nil
+}
+
+func toTrace(w Workload) trace.Workload {
+	var out trace.Workload
+	out.Name = "api"
+	for _, r := range w {
+		out.Items = append(out.Items, trace.Item{
+			Arrival:   simclock.FromSeconds(r.ArrivalSeconds),
+			PromptLen: r.PromptTokens,
+			OutputLen: r.OutputTokens,
+			Rate:      r.RatePerSec,
+		})
+	}
+	return out
+}
+
+func convert(sys System, res *engine.Result) *Result {
+	out := &Result{
+		System:              sys,
+		Finished:            res.Report.Finished,
+		Total:               res.Report.N,
+		Throughput:          res.Report.Throughput,
+		EffectiveThroughput: res.Report.EffectiveThroughput,
+		QoS:                 res.Report.QoS,
+		MeanTTFT:            res.Report.MeanTTFT,
+		P50TTFT:             res.Report.P50TTFT,
+		P99TTFT:             res.Report.P99TTFT,
+		TotalRebuffer:       res.Report.TotalRebuffer,
+		Preemptions:         res.Report.Preemptions,
+		MakespanSec:         res.Makespan.Seconds(),
+		TimedOut:            res.TimedOut,
+	}
+	for i, r := range res.Requests {
+		rm := res.Report.Requests[i]
+		rs := RequestStats{
+			ID: r.ID, Finished: rm.Finished, TTFT: rm.TTFT,
+			Rebuffer: rm.Rebuffer, Tokens: rm.Tokens, Preemptions: rm.Preemptions,
+		}
+		for _, t := range r.TokenTimes {
+			rs.TokenTimesSeconds = append(rs.TokenTimesSeconds, t.Seconds())
+		}
+		out.Requests = append(out.Requests, rs)
+	}
+	for _, s := range res.Samples {
+		out.Samples = append(out.Samples, Sample{AtSeconds: s.At.Seconds(), Queued: s.Queued, Running: s.Running})
+	}
+	return out
+}
+
+// BurstWorkload builds a flash crowd: n requests at t=0 with normally
+// distributed lengths around the given means.
+func BurstWorkload(n, meanPrompt, meanOutput int, rate float64, seed int64) Workload {
+	w := trace.Burst("burst", n, 0, trace.NormalLengths{
+		PromptMean: float64(meanPrompt), PromptStd: float64(meanPrompt) / 4,
+		OutputMean: float64(meanOutput), OutputStd: float64(meanOutput) / 4,
+		Min: 16, Max: 8192,
+	}, trace.FixedRate(rate), seed)
+	return fromTrace(w)
+}
+
+// PoissonWorkload builds Poisson arrivals at lambda req/s for the given
+// duration.
+func PoissonWorkload(lambda, durationSec float64, meanPrompt, meanOutput int, rate float64, seed int64) Workload {
+	w := trace.Poisson("poisson", lambda, simclock.FromSeconds(durationSec), trace.NormalLengths{
+		PromptMean: float64(meanPrompt), PromptStd: float64(meanPrompt) / 4,
+		OutputMean: float64(meanOutput), OutputStd: float64(meanOutput) / 4,
+		Min: 16, Max: 8192,
+	}, trace.FixedRate(rate), seed)
+	return fromTrace(w)
+}
+
+// BurstGPTWorkload builds a BurstGPT-like bursty trace with ShareGPT-style
+// length distributions.
+func BurstGPTWorkload(durationSec, baseRate float64, rate float64, seed int64) Workload {
+	w := trace.BurstGPT("burstgpt", trace.BurstGPTConfig{
+		Duration: simclock.FromSeconds(durationSec),
+		BaseRate: baseRate,
+		Lengths:  trace.ShareGPTLengths(),
+		Rates:    trace.FixedRate(rate),
+		Seed:     seed,
+	})
+	return fromTrace(w)
+}
+
+// BurstGPTSpikesWorkload is BurstGPTWorkload with periodic flash crowds of
+// spikeSize requests every spikeEverySec seconds layered on the background
+// process — the request-burst regime the paper targets.
+func BurstGPTSpikesWorkload(durationSec, baseRate float64, spikeEverySec float64, spikeSize int, rate float64, seed int64) Workload {
+	w := trace.BurstGPT("burstgpt-spikes", trace.BurstGPTConfig{
+		Duration:   simclock.FromSeconds(durationSec),
+		BaseRate:   baseRate,
+		SpikeEvery: simclock.FromSeconds(spikeEverySec),
+		SpikeSize:  spikeSize,
+		Lengths:    trace.ShareGPTLengths(),
+		Rates:      trace.FixedRate(rate),
+		Seed:       seed,
+	})
+	return fromTrace(w)
+}
+
+func fromTrace(w trace.Workload) Workload {
+	out := make(Workload, 0, w.Len())
+	for _, it := range w.Items {
+		out = append(out, Request{
+			ArrivalSeconds: it.Arrival.Seconds(),
+			PromptTokens:   it.PromptLen,
+			OutputTokens:   it.OutputLen,
+			RatePerSec:     it.Rate,
+		})
+	}
+	return out
+}

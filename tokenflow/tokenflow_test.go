@@ -1,0 +1,143 @@
+package tokenflow
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunDefaultsTokenFlowOnH200(t *testing.T) {
+	w := BurstWorkload(8, 256, 256, 20, 1)
+	res, err := Run(Config{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != SystemTokenFlow {
+		t.Errorf("system = %v", res.System)
+	}
+	if res.Finished != 8 || res.Total != 8 {
+		t.Errorf("finished %d/%d", res.Finished, res.Total)
+	}
+	if res.Throughput <= 0 || res.EffectiveThroughput <= 0 {
+		t.Error("throughputs should be positive")
+	}
+	if res.EffectiveThroughput > res.Throughput+1e-9 {
+		t.Error("effective cannot exceed raw throughput")
+	}
+}
+
+func TestRunAllSystems(t *testing.T) {
+	w := BurstWorkload(6, 256, 256, 20, 2)
+	for _, sys := range Systems() {
+		res, err := Run(Config{System: sys, GPU: "H200", Model: "Llama3-8B"}, w)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.Finished != 6 {
+			t.Errorf("%s: finished %d", sys, res.Finished)
+		}
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	w := BurstWorkload(1, 64, 64, 20, 1)
+	if _, err := Run(Config{GPU: "H9000"}, w); err == nil {
+		t.Error("unknown GPU should error")
+	}
+	if _, err := Run(Config{Model: "GPT-7"}, w); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := Run(Config{System: "fifo"}, w); err == nil {
+		t.Error("unknown system should error")
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	b := BurstWorkload(10, 512, 1024, 20, 3)
+	if len(b) != 10 {
+		t.Errorf("burst len = %d", len(b))
+	}
+	for _, r := range b {
+		if r.ArrivalSeconds != 0 {
+			t.Error("burst requests arrive at t=0")
+		}
+	}
+	p := PoissonWorkload(5, 20, 256, 256, 20, 3)
+	if len(p) < 50 {
+		t.Errorf("poisson len = %d, want ~100", len(p))
+	}
+	g := BurstGPTWorkload(60, 2, 20, 3)
+	if len(g) < 50 {
+		t.Errorf("burstgpt len = %d", len(g))
+	}
+}
+
+func TestTokenFlowOptionsApply(t *testing.T) {
+	w := BurstWorkload(6, 256, 512, 15, 4)
+	base, err := Run(Config{System: SystemTokenFlow}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Run(Config{System: SystemTokenFlow, TokenFlow: TokenFlowOptions{
+		RescheduleIntervalSeconds: 0.5,
+		BufferConservativeness:    20,
+	}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Finished != tuned.Finished {
+		t.Error("both configs should complete")
+	}
+}
+
+func TestKVAblationOptions(t *testing.T) {
+	w := BurstWorkload(6, 256, 512, 15, 5)
+	res, err := Run(Config{System: SystemTokenFlow, TokenFlow: TokenFlowOptions{
+		KV: &KVOptions{DisableOffload: true},
+	}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 6 {
+		t.Errorf("finished = %d", res.Finished)
+	}
+}
+
+func TestSamplesExposed(t *testing.T) {
+	w := BurstWorkload(8, 256, 512, 15, 6)
+	res, err := Run(Config{SampleEverySeconds: 0.5}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Error("sampling enabled but no samples")
+	}
+}
+
+func TestPerRequestTimelines(t *testing.T) {
+	w := Workload{{ArrivalSeconds: 0, PromptTokens: 128, OutputTokens: 64, RatePerSec: 20}}
+	res, err := Run(Config{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != 1 {
+		t.Fatal("one request expected")
+	}
+	r := res.Requests[0]
+	if len(r.TokenTimesSeconds) != 64 {
+		t.Errorf("token times = %d", len(r.TokenTimesSeconds))
+	}
+	if r.TTFT <= 0 || r.TTFT > time.Second {
+		t.Errorf("TTFT = %v", r.TTFT)
+	}
+}
+
+func TestMaxSimTime(t *testing.T) {
+	w := BurstWorkload(40, 512, 2048, 5, 7)
+	res, err := Run(Config{GPU: "RTX-4090", MaxSimTimeSeconds: 2}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("2-second cap should time out this workload")
+	}
+}
