@@ -19,6 +19,7 @@ import (
 	"repro/internal/request"
 	"repro/internal/sched"
 	"repro/internal/simclock"
+	"repro/tokenflow"
 )
 
 // runExperiment wraps one experiment as a benchmark: each b.N iteration
@@ -63,6 +64,34 @@ func BenchmarkFig21Ascend(b *testing.B)                 { runExperiment(b, "fig2
 func BenchmarkFig22RescheduleInterval(b *testing.B)     { runExperiment(b, "fig22") }
 func BenchmarkFig23BufferConservativeness(b *testing.B) { runExperiment(b, "fig23") }
 func BenchmarkTab02Ablation(b *testing.B)               { runExperiment(b, "tab02") }
+func BenchmarkClusterScaling(b *testing.B)              { runExperiment(b, "cluster") }
+
+// BenchmarkCluster4xLeastQueue measures one full 4-replica cluster
+// simulation under least-queue routing on the multi-turn spike workload —
+// the cluster subsystem's wall-clock cost per simulated run. Sessions,
+// duration, and spike period scale together so the load regime (arrival
+// rate) stays constant across TOKENFLOW_SCALE values.
+func BenchmarkCluster4xLeastQueue(b *testing.B) {
+	s := experiments.Scale
+	sessions := int(300 * s)
+	if sessions < 1 {
+		sessions = 1
+	}
+	w := tokenflow.SessionSpikesWorkload(sessions, 240*s, 60*s, 20, 7)
+	for i := 0; i < b.N; i++ {
+		res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config:   tokenflow.Config{GPU: "RTX-4090", Model: "Llama3-8B"},
+			Replicas: 4,
+			Router:   tokenflow.RouterLeastQueue,
+		}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cluster.Finished == 0 {
+			b.Fatal("no requests finished")
+		}
+	}
+}
 
 // The §7.6 overhead analysis as direct testing.B microbenchmarks: the
 // wall-clock cost of one scheduling decision on a stressed view (the

@@ -3,6 +3,12 @@
 //
 //	tokenflow-sim -system tokenflow -gpu H200 -model Llama3-8B \
 //	    -workload burst -n 300 -prompt 512 -output 4096 -rate 20
+//
+// With -replicas > 1 it simulates a multi-replica cluster behind a
+// routing policy:
+//
+//	tokenflow-sim -replicas 4 -router session-affinity \
+//	    -workload session-spikes -n 300 -duration 240
 package main
 
 import (
@@ -19,14 +25,17 @@ func main() {
 		gpuName  = flag.String("gpu", "H200", "RTX-4090 | A6000 | H200 | Ascend-910B")
 		modelID  = flag.String("model", "Llama3-8B", "Llama3-8B | Qwen2-7B | Qwen2.5-7B | Qwen2.5-32B")
 		memFrac  = flag.Float64("mem-fraction", 0.9, "device memory share for weights+KV")
-		kind     = flag.String("workload", "burst", "burst | poisson | burstgpt")
-		n        = flag.Int("n", 100, "burst size")
+		kind     = flag.String("workload", "burst", "burst | poisson | burstgpt | sessions | session-spikes")
+		n        = flag.Int("n", 100, "burst size / session count")
 		lambda   = flag.Float64("lambda", 2, "poisson arrival rate (req/s)")
-		duration = flag.Float64("duration", 60, "arrival window for poisson/burstgpt (s)")
+		duration = flag.Float64("duration", 60, "arrival window for poisson/burstgpt/sessions (s)")
+		spike    = flag.Float64("spike-every", 60, "session-spikes: seconds between session flash crowds")
 		prompt   = flag.Int("prompt", 512, "mean prompt tokens")
 		output   = flag.Int("output", 1024, "mean output tokens")
 		rate     = flag.Float64("rate", 20, "client consumption rate (tok/s); 0 = instant")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		replicas = flag.Int("replicas", 1, "engine replicas (cluster mode when > 1)")
+		routerP  = flag.String("router", "round-robin", "round-robin | least-queue | least-kv | session-affinity")
 	)
 	flag.Parse()
 
@@ -38,18 +47,46 @@ func main() {
 		w = tokenflow.PoissonWorkload(*lambda, *duration, *prompt, *output, *rate, *seed)
 	case "burstgpt":
 		w = tokenflow.BurstGPTWorkload(*duration, *lambda, *rate, *seed)
+	case "sessions":
+		w = tokenflow.SessionWorkload(*n, *duration, *rate, *seed)
+	case "session-spikes":
+		w = tokenflow.SessionSpikesWorkload(*n, *duration, *spike, *rate, *seed)
 	default:
 		log.Fatalf("unknown workload kind %q", *kind)
 	}
 
-	res, err := tokenflow.Run(tokenflow.Config{
+	cfg := tokenflow.Config{
 		System:      tokenflow.System(*system),
 		GPU:         *gpuName,
 		Model:       *modelID,
 		MemFraction: *memFrac,
-	}, w)
-	if err != nil {
-		log.Fatal(err)
+	}
+
+	var res *tokenflow.Result
+	if *replicas > 1 {
+		cres, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config:   cfg,
+			Replicas: *replicas,
+			Router:   tokenflow.RouterPolicy(*routerP),
+		}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = cres.Cluster
+		fmt.Printf("replicas            %d (router: %s)\n", *replicas, cres.Router)
+		fmt.Printf("load imbalance      %.2fx peak/mean\n", cres.Imbalance)
+		fmt.Printf("prefix-cache hits   %d (%d tokens of prefill skipped)\n",
+			cres.PrefixHits, cres.PrefixHitTokens)
+		for _, rr := range cres.Replicas {
+			fmt.Printf("  replica %d         %d routed, %d finished, p99 TTFT %.2fs\n",
+				rr.ID, rr.Routed, rr.Result.Finished, rr.Result.P99TTFT.Seconds())
+		}
+	} else {
+		var err error
+		res, err = tokenflow.Run(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("system              %s\n", res.System)

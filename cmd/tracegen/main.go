@@ -1,5 +1,6 @@
 // Command tracegen emits generated workload traces as CSV
-// (arrival_s,prompt_tokens,output_tokens,rate_tok_s) for external tooling.
+// (arrival_s,prompt_tokens,output_tokens,rate_tok_s,session,turn) for
+// external tooling.
 //
 //	tracegen -kind burstgpt -duration 300 -lambda 2 > trace.csv
 package main
@@ -16,7 +17,7 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "burstgpt", "burst | poisson | burstgpt | industrial")
+		kind     = flag.String("kind", "burstgpt", "burst | poisson | burstgpt | industrial | sessions")
 		n        = flag.Int("n", 100, "burst size")
 		lambda   = flag.Float64("lambda", 2, "arrival rate (req/s)")
 		duration = flag.Float64("duration", 60, "trace duration (s)")
@@ -43,15 +44,23 @@ func main() {
 		})
 	case "industrial":
 		w = trace.Industrial("industrial", simclock.FromSeconds(*duration), *lambda, rates, *seed)
+	case "sessions":
+		w = trace.Sessions("sessions", trace.SessionConfig{
+			Sessions: *n,
+			Duration: simclock.FromSeconds(*duration),
+			Rates:    rates,
+			Seed:     *seed,
+		})
 	default:
 		log.Fatalf("unknown trace kind %q", *kind)
 	}
 	if err := w.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintln(os.Stdout, "arrival_s,prompt_tokens,output_tokens,rate_tok_s")
+	fmt.Fprintln(os.Stdout, "arrival_s,prompt_tokens,output_tokens,rate_tok_s,session,turn")
 	for _, it := range w.Items {
-		fmt.Printf("%.6f,%d,%d,%.2f\n", it.Arrival.Seconds(), it.PromptLen, it.OutputLen, it.Rate)
+		fmt.Printf("%.6f,%d,%d,%.2f,%d,%d\n",
+			it.Arrival.Seconds(), it.PromptLen, it.OutputLen, it.Rate, it.Session, it.Turn)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d requests (%s)\n", w.Len(), *kind)
 }

@@ -1,0 +1,293 @@
+// Package cluster simulates a multi-replica serving deployment: N
+// independent engine replicas sharing one virtual clock, fronted by a
+// pluggable routing policy (internal/router) that assigns each arriving
+// request to a replica at its arrival instant. Per-replica results are
+// aggregated into a cluster-level report with merged TTFT percentiles,
+// total throughput, QoS, and a load-imbalance statistic.
+//
+// A single-replica cluster with round-robin routing reduces exactly to the
+// single-device engine.Run path: same clock, same admission sequence, same
+// metrics — byte for byte.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/request"
+	"repro/internal/router"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Config describes the cluster topology and routing.
+type Config struct {
+	// Replicas is the number of engine replicas (default 1).
+	Replicas int
+
+	// Policy routes arriving requests to replicas. Required; one policy
+	// instance serves one run (policies may keep state).
+	Policy router.Policy
+
+	// SampleEvery enables cluster-wide queued/running time-series sampling
+	// (per replica plus the merged series); zero disables it.
+	SampleEvery time.Duration
+
+	// MaxSimTime aborts runaway simulations (default 4 simulated hours).
+	MaxSimTime time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 4 * time.Hour
+	}
+	return c
+}
+
+// BuildEngine constructs replica i's engine on the shared clock. Each call
+// must return a fresh engine with a fresh scheduler (schedulers are
+// stateful). The engine must not enable its own SampleEvery: the cluster
+// drives sampling.
+type BuildEngine func(replica int, clock *simclock.Clock) (*engine.Engine, error)
+
+// replica pairs an engine with its routing bookkeeping; it implements
+// router.Replica.
+type replica struct {
+	id     int
+	eng    *engine.Engine
+	routed int
+}
+
+func (r *replica) ID() int                            { return r.id }
+func (r *replica) QueueDepth() int                    { return r.eng.OutstandingRequests() }
+func (r *replica) FreeKVPages() int                   { return r.eng.FreeKVPages() }
+func (r *replica) CachedPrefixTokens(session int) int { return r.eng.CachedPrefixTokens(session) }
+
+// ReplicaStats reports one replica's share of a finished run.
+type ReplicaStats struct {
+	ID int
+	// Routed counts requests the policy assigned to this replica.
+	Routed int
+	// Result is the replica's own engine result (its report covers only
+	// the requests it served).
+	Result *engine.Result
+}
+
+// Result is the outcome of one cluster run.
+type Result struct {
+	Policy   string
+	Replicas int
+
+	// Report merges every replica's requests into one cluster-level
+	// analysis: TTFT percentiles, throughput, effective throughput, and
+	// QoS over the whole population.
+	Report metrics.Report
+
+	// Samples is the merged queued/running time series (sums across
+	// replicas at each tick).
+	Samples []request.Sample
+
+	// Makespan is the time of the cluster's last generated token.
+	Makespan time.Duration
+
+	// TimedOut is set when the run hit MaxSimTime before completing.
+	TimedOut bool
+
+	// Imbalance is the peak-to-mean ratio of per-replica generated output
+	// tokens (1.0 = perfectly balanced).
+	Imbalance float64
+
+	// PrefixHits and PrefixHitTokens total the session prefix-cache hits
+	// across replicas (the reuse affinity routing preserved).
+	PrefixHits      int64
+	PrefixHitTokens int64
+
+	// PerReplica lists each replica's stats in replica order.
+	PerReplica []ReplicaStats
+
+	// Requests holds every request across replicas, ordered by ID.
+	Requests []*request.Request
+}
+
+// Cluster is a primed multi-replica simulation.
+type Cluster struct {
+	cfg          Config
+	clock        *simclock.Clock
+	replicas     []*replica
+	views        []router.Replica
+	arrivalsDone bool
+}
+
+// New builds a cluster of cfg.Replicas engines on one shared clock.
+func New(cfg Config, build BuildEngine) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("cluster: replica count %d must be >= 1", cfg.Replicas)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("cluster: nil routing policy")
+	}
+	if build == nil {
+		return nil, fmt.Errorf("cluster: nil engine builder")
+	}
+	c := &Cluster{cfg: cfg, clock: simclock.New()}
+	for i := 0; i < cfg.Replicas; i++ {
+		eng, err := build(i, c.clock)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+		rep := &replica{id: i, eng: eng}
+		c.replicas = append(c.replicas, rep)
+		c.views = append(c.views, rep)
+	}
+	return c, nil
+}
+
+// Run simulates the workload across the cluster to completion.
+func (c *Cluster) Run(w trace.Workload) (*Result, error) {
+	// Every request must individually fit one replica (replicas are
+	// homogeneous, so checking against replica 0 covers all).
+	if err := c.replicas[0].eng.ValidateWorkload(w); err != nil {
+		return nil, err
+	}
+
+	// Arrivals: the routing decision happens at the arrival instant, when
+	// the policy sees live replica state.
+	for i, it := range w.Items {
+		it := it
+		id := i
+		c.clock.At(it.Arrival, func(now simclock.Time) {
+			rep := c.replicas[c.route(id, it)]
+			rep.routed++
+			r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
+			r.Session, r.Turn = it.Session, it.Turn
+			if id == w.Len()-1 {
+				c.arrivalsDone = true
+				for _, rp := range c.replicas {
+					rp.eng.SetArrivalsDone()
+				}
+			}
+			rep.eng.Inject(r, now)
+		})
+	}
+
+	if c.cfg.SampleEvery > 0 {
+		var sample func(now simclock.Time)
+		sample = func(now simclock.Time) {
+			for _, rep := range c.replicas {
+				rep.eng.Sample(now)
+			}
+			if !c.done() {
+				c.clock.After(c.cfg.SampleEvery, sample)
+			}
+		}
+		c.clock.At(0, sample)
+	}
+
+	timedOut := false
+	deadline := simclock.Time(c.cfg.MaxSimTime)
+	for c.clock.Step() {
+		if c.clock.Now() > deadline {
+			timedOut = true
+			break
+		}
+	}
+	return c.collect(timedOut), nil
+}
+
+// route asks the policy for a replica index, guarding against out-of-range
+// picks (a policy bug would otherwise panic deep in the event loop).
+func (c *Cluster) route(id int, it trace.Item) int {
+	pick := c.cfg.Policy.Pick(router.Request{
+		ID:        id,
+		Session:   it.Session,
+		Turn:      it.Turn,
+		PromptLen: it.PromptLen,
+		OutputLen: it.OutputLen,
+	}, c.views)
+	if pick < 0 || pick >= len(c.replicas) {
+		panic(fmt.Sprintf("cluster: policy %s picked replica %d of %d",
+			c.cfg.Policy.Name(), pick, len(c.replicas)))
+	}
+	return pick
+}
+
+// done reports whether all arrivals were injected and every replica
+// drained its share (a replica routed zero requests counts as drained).
+func (c *Cluster) done() bool {
+	if !c.arrivalsDone {
+		return false
+	}
+	for _, rep := range c.replicas {
+		if rep.eng.OutstandingRequests() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// collect tears down every replica and assembles the cluster result.
+func (c *Cluster) collect(timedOut bool) *Result {
+	res := &Result{
+		Policy:   c.cfg.Policy.Name(),
+		Replicas: len(c.replicas),
+		TimedOut: timedOut,
+	}
+	loads := make([]float64, len(c.replicas))
+	for i, rep := range c.replicas {
+		if timedOut {
+			rep.eng.MarkTimedOut()
+		}
+		er := rep.eng.Collect()
+		res.PerReplica = append(res.PerReplica, ReplicaStats{ID: rep.id, Routed: rep.routed, Result: er})
+		res.Requests = append(res.Requests, er.Requests...)
+		res.PrefixHits += er.PrefixHits
+		res.PrefixHitTokens += er.PrefixHitTokens
+		loads[i] = float64(er.Report.TotalOut)
+	}
+	sort.SliceStable(res.Requests, func(i, j int) bool { return res.Requests[i].ID < res.Requests[j].ID })
+
+	// Cluster makespan: the last generated token across replicas, falling
+	// back to the final clock reading for degenerate runs — the same rule
+	// the engine applies to its own population.
+	var makespan simclock.Time
+	for _, r := range res.Requests {
+		if r.FinishedAt > makespan {
+			makespan = r.FinishedAt
+		}
+		if r.Generated > 0 && r.TokenTimes[len(r.TokenTimes)-1] > makespan {
+			makespan = r.TokenTimes[len(r.TokenTimes)-1]
+		}
+	}
+	if makespan == 0 {
+		makespan = c.clock.Now()
+	}
+	res.Makespan = time.Duration(makespan)
+	res.Report = metrics.Analyze(res.Requests, makespan, c.replicas[0].eng.QoSParams())
+	res.Imbalance = metrics.Imbalance(loads)
+	res.Samples = mergeSamples(res.PerReplica)
+	return res
+}
+
+// mergeSamples sums the per-replica queued/running series tick by tick.
+// Replicas sample at identical instants (the cluster drives them), so the
+// series align by index.
+func mergeSamples(per []ReplicaStats) []request.Sample {
+	var out []request.Sample
+	for _, rs := range per {
+		for i, s := range rs.Result.Samples {
+			if i == len(out) {
+				out = append(out, request.Sample{At: s.At})
+			}
+			out[i].Queued += s.Queued
+			out[i].Running += s.Running
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/router"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// buildTokenFlow returns a BuildEngine producing fresh TokenFlow engines
+// on the shared clock.
+func buildTokenFlow() cluster.BuildEngine {
+	return func(_ int, clock *simclock.Clock) (*engine.Engine, error) {
+		return engine.New(engine.Config{
+			GPU:         gpu.RTX4090,
+			Model:       model.Llama3_8B,
+			MemFraction: 0.9,
+			Scheduler:   core.MustNew(core.DefaultConfig()),
+			KV:          engine.TokenFlowKVPolicy(),
+			Clock:       clock,
+		})
+	}
+}
+
+func sessionWorkload(t *testing.T) trace.Workload {
+	t.Helper()
+	w := trace.Sessions("test-sessions", trace.SessionConfig{
+		Sessions: 24,
+		Duration: simclock.FromSeconds(60),
+		Rates:    trace.FixedRate(20),
+		Seed:     7,
+	})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func runPolicy(t *testing.T, replicas int, policy router.Policy, w trace.Workload) *cluster.Result {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{Replicas: replicas, Policy: policy}, buildTokenFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestClusterInvariants checks, for every policy, that per-replica results
+// decompose the cluster totals exactly.
+func TestClusterInvariants(t *testing.T) {
+	w := sessionWorkload(t)
+	for _, name := range router.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := router.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := runPolicy(t, 4, pol, w)
+			if res.TimedOut {
+				t.Fatal("cluster run timed out")
+			}
+			if res.Report.N != w.Len() {
+				t.Fatalf("cluster saw %d requests, workload has %d", res.Report.N, w.Len())
+			}
+			var routed, n, finished int
+			var out, hits int64
+			for _, rs := range res.PerReplica {
+				routed += rs.Routed
+				n += rs.Result.Report.N
+				finished += rs.Result.Report.Finished
+				out += rs.Result.Report.TotalOut
+				hits += rs.Result.PrefixHits
+			}
+			if routed != w.Len() || n != w.Len() {
+				t.Errorf("routed=%d registered=%d, want %d", routed, n, w.Len())
+			}
+			if finished != res.Report.Finished {
+				t.Errorf("per-replica finished sum %d != cluster %d", finished, res.Report.Finished)
+			}
+			if out != res.Report.TotalOut {
+				t.Errorf("per-replica token sum %d != cluster %d", out, res.Report.TotalOut)
+			}
+			if hits != res.PrefixHits {
+				t.Errorf("per-replica prefix hits sum %d != cluster %d", hits, res.PrefixHits)
+			}
+			if res.Imbalance < 1 {
+				t.Errorf("imbalance %v < 1", res.Imbalance)
+			}
+			for i := 1; i < len(res.Requests); i++ {
+				if res.Requests[i].ID <= res.Requests[i-1].ID {
+					t.Fatalf("merged requests out of ID order at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterDeterminism checks that two identical runs produce identical
+// reports.
+func TestClusterDeterminism(t *testing.T) {
+	w := sessionWorkload(t)
+	a := runPolicy(t, 3, router.NewSessionAffinity(), w)
+	b := runPolicy(t, 3, router.NewSessionAffinity(), w)
+	if !reflect.DeepEqual(a.Report, b.Report) {
+		t.Error("cluster runs are not deterministic")
+	}
+	if !reflect.DeepEqual(a.Imbalance, b.Imbalance) || a.PrefixHits != b.PrefixHits {
+		t.Error("cluster routing stats are not deterministic")
+	}
+}
+
+// TestSingleReplicaMatchesEngine checks that a 1-replica cluster with
+// round-robin routing reproduces the standalone engine run exactly.
+func TestSingleReplicaMatchesEngine(t *testing.T) {
+	w := sessionWorkload(t)
+	res := runPolicy(t, 1, router.NewRoundRobin(), w)
+
+	eng, err := buildTokenFlow()(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := eng.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Report, solo.Report) {
+		t.Errorf("1-replica cluster report differs from engine report:\ncluster: %+v\nengine:  %+v",
+			res.Report, solo.Report)
+	}
+	if res.Makespan != solo.Makespan {
+		t.Errorf("makespan %v != %v", res.Makespan, solo.Makespan)
+	}
+	if res.PrefixHits != solo.PrefixHits {
+		t.Errorf("prefix hits %d != %d", res.PrefixHits, solo.PrefixHits)
+	}
+}
+
+// TestAffinityRoutesTurnsTogether checks that under session-affinity, all
+// turns of a session land on one replica when no eviction intervenes.
+func TestAffinityRoutesTurnsTogether(t *testing.T) {
+	w := sessionWorkload(t)
+	res := runPolicy(t, 4, router.NewSessionAffinity(), w)
+	// Each non-first turn whose previous turn finished before it arrived
+	// should have hit the prefix cache; globally that means a substantial
+	// hit count on a think-time-gapped workload.
+	turns := 0
+	for _, it := range w.Items {
+		if it.Turn > 1 {
+			turns++
+		}
+	}
+	if res.PrefixHits == 0 {
+		t.Fatal("affinity routing produced no prefix-cache hits")
+	}
+	if res.PrefixHits < int64(turns)/2 {
+		t.Errorf("only %d/%d follow-up turns hit the prefix cache", res.PrefixHits, turns)
+	}
+}
+
+func TestClusterConfigErrors(t *testing.T) {
+	if _, err := cluster.New(cluster.Config{Replicas: 2}, buildTokenFlow()); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if _, err := cluster.New(cluster.Config{Replicas: -1, Policy: router.NewRoundRobin()}, buildTokenFlow()); err == nil {
+		t.Error("negative replicas should fail")
+	}
+	if _, err := cluster.New(cluster.Config{Replicas: 2, Policy: router.NewRoundRobin()}, nil); err == nil {
+		t.Error("nil builder should fail")
+	}
+	cl, err := cluster.New(cluster.Config{Replicas: 2, Policy: router.NewRoundRobin()}, buildTokenFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(trace.Workload{Name: "empty"}); err == nil {
+		t.Error("empty workload should fail")
+	}
+}

@@ -74,6 +74,19 @@ type Config struct {
 
 	// MaxSimTime aborts runaway simulations (default 4 simulated hours).
 	MaxSimTime time.Duration
+
+	// PrefixCacheFraction sizes the session prefix cache as a share of KV
+	// capacity: finished turns of multi-turn sessions keep their context
+	// available (LRU within this token budget), so the session's next turn
+	// prefills only the new tokens. Zero selects the default 0.5; negative
+	// disables the cache. Sessionless workloads are unaffected.
+	PrefixCacheFraction float64
+
+	// Clock optionally injects a shared virtual clock. When nil the engine
+	// owns a fresh clock and Run drives it to completion; when set (the
+	// multi-replica cluster case) the owner of the clock drives the
+	// simulation and feeds the engine through Inject/Collect.
+	Clock *simclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSimTime == 0 {
 		c.MaxSimTime = 4 * time.Hour
+	}
+	if c.PrefixCacheFraction == 0 {
+		c.PrefixCacheFraction = 0.5
 	}
 	if c.QoS == (metrics.QoSParams{}) {
 		c.QoS = metrics.DefaultQoSParams()
@@ -133,6 +149,11 @@ type Result struct {
 	// traffic at iteration boundaries.
 	BoundaryStall time.Duration
 
+	// PrefixHits counts requests admitted with a session prefix-cache hit;
+	// PrefixHitTokens is the total prefill work those hits skipped.
+	PrefixHits      int64
+	PrefixHitTokens int64
+
 	// Makespan is the time of the last generated token (T in Eq. 2).
 	Makespan time.Duration
 
@@ -148,6 +169,10 @@ type prefillJob struct {
 	// fresh requests, prompt+generated for recompute resumes.
 	target int
 	done   int
+	// alloc is the context tokens to reserve device pages for. It can
+	// exceed target when a prefix-cache hit (CachedPrompt) lets prefill
+	// skip recomputing tokens that must still be resident.
+	alloc int
 	// allocated marks that device pages were claimed.
 	allocated bool
 	// resume marks a recompute resume (no first-token semantics: the
@@ -187,6 +212,12 @@ type Engine struct {
 
 	arrivalsDone bool
 	timedOut     bool
+
+	// prefix is the session prefix cache (nil when disabled); hits shorten
+	// prefill for multi-turn sessions routed back to this engine.
+	prefix          *prefixCache
+	prefixHits      int64
+	prefixHitTokens int64
 }
 
 // New builds an engine for the given deployment.
@@ -204,9 +235,13 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: %s with mem fraction %.2f leaves no KV capacity for %s",
 			cfg.GPU.Name, cfg.MemFraction, cfg.Model.Name)
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.New()
+	}
 	e := &Engine{
 		cfg:   cfg,
-		clock: simclock.New(),
+		clock: clock,
 		cost:  cost,
 		d2h:   gpu.NewLink("d2h", cfg.GPU.PCIeBytesPerSec()),
 		h2d:   gpu.NewLink("h2d", cfg.GPU.PCIeBytesPerSec()),
@@ -229,6 +264,9 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.PrefixCacheFraction > 0 {
+		e.prefix = newPrefixCache(int(cfg.PrefixCacheFraction * float64(capTokens)))
+	}
 	return e, nil
 }
 
@@ -244,32 +282,59 @@ func (e *Engine) QueueLengths() (waiting, backlog, running, preempted, loading i
 	return len(e.waiting), len(e.backlog), len(e.running), len(e.preempted), len(e.loading)
 }
 
-// Run simulates the workload to completion and returns the result.
+// Run simulates the workload to completion and returns the result. It is
+// the single-device entry point: Prime the workload, drive the clock, then
+// Collect. Engines built on an injected shared clock are driven by their
+// owner instead (see internal/cluster).
 func (e *Engine) Run(w trace.Workload) (*Result, error) {
-	if err := w.Validate(); err != nil {
+	if err := e.Prime(w); err != nil {
 		return nil, err
 	}
+	deadline := simclock.Time(e.cfg.MaxSimTime)
+	for e.clock.Step() {
+		if e.clock.Now() > deadline {
+			e.timedOut = true
+			break
+		}
+	}
+	return e.Collect(), nil
+}
+
+// ValidateWorkload checks that every request of the workload individually
+// fits the engine's KV capacity.
+func (e *Engine) ValidateWorkload(w trace.Workload) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
 	if w.Len() == 0 {
-		return nil, fmt.Errorf("engine: empty workload")
+		return fmt.Errorf("engine: empty workload")
 	}
 	capTokens := e.mem.TotalPages() * e.cfg.PageTokens
 	for i, it := range w.Items {
 		if it.PromptLen+it.OutputLen+1 > capTokens {
-			return nil, fmt.Errorf("engine: request %d context %d exceeds KV capacity %d tokens",
+			return fmt.Errorf("engine: request %d context %d exceeds KV capacity %d tokens",
 				i, it.PromptLen+it.OutputLen, capTokens)
 		}
+	}
+	return nil
+}
+
+// Prime validates the workload and schedules its arrival events (plus the
+// sampling loop) on the engine's clock.
+func (e *Engine) Prime(w trace.Workload) error {
+	if err := e.ValidateWorkload(w); err != nil {
+		return err
 	}
 	for i, it := range w.Items {
 		it := it
 		id := i
 		e.clock.At(it.Arrival, func(now simclock.Time) {
 			r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
-			e.track.Register(r)
-			e.waiting = append(e.waiting, r)
+			r.Session, r.Turn = it.Session, it.Turn
 			if id == w.Len()-1 {
 				e.arrivalsDone = true
 			}
-			e.kick(now)
+			e.Inject(r, now)
 		})
 	}
 	if e.cfg.SampleEvery > 0 {
@@ -282,14 +347,65 @@ func (e *Engine) Run(w trace.Workload) (*Result, error) {
 		}
 		e.clock.At(0, sample)
 	}
+	return nil
+}
 
-	deadline := simclock.Time(e.cfg.MaxSimTime)
-	for e.clock.Step() {
-		if e.clock.Now() > deadline {
-			e.timedOut = true
-			break
+// Inject submits an externally created request at the current virtual time.
+// The cluster router uses it to deliver routed arrivals; Prime uses it for
+// the single-device path so both paths share one admission sequence. A
+// session prefix-cache hit is assessed here, at arrival.
+func (e *Engine) Inject(r *request.Request, now simclock.Time) {
+	if e.prefix != nil && r.Session != 0 {
+		// A hit requires the new prompt to strictly extend the cached
+		// context (hit < PromptLen). A cached context at least as long as
+		// the prompt means the conversation was truncated upstream — the
+		// prefix no longer aligns, so it counts as a miss.
+		if hit := e.prefix.take(r.Session); hit > 0 && hit < r.PromptLen {
+			r.CachedPrompt = hit
+			e.prefixHits++
+			e.prefixHitTokens += int64(hit)
 		}
 	}
+	e.track.Register(r)
+	e.waiting = append(e.waiting, r)
+	e.kick(now)
+}
+
+// SetArrivalsDone marks that no further arrivals will be injected, letting
+// the sampling loop terminate once all registered requests finish.
+func (e *Engine) SetArrivalsDone() { e.arrivalsDone = true }
+
+// MarkTimedOut records that the owning driver aborted the run at its
+// simulation-time deadline.
+func (e *Engine) MarkTimedOut() { e.timedOut = true }
+
+// CachedPrefixTokens reports the session prefix tokens this engine's
+// prefix cache holds, without perturbing eviction order (router probe).
+func (e *Engine) CachedPrefixTokens(session int) int {
+	if e.prefix == nil {
+		return 0
+	}
+	return e.prefix.peek(session)
+}
+
+// Sample appends one point to the engine's queued/running time series.
+func (e *Engine) Sample(now simclock.Time) { e.track.Sample(now) }
+
+// FreeKVPages reports the free device KV pages (router hook).
+func (e *Engine) FreeKVPages() int { return e.mem.FreePages() }
+
+// OutstandingRequests reports how many injected requests have not finished
+// generating: the queued+running load a router balances.
+func (e *Engine) OutstandingRequests() int {
+	return len(e.waiting) + len(e.backlog) + len(e.running) + len(e.preempted) + len(e.loading)
+}
+
+// QoSParams exposes the report parameterization (for cluster-level merges).
+func (e *Engine) QoSParams() metrics.QoSParams { return e.cfg.QoS }
+
+// Collect tears down outstanding consumption events and assembles the
+// Result after the clock has been driven to completion (or a deadline).
+func (e *Engine) Collect() *Result {
 	e.teardown()
 
 	var makespan simclock.Time
@@ -305,21 +421,22 @@ func (e *Engine) Run(w trace.Workload) (*Result, error) {
 		makespan = e.clock.Now()
 	}
 
-	res := &Result{
-		Scheduler:     e.cfg.Scheduler.Name(),
-		Report:        metrics.Analyze(e.track.All(), makespan, e.cfg.QoS),
-		Samples:       e.track.Samples(),
-		KV:            e.mem.Stats(),
-		Requests:      e.track.All(),
-		Iterations:    e.iterations,
-		PrefillIters:  e.prefillIters,
-		DecodeIters:   e.decodeIters,
-		MixedIters:    e.mixedIters,
-		BoundaryStall: e.boundaryStall,
-		Makespan:      time.Duration(makespan),
-		TimedOut:      e.timedOut,
+	return &Result{
+		Scheduler:       e.cfg.Scheduler.Name(),
+		Report:          metrics.Analyze(e.track.All(), makespan, e.cfg.QoS),
+		Samples:         e.track.Samples(),
+		KV:              e.mem.Stats(),
+		Requests:        e.track.All(),
+		Iterations:      e.iterations,
+		PrefillIters:    e.prefillIters,
+		DecodeIters:     e.decodeIters,
+		MixedIters:      e.mixedIters,
+		BoundaryStall:   e.boundaryStall,
+		PrefixHits:      e.prefixHits,
+		PrefixHitTokens: e.prefixHitTokens,
+		Makespan:        time.Duration(makespan),
+		TimedOut:        e.timedOut,
 	}
-	return res, nil
 }
 
 // done reports whether all registered requests finished generating and no

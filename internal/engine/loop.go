@@ -53,7 +53,7 @@ func (e *Engine) kick(now simclock.Time) {
 
 // outstanding reports whether any request still needs device time.
 func (e *Engine) outstanding() bool {
-	return len(e.waiting)+len(e.backlog)+len(e.running)+len(e.preempted)+len(e.loading) > 0
+	return e.OutstandingRequests() > 0
 }
 
 // applyDecision executes preemptions then admissions, skipping entries
@@ -87,10 +87,17 @@ func (e *Engine) preemptRunning(r *request.Request, now simclock.Time) {
 	e.track.Transition(r, request.StatePreempted)
 }
 
-// admitFresh moves a waiting request into the prefill backlog.
+// admitFresh moves a waiting request into the prefill backlog. A prefix-
+// cache hit (CachedPrompt, clamped below PromptLen by Inject) shrinks the
+// compute target — the cached prefix KV is already materialized on the
+// device — but pages are still reserved for the full prompt.
 func (e *Engine) admitFresh(r *request.Request) {
 	e.waiting = removeReq(e.waiting, r)
-	e.backlog = append(e.backlog, &prefillJob{req: r, target: r.PromptLen})
+	e.backlog = append(e.backlog, &prefillJob{
+		req:    r,
+		target: r.PromptLen - r.CachedPrompt,
+		alloc:  r.PromptLen,
+	})
 }
 
 // resume re-admits a preempted request, via host-copy load or recompute.
@@ -124,6 +131,7 @@ func (e *Engine) resume(r *request.Request, mode sched.ResumeMode, now simclock.
 	e.backlog = append(e.backlog, &prefillJob{
 		req:    r,
 		target: r.PromptLen + r.Generated,
+		alloc:  r.PromptLen + r.Generated,
 		resume: true,
 	})
 	e.track.Transition(r, request.StateQueued)
@@ -287,7 +295,7 @@ func (e *Engine) ensureAllocated(j *prefillJob, _ simclock.Time) bool {
 		return true
 	}
 	// +1 covers the token generated by the prefill's own forward pass.
-	need := j.target + 1
+	need := j.alloc + 1
 	if !e.mem.CanAllocate(need) {
 		return false
 	}
@@ -365,8 +373,12 @@ func (e *Engine) reactiveEvict(protect *request.Request, now simclock.Time) bool
 	return true
 }
 
-// finish releases a completed request.
+// finish releases a completed request, retaining its context in the
+// session prefix cache for the session's next turn.
 func (e *Engine) finish(r *request.Request) {
+	if e.prefix != nil && r.Session != 0 {
+		e.prefix.put(r.Session, r.PromptLen+r.Generated)
+	}
 	e.mem.Discard(r)
 	e.running = removeReq(e.running, r)
 	e.track.Transition(r, request.StateFinished)

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"container/list"
+)
+
+// prefixCache models a radix-tree prefix cache (SGLang-style) at session
+// granularity: when a multi-turn request finishes, its full context
+// (prompt + response) stays available for the session's next turn, up to a
+// token budget with LRU eviction. A hit lets the next turn's prefill skip
+// recomputing the shared prefix.
+//
+// The model is compute-side: cached prefixes shorten prefill work but are
+// not charged against the device page pool (an optimistic approximation —
+// a real radix cache competes with live requests for pages and is evicted
+// under pressure; the budget, a fraction of KV capacity, stands in for
+// that pressure).
+type prefixCache struct {
+	budget  int // token capacity
+	used    int
+	order   *list.List // Front = most recently used
+	entries map[int]*list.Element
+}
+
+type prefixEntry struct {
+	session int
+	tokens  int
+}
+
+func newPrefixCache(budget int) *prefixCache {
+	return &prefixCache{
+		budget:  budget,
+		order:   list.New(),
+		entries: make(map[int]*list.Element),
+	}
+}
+
+// peek reports the cached prefix tokens for a session without touching the
+// eviction order; routers probe with it.
+func (c *prefixCache) peek(session int) int {
+	if el, ok := c.entries[session]; ok {
+		return el.Value.(*prefixEntry).tokens
+	}
+	return 0
+}
+
+// take reports the cached prefix tokens for a session and marks the entry
+// most recently used (a hit at admission time).
+func (c *prefixCache) take(session int) int {
+	el, ok := c.entries[session]
+	if !ok {
+		return 0
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*prefixEntry).tokens
+}
+
+// put records the session's resident context after a turn finishes,
+// replacing any smaller entry, then evicts least-recently-used sessions
+// beyond the budget. Contexts larger than the whole budget are not
+// cached, and a smaller context never shrinks an existing entry (an
+// earlier turn finishing late, after a later turn already cached its
+// longer prefix, must not discard that prefix).
+func (c *prefixCache) put(session, tokens int) {
+	if tokens <= 0 || tokens > c.budget {
+		return
+	}
+	if el, ok := c.entries[session]; ok {
+		e := el.Value.(*prefixEntry)
+		if tokens > e.tokens {
+			c.used += tokens - e.tokens
+			e.tokens = tokens
+		}
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[session] = c.order.PushFront(&prefixEntry{session: session, tokens: tokens})
+		c.used += tokens
+	}
+	for c.used > c.budget {
+		back := c.order.Back()
+		e := back.Value.(*prefixEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.session)
+		c.used -= e.tokens
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+func TestPrefixCachePutTakePeek(t *testing.T) {
+	c := newPrefixCache(1000)
+	if c.take(1) != 0 {
+		t.Error("empty cache should miss")
+	}
+	c.put(1, 400)
+	c.put(2, 300)
+	if got := c.peek(1); got != 400 {
+		t.Errorf("peek(1) = %d, want 400", got)
+	}
+	// Growing a session's context replaces its entry.
+	c.put(1, 600)
+	if got := c.take(1); got != 600 {
+		t.Errorf("take(1) = %d, want 600", got)
+	}
+	if c.used != 900 {
+		t.Errorf("used = %d, want 900", c.used)
+	}
+	// A smaller context (an earlier turn finishing late) never shrinks
+	// the cached prefix.
+	c.put(1, 400)
+	if got := c.peek(1); got != 600 {
+		t.Errorf("peek(1) after late smaller put = %d, want 600", got)
+	}
+}
+
+func TestPrefixCacheEvictsLRU(t *testing.T) {
+	c := newPrefixCache(1000)
+	c.put(1, 400)
+	c.put(2, 400)
+	c.take(1) // touch 1: session 2 becomes LRU
+	c.put(3, 400)
+	if c.peek(2) != 0 {
+		t.Error("session 2 should have been evicted as LRU")
+	}
+	if c.peek(1) != 400 || c.peek(3) != 400 {
+		t.Error("sessions 1 and 3 should survive")
+	}
+}
+
+func TestPrefixCacheRejectsOversized(t *testing.T) {
+	c := newPrefixCache(100)
+	c.put(1, 101)
+	if c.peek(1) != 0 || c.used != 0 {
+		t.Error("contexts larger than the budget must not be cached")
+	}
+	c.put(2, 0)
+	if c.used != 0 {
+		t.Error("empty contexts must not be cached")
+	}
+}
+
+// TestPrefixCacheMissOnTruncatedPrompt: a follow-up whose prompt is not
+// longer than the cached context means the conversation was truncated
+// upstream — the prefix no longer aligns, so no hit may be granted.
+func TestPrefixCacheMissOnTruncatedPrompt(t *testing.T) {
+	w := trace.Workload{Name: "truncated", Items: []trace.Item{
+		{Arrival: 0, PromptLen: 256, OutputLen: 64, Rate: 20, Session: 1, Turn: 1},
+		// Turn 1's context is 320 tokens; a 300-token turn-2 prompt cannot
+		// extend it.
+		{Arrival: simclock.FromSeconds(30), PromptLen: 300, OutputLen: 64, Rate: 20, Session: 1, Turn: 2},
+	}}
+	res := runWorkload(t, testConfig(sched.NewSGLang(), BaselineKVPolicy()), w)
+	if res.PrefixHits != 0 {
+		t.Errorf("truncated session granted %d prefix hits, want 0", res.PrefixHits)
+	}
+	if res.Report.Finished != 2 {
+		t.Errorf("finished %d/2", res.Report.Finished)
+	}
+}
+
+// twoTurnSession is one session: a 256-token opening prompt, then a
+// follow-up whose 384-token prompt extends the first turn's full context
+// (256 + 64 output + 64 new), arriving well after the first turn drains.
+func twoTurnSession() trace.Workload {
+	return trace.Workload{Name: "2turn", Items: []trace.Item{
+		{Arrival: 0, PromptLen: 256, OutputLen: 64, Rate: 20, Session: 1, Turn: 1},
+		{Arrival: simclock.FromSeconds(30), PromptLen: 384, OutputLen: 64, Rate: 20, Session: 1, Turn: 2},
+	}}
+}
+
+// TestEnginePrefixCacheShortensPrefill runs a two-turn session through one
+// engine and checks the second turn hit the cache and got its first token
+// no later than without the cache.
+func TestEnginePrefixCacheShortensPrefill(t *testing.T) {
+	w := twoTurnSession()
+	res := runWorkload(t, testConfig(sched.NewSGLang(), BaselineKVPolicy()), w)
+	if res.PrefixHits != 1 {
+		t.Fatalf("prefix hits = %d, want 1", res.PrefixHits)
+	}
+	// Turn 1 context: 256 prompt + 64 output = 320 tokens, all covered.
+	if res.PrefixHitTokens != 320 {
+		t.Errorf("prefix hit tokens = %d, want 320", res.PrefixHitTokens)
+	}
+
+	// Disabling the cache removes the hits but not correctness.
+	off := testConfig(sched.NewSGLang(), BaselineKVPolicy())
+	off.PrefixCacheFraction = -1
+	res2 := runWorkload(t, off, w)
+	if res2.PrefixHits != 0 {
+		t.Errorf("disabled cache still hit %d times", res2.PrefixHits)
+	}
+	if res2.Report.Finished != res.Report.Finished {
+		t.Error("cache ablation changed completion")
+	}
+	if res.Report.Requests[1].TTFT > res2.Report.Requests[1].TTFT {
+		t.Errorf("cached TTFT %v slower than uncached %v",
+			res.Report.Requests[1].TTFT, res2.Report.Requests[1].TTFT)
+	}
+}

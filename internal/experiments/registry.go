@@ -31,6 +31,7 @@ func All() []Experiment {
 		{"fig23", Fig23},
 		{"tab02", Tab02},
 		{"overhead", Overhead},
+		{"cluster", ExpCluster},
 	}
 }
 

@@ -199,6 +199,27 @@ func Percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
+// Imbalance reports the peak-to-mean ratio of per-replica loads (output
+// tokens, request counts, ...): 1.0 is perfect balance, R means the hottest
+// replica carried R× the average. Degenerate inputs (no replicas, zero
+// total load) report 1.0, vacuously balanced.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return max / (sum / float64(len(loads)))
+}
+
 // Ratio reports (a-b)/b as a percentage, the improvement convention used
 // in the paper's headline numbers ("82.5% higher effective throughput").
 func Ratio(a, b float64) float64 {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -239,5 +240,23 @@ func TestPropertyQoSBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		loads []float64
+		want  float64
+	}{
+		{nil, 1},
+		{[]float64{0, 0}, 1},
+		{[]float64{100, 100, 100, 100}, 1},
+		{[]float64{200, 100, 100}, 1.5},
+		{[]float64{400, 0, 0, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.loads); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.loads, got, c.want)
+		}
 	}
 }

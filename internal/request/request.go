@@ -58,6 +58,18 @@ type Request struct {
 	// tokens instantly (e.g. an agent), so the buffer never accumulates.
 	Rate float64
 
+	// Session and Turn identify the multi-turn conversation this request
+	// belongs to (Session 0 = stateless). Turns of one session share a
+	// growing prompt prefix; routers use this for KV affinity.
+	Session int
+	Turn    int
+
+	// CachedPrompt is the number of leading prompt tokens whose KV was
+	// already resident on the serving replica at admission (a prefix-cache
+	// hit). Prefill skips computing them; memory is still allocated for the
+	// full prompt. Always < PromptLen.
+	CachedPrompt int
+
 	State State
 
 	// PrefilledTokens tracks chunked-prefill progress through the prompt.

@@ -1,0 +1,174 @@
+// Package router implements pluggable request-routing policies for the
+// multi-replica cluster simulation: the gateway layer that fronts N engine
+// replicas and decides, per arriving request, which replica serves it.
+// Policies range from the stateless round-robin baseline to the AIBrix-
+// style prefix-affinity policy that sticks multi-turn sessions to the
+// replica holding their KV prefix and falls back to load balancing when no
+// replica does.
+//
+// Policies are deterministic: given the same request sequence and replica
+// states they always pick the same replica, so cluster simulations are
+// exactly reproducible.
+package router
+
+import (
+	"fmt"
+)
+
+// Request is the routing-relevant view of one arriving request.
+type Request struct {
+	ID int
+	// Session and Turn mark multi-turn conversation membership (Session 0 =
+	// stateless). Affinity policies key on Session.
+	Session int
+	Turn    int
+	// PromptLen and OutputLen are the request's token lengths.
+	PromptLen, OutputLen int
+}
+
+// Replica is the router's read-only view of one engine replica.
+type Replica interface {
+	// ID is the replica's index in the cluster, stable across the run.
+	ID() int
+	// QueueDepth reports the replica's outstanding (queued + running)
+	// request count.
+	QueueDepth() int
+	// FreeKVPages reports the replica's free device KV pages.
+	FreeKVPages() int
+	// CachedPrefixTokens reports how many tokens of the session's prefix
+	// the replica's KV cache still holds (0 for unknown sessions). Probing
+	// must not perturb the cache's eviction order.
+	CachedPrefixTokens(session int) int
+}
+
+// Policy picks a serving replica for each arriving request. Implementations
+// may keep state (e.g. the round-robin cursor); one Policy instance serves
+// one cluster run.
+type Policy interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+	// Pick returns the index into replicas of the chosen replica. The
+	// slice is never empty.
+	Pick(req Request, replicas []Replica) int
+}
+
+// Policy names accepted by ByName.
+const (
+	NameRoundRobin      = "round-robin"
+	NameLeastQueue      = "least-queue"
+	NameLeastKV         = "least-kv"
+	NameSessionAffinity = "session-affinity"
+)
+
+// Names lists the built-in policy names.
+func Names() []string {
+	return []string{NameRoundRobin, NameLeastQueue, NameLeastKV, NameSessionAffinity}
+}
+
+// ByName constructs a fresh policy instance by name.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case NameRoundRobin:
+		return NewRoundRobin(), nil
+	case NameLeastQueue:
+		return NewLeastQueue(), nil
+	case NameLeastKV:
+		return NewLeastKV(), nil
+	case NameSessionAffinity:
+		return NewSessionAffinity(), nil
+	default:
+		return nil, fmt.Errorf("router: unknown policy %q (have %v)", name, Names())
+	}
+}
+
+// RoundRobin cycles through replicas in index order, ignoring load: the
+// stateless baseline every gateway ships.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a fresh round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return NameRoundRobin }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(_ Request, replicas []Replica) int {
+	i := p.next % len(replicas)
+	p.next++
+	return i
+}
+
+// LeastQueue routes to the replica with the fewest outstanding requests
+// (queued + running), breaking ties by lowest replica index.
+type LeastQueue struct{}
+
+// NewLeastQueue returns the least-queue policy.
+func NewLeastQueue() *LeastQueue { return &LeastQueue{} }
+
+// Name implements Policy.
+func (p *LeastQueue) Name() string { return NameLeastQueue }
+
+// Pick implements Policy.
+func (p *LeastQueue) Pick(_ Request, replicas []Replica) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].QueueDepth() < replicas[best].QueueDepth() {
+			best = i
+		}
+	}
+	return best
+}
+
+// LeastKV routes to the replica with the most free KV pages — memory
+// headroom as the load signal — breaking ties by lowest replica index.
+type LeastKV struct{}
+
+// NewLeastKV returns the least-KV policy.
+func NewLeastKV() *LeastKV { return &LeastKV{} }
+
+// Name implements Policy.
+func (p *LeastKV) Name() string { return NameLeastKV }
+
+// Pick implements Policy.
+func (p *LeastKV) Pick(_ Request, replicas []Replica) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].FreeKVPages() > replicas[best].FreeKVPages() {
+			best = i
+		}
+	}
+	return best
+}
+
+// SessionAffinity sticks multi-turn requests to the replica holding their
+// prefix KV (the replica reporting the largest cached prefix for the
+// session), falling back to least-queue for stateless requests, first
+// turns, and sessions whose prefix no replica retains — the AIBrix-style
+// prefix-cache-aware routing policy.
+type SessionAffinity struct {
+	fallback LeastQueue
+}
+
+// NewSessionAffinity returns the session-affinity policy.
+func NewSessionAffinity() *SessionAffinity { return &SessionAffinity{} }
+
+// Name implements Policy.
+func (p *SessionAffinity) Name() string { return NameSessionAffinity }
+
+// Pick implements Policy.
+func (p *SessionAffinity) Pick(req Request, replicas []Replica) int {
+	if req.Session != 0 {
+		best, bestTokens := -1, 0
+		for i, r := range replicas {
+			if t := r.CachedPrefixTokens(req.Session); t > bestTokens {
+				best, bestTokens = i, t
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return p.fallback.Pick(req, replicas)
+}

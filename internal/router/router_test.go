@@ -1,0 +1,118 @@
+package router
+
+import (
+	"testing"
+)
+
+// fakeReplica is a synthetic replica state for policy tests.
+type fakeReplica struct {
+	id     int
+	queue  int
+	freeKV int
+	cached map[int]int
+}
+
+func (f *fakeReplica) ID() int          { return f.id }
+func (f *fakeReplica) QueueDepth() int  { return f.queue }
+func (f *fakeReplica) FreeKVPages() int { return f.freeKV }
+func (f *fakeReplica) CachedPrefixTokens(session int) int {
+	return f.cached[session]
+}
+
+func replicas(fs ...*fakeReplica) []Replica {
+	out := make([]Replica, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
+}
+
+func TestPoliciesPick(t *testing.T) {
+	// Three replicas: 0 busy but memory-rich, 1 idle but memory-poor,
+	// 2 middling but holding session 7's prefix.
+	state := func() []Replica {
+		return replicas(
+			&fakeReplica{id: 0, queue: 9, freeKV: 900, cached: map[int]int{}},
+			&fakeReplica{id: 1, queue: 1, freeKV: 100, cached: map[int]int{}},
+			&fakeReplica{id: 2, queue: 4, freeKV: 400, cached: map[int]int{7: 640}},
+		)
+	}
+	session7 := Request{ID: 1, Session: 7, Turn: 2, PromptLen: 700, OutputLen: 100}
+	stateless := Request{ID: 2, PromptLen: 512, OutputLen: 256}
+
+	cases := []struct {
+		policy Policy
+		req    Request
+		want   int
+	}{
+		{NewLeastQueue(), stateless, 1},
+		{NewLeastQueue(), session7, 1},
+		{NewLeastKV(), stateless, 0},
+		{NewLeastKV(), session7, 0},
+		// Affinity: session 7 sticks to replica 2 despite its load ...
+		{NewSessionAffinity(), session7, 2},
+		// ... but stateless requests and unknown sessions fall back to
+		// least-queue.
+		{NewSessionAffinity(), stateless, 1},
+		{NewSessionAffinity(), Request{ID: 3, Session: 8, Turn: 2}, 1},
+	}
+	for _, c := range cases {
+		if got := c.policy.Pick(c.req, state()); got != c.want {
+			t.Errorf("%s.Pick(session=%d) = %d, want %d", c.policy.Name(), c.req.Session, got, c.want)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := NewRoundRobin()
+	reps := replicas(
+		&fakeReplica{id: 0, queue: 100},
+		&fakeReplica{id: 1},
+		&fakeReplica{id: 2},
+	)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := rr.Pick(Request{ID: i}, reps); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestTiesBreakByLowestIndex(t *testing.T) {
+	reps := replicas(
+		&fakeReplica{id: 0, queue: 2, freeKV: 50},
+		&fakeReplica{id: 1, queue: 2, freeKV: 50},
+	)
+	if got := NewLeastQueue().Pick(Request{}, reps); got != 0 {
+		t.Errorf("least-queue tie = %d, want 0", got)
+	}
+	if got := NewLeastKV().Pick(Request{}, reps); got != 0 {
+		t.Errorf("least-kv tie = %d, want 0", got)
+	}
+}
+
+func TestAffinityPrefersLargestPrefix(t *testing.T) {
+	reps := replicas(
+		&fakeReplica{id: 0, cached: map[int]int{5: 100}},
+		&fakeReplica{id: 1, cached: map[int]int{5: 800}},
+		&fakeReplica{id: 2, queue: 0},
+	)
+	if got := NewSessionAffinity().Pick(Request{Session: 5, Turn: 3}, reps); got != 1 {
+		t.Errorf("affinity = %d, want 1 (largest cached prefix)", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("warm-pool"); err == nil {
+		t.Error("ByName with unknown policy should fail")
+	}
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/simclock"
+)
+
+// SessionConfig parameterizes the multi-turn session workload generator:
+// chat-style conversations of several turns, where each turn's prompt is
+// the previous turn's full context (prompt + response) plus a short new
+// user message, separated by client think time. The growing shared prefix
+// is what KV-affinity routing exploits: a replica that served turn t-1
+// still holds most of turn t's prompt in its cache.
+type SessionConfig struct {
+	// Sessions is the number of conversations.
+	Sessions int
+
+	// Duration is the window over which sessions start.
+	Duration simclock.Time
+
+	// SpikeEvery and SpikeFraction inject flash crowds of session starts:
+	// every SpikeEvery, a cohort of sessions opens simultaneously (the
+	// request-burst regime), with SpikeFraction of all sessions assigned to
+	// cohorts (default 0.5 when SpikeEvery > 0). Zero SpikeEvery disables
+	// spikes and spreads all starts uniformly.
+	SpikeEvery    simclock.Time
+	SpikeFraction float64
+
+	// MinTurns and MaxTurns bound the uniform turns-per-session draw
+	// (defaults 3 and 8).
+	MinTurns, MaxTurns int
+
+	// FirstPrompt sizes the opening prompt; Followup sizes the new user
+	// tokens appended each later turn; Output sizes per-turn responses.
+	// All are normal draws clamped to [MinLen, MaxLen]. Defaults: 512±128,
+	// 64±16, 256±64 within [16, 8192].
+	FirstPromptMean, FirstPromptStd float64
+	FollowupMean, FollowupStd       float64
+	OutputMean, OutputStd           float64
+	MinLen, MaxLen                  int
+
+	// ThinkMeanSeconds is the mean of the exponential think-time gap
+	// between consuming one response and sending the next turn (default 10).
+	ThinkMeanSeconds float64
+
+	// Rates draws one consumption rate per session (a user reads at one
+	// speed across their conversation). Nil defaults to FixedRate(20).
+	Rates RateDist
+
+	Seed int64
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.MinTurns == 0 {
+		c.MinTurns = 3
+	}
+	if c.MaxTurns == 0 {
+		c.MaxTurns = 8
+	}
+	if c.FirstPromptMean == 0 {
+		c.FirstPromptMean, c.FirstPromptStd = 512, 128
+	}
+	if c.FollowupMean == 0 {
+		c.FollowupMean, c.FollowupStd = 64, 16
+	}
+	if c.OutputMean == 0 {
+		c.OutputMean, c.OutputStd = 256, 64
+	}
+	if c.MinLen == 0 {
+		c.MinLen = 16
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 8192
+	}
+	if c.ThinkMeanSeconds == 0 {
+		c.ThinkMeanSeconds = 10
+	}
+	if c.SpikeEvery > 0 && c.SpikeFraction == 0 {
+		c.SpikeFraction = 0.5
+	}
+	if c.Rates == nil {
+		c.Rates = FixedRate(20)
+	}
+	return c
+}
+
+// Sessions generates a multi-turn conversation workload. Items carry
+// Session (1-based) and Turn (1-based) tags; within a session, turn t's
+// prompt equals turn t-1's prompt + output + a followup message, so
+// consecutive turns share a prefix of the full previous context. Turn
+// arrivals are spaced by the time the client spends consuming the previous
+// response plus an exponential think-time gap. Deterministic per seed.
+func Sessions(name string, cfg SessionConfig) Workload {
+	cfg = cfg.withDefaults()
+	if cfg.Sessions <= 0 {
+		panic(fmt.Sprintf("trace: non-positive session count %d", cfg.Sessions))
+	}
+	if cfg.MinTurns < 1 || cfg.MaxTurns < cfg.MinTurns {
+		panic(fmt.Sprintf("trace: bad turn bounds [%d, %d]", cfg.MinTurns, cfg.MaxTurns))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Session start times: a spike cohort share plus a uniform background.
+	starts := make([]float64, cfg.Sessions)
+	nSpike := 0
+	var spikeTimes []float64
+	if cfg.SpikeEvery > 0 {
+		for at := cfg.SpikeEvery; at <= cfg.Duration; at += cfg.SpikeEvery {
+			spikeTimes = append(spikeTimes, at.Seconds())
+		}
+		if len(spikeTimes) > 0 {
+			nSpike = int(cfg.SpikeFraction * float64(cfg.Sessions))
+		}
+	}
+	for i := range starts {
+		if i < nSpike {
+			starts[i] = spikeTimes[i%len(spikeTimes)]
+		} else {
+			starts[i] = rng.Float64() * cfg.Duration.Seconds()
+		}
+	}
+
+	sample := func(mean, std float64) int {
+		return clampInt(int(rng.NormFloat64()*std+mean), cfg.MinLen, cfg.MaxLen)
+	}
+
+	var per []Workload
+	for s := 0; s < cfg.Sessions; s++ {
+		turns := cfg.MinTurns + rng.Intn(cfg.MaxTurns-cfg.MinTurns+1)
+		rate := cfg.Rates.SampleRate(rng)
+		t := starts[s]
+		prompt := sample(cfg.FirstPromptMean, cfg.FirstPromptStd)
+		w := Workload{Name: fmt.Sprintf("%s/s%d", name, s+1)}
+		for turn := 1; turn <= turns; turn++ {
+			output := sample(cfg.OutputMean, cfg.OutputStd)
+			w.Items = append(w.Items, Item{
+				Arrival:   simclock.FromSeconds(t),
+				PromptLen: prompt,
+				OutputLen: output,
+				Rate:      rate,
+				Session:   s + 1,
+				Turn:      turn,
+			})
+			// Next turn: the client consumes the response, thinks, then
+			// sends a short followup on top of the full previous context.
+			// If growth hits the MaxLen clamp, the prompt no longer
+			// extends the previous context (truncation); the engine's
+			// prefix cache detects that and treats it as a miss.
+			consume := 0.0
+			if rate > 0 {
+				consume = float64(output) / rate
+			}
+			t += consume + rng.ExpFloat64()*cfg.ThinkMeanSeconds
+			prompt = clampInt(prompt+output+sample(cfg.FollowupMean, cfg.FollowupStd),
+				cfg.MinLen, cfg.MaxLen)
+		}
+		per = append(per, w)
+	}
+	return Merge(name, per...)
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestSessionsShape(t *testing.T) {
+	cfg := SessionConfig{
+		Sessions: 20,
+		Duration: simclock.FromSeconds(120),
+		Rates:    FixedRate(20),
+		Seed:     5,
+	}
+	w := Sessions("s", cfg)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble per-session turn sequences from the merged trace.
+	type turn struct {
+		item Item
+	}
+	bySession := map[int][]turn{}
+	for _, it := range w.Items {
+		if it.Session < 1 || it.Session > cfg.Sessions {
+			t.Fatalf("item has session %d outside [1,%d]", it.Session, cfg.Sessions)
+		}
+		bySession[it.Session] = append(bySession[it.Session], turn{it})
+	}
+	if len(bySession) != cfg.Sessions {
+		t.Fatalf("trace has %d sessions, want %d", len(bySession), cfg.Sessions)
+	}
+	norm := cfg.withDefaults()
+	for s, turns := range bySession {
+		if n := len(turns); n < norm.MinTurns || n > norm.MaxTurns {
+			t.Errorf("session %d has %d turns, want within [%d,%d]", s, n, norm.MinTurns, norm.MaxTurns)
+		}
+		for i, tn := range turns {
+			if tn.item.Turn != i+1 {
+				t.Fatalf("session %d turn %d labeled %d (merge broke turn order)", s, i+1, tn.item.Turn)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := turns[i-1].item
+			if tn.item.Arrival <= prev.Arrival {
+				t.Errorf("session %d turn %d arrives at %v, not after previous %v",
+					s, i+1, tn.item.Arrival, prev.Arrival)
+			}
+			// The prompt grows by the previous full exchange plus a
+			// followup of at least MinLen tokens (unless clamped at MaxLen).
+			wantMin := prev.PromptLen + prev.OutputLen + norm.MinLen
+			if wantMin > norm.MaxLen {
+				wantMin = norm.MaxLen
+			}
+			if tn.item.PromptLen < wantMin {
+				t.Errorf("session %d turn %d prompt %d < previous context + followup %d",
+					s, i+1, tn.item.PromptLen, wantMin)
+			}
+			if tn.item.Rate != prev.Rate {
+				t.Errorf("session %d changes consumption rate mid-conversation", s)
+			}
+		}
+	}
+}
+
+func TestSessionsDeterministic(t *testing.T) {
+	cfg := SessionConfig{Sessions: 10, Duration: simclock.FromSeconds(60), Seed: 11}
+	a := Sessions("a", cfg)
+	b := Sessions("a", cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different session traces")
+	}
+	cfg.Seed = 12
+	c := Sessions("a", cfg)
+	if reflect.DeepEqual(a.Items, c.Items) {
+		t.Error("different seeds produced identical session traces")
+	}
+}
+
+func TestSessionsSpikesClusterStarts(t *testing.T) {
+	w := Sessions("spiky", SessionConfig{
+		Sessions:   40,
+		Duration:   simclock.FromSeconds(100),
+		SpikeEvery: simclock.FromSeconds(50),
+		Seed:       3,
+	})
+	// Half the sessions (SpikeFraction default 0.5) start exactly at the
+	// spike instants 50s and 100s.
+	starts := map[simclock.Time]int{}
+	for _, it := range w.Items {
+		if it.Turn == 1 {
+			starts[it.Arrival]++
+		}
+	}
+	spiked := starts[simclock.FromSeconds(50)] + starts[simclock.FromSeconds(100)]
+	if spiked != 20 {
+		t.Errorf("%d sessions start at spike instants, want 20", spiked)
+	}
+}

@@ -20,6 +20,12 @@ type Item struct {
 	OutputLen int
 	// Rate is the client's required consumption rate in tokens/second.
 	Rate float64
+	// Session and Turn mark multi-turn conversation membership (Session 0 =
+	// stateless single-shot request). Turns of one session arrive in order
+	// and share a growing prompt prefix: turn t's prompt extends turn t-1's
+	// full context, which KV-affinity routers exploit.
+	Session int
+	Turn    int
 }
 
 // Workload is an ordered set of request specifications.

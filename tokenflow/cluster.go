@@ -1,0 +1,142 @@
+package tokenflow
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/router"
+	"repro/internal/simclock"
+)
+
+// RouterPolicy selects how a cluster routes arriving requests to replicas.
+type RouterPolicy string
+
+// Routing policies.
+const (
+	// RouterRoundRobin cycles through replicas in index order.
+	RouterRoundRobin RouterPolicy = "round-robin"
+	// RouterLeastQueue routes to the replica with the fewest outstanding
+	// (queued + running) requests.
+	RouterLeastQueue RouterPolicy = "least-queue"
+	// RouterLeastKV routes to the replica with the most free KV pages.
+	RouterLeastKV RouterPolicy = "least-kv"
+	// RouterSessionAffinity sticks multi-turn sessions to the replica
+	// holding their prefix KV, falling back to least-queue.
+	RouterSessionAffinity RouterPolicy = "session-affinity"
+)
+
+// RouterPolicies lists all routing policies.
+func RouterPolicies() []RouterPolicy {
+	return []RouterPolicy{RouterRoundRobin, RouterLeastQueue, RouterLeastKV, RouterSessionAffinity}
+}
+
+// ClusterConfig describes a simulated multi-replica deployment: Replicas
+// identical copies of the embedded single-device Config behind a router.
+type ClusterConfig struct {
+	// Config is the per-replica deployment (system, GPU, model, memory).
+	Config
+
+	// Replicas is the number of engine replicas (default 1).
+	Replicas int
+
+	// Router selects the routing policy (default RouterRoundRobin).
+	Router RouterPolicy
+}
+
+// ReplicaResult reports one replica's share of a cluster run.
+type ReplicaResult struct {
+	// ID is the replica index.
+	ID int
+	// Routed counts requests the policy assigned to this replica.
+	Routed int
+	// PrefixHits counts requests this replica admitted with a session
+	// prefix-cache hit.
+	PrefixHits int64
+	// Result is the replica's own serving report (covering only the
+	// requests it served).
+	Result *Result
+}
+
+// ClusterResult reports a completed cluster simulation.
+type ClusterResult struct {
+	// Router is the policy that served the run.
+	Router RouterPolicy
+
+	// Cluster is the merged cluster-level report: TTFT percentiles,
+	// throughput, and QoS over every request across replicas. With one
+	// replica and round-robin routing it is identical to Run's Result.
+	Cluster *Result
+
+	// Replicas lists per-replica results in replica order.
+	Replicas []ReplicaResult
+
+	// Imbalance is the peak-to-mean ratio of per-replica output tokens
+	// (1.0 = perfectly balanced).
+	Imbalance float64
+
+	// PrefixHits counts requests admitted with a session prefix-cache hit;
+	// PrefixHitTokens is the prefill work those hits skipped.
+	PrefixHits      int64
+	PrefixHitTokens int64
+}
+
+// RunCluster simulates Replicas copies of the deployment serving the
+// workload behind the selected routing policy, all on one virtual clock.
+func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("tokenflow: replica count %d must be >= 1", cfg.Replicas)
+	}
+	if cfg.Router == "" {
+		cfg.Router = RouterRoundRobin
+	}
+	if cfg.System == "" {
+		cfg.System = SystemTokenFlow
+	}
+	pol, err := router.ByName(string(cfg.Router))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Replicas:    cfg.Replicas,
+		Policy:      pol,
+		SampleEvery: simclock.Duration(cfg.SampleEverySeconds),
+		MaxSimTime:  simclock.Duration(cfg.MaxSimTimeSeconds),
+	}, func(_ int, clock *simclock.Clock) (*engine.Engine, error) {
+		ecfg, err := buildEngineConfig(cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		ecfg.Clock = clock
+		ecfg.SampleEvery = 0 // the cluster drives sampling
+		return engine.New(ecfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Run(toTrace(w))
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ClusterResult{
+		Router: cfg.Router,
+		Cluster: convertParts(cfg.System, res.Report, res.Requests, res.Samples,
+			res.Makespan, res.TimedOut),
+		Imbalance:       res.Imbalance,
+		PrefixHits:      res.PrefixHits,
+		PrefixHitTokens: res.PrefixHitTokens,
+	}
+	for _, rs := range res.PerReplica {
+		out.Replicas = append(out.Replicas, ReplicaResult{
+			ID:         rs.ID,
+			Routed:     rs.Routed,
+			PrefixHits: rs.Result.PrefixHits,
+			Result:     convert(cfg.System, rs.Result),
+		})
+	}
+	return out, nil
+}

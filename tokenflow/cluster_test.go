@@ -1,0 +1,122 @@
+package tokenflow_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/tokenflow"
+)
+
+// TestRunClusterSingleReplicaMatchesRun is the cluster subsystem's anchor:
+// one replica behind round-robin routing must reproduce the single-device
+// Run byte for byte — same report, same per-request stats, same samples.
+func TestRunClusterSingleReplicaMatchesRun(t *testing.T) {
+	workloads := map[string]tokenflow.Workload{
+		"burst":    tokenflow.BurstWorkload(48, 512, 1024, 20, 42),
+		"sessions": tokenflow.SessionWorkload(16, 60, 20, 42),
+	}
+	for name, w := range workloads {
+		name, w := name, w
+		t.Run(name, func(t *testing.T) {
+			cfg := tokenflow.Config{
+				System:             tokenflow.SystemTokenFlow,
+				GPU:                "RTX-4090",
+				Model:              "Llama3-8B",
+				SampleEverySeconds: 5,
+			}
+			solo, err := tokenflow.Run(cfg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cres, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+				Config:   cfg,
+				Replicas: 1,
+				Router:   tokenflow.RouterRoundRobin,
+			}, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cres.Cluster, solo) {
+				t.Errorf("1-replica cluster result differs from Run:\ncluster: %+v\nsolo:    %+v",
+					cres.Cluster, solo)
+			}
+			if len(cres.Replicas) != 1 || cres.Replicas[0].Routed != len(w) {
+				t.Errorf("replica stats %+v, want 1 replica with %d routed", cres.Replicas, len(w))
+			}
+			if cres.Imbalance != 1 {
+				t.Errorf("single-replica imbalance %v, want 1", cres.Imbalance)
+			}
+		})
+	}
+}
+
+// TestSessionAffinityBeatsRoundRobin is the cluster experiment's headline
+// claim: on a 4-replica cluster serving a multi-turn spike workload,
+// prefix-affinity routing beats round-robin on P99 TTFT (deterministic
+// simulation, so this is a hard assertion, not a statistical one).
+func TestSessionAffinityBeatsRoundRobin(t *testing.T) {
+	w := tokenflow.SessionSpikesWorkload(300, 240, 60, 20, 7)
+	cfg := tokenflow.Config{
+		System: tokenflow.SystemTokenFlow,
+		GPU:    "RTX-4090",
+		Model:  "Llama3-8B",
+	}
+	run := func(r tokenflow.RouterPolicy) *tokenflow.ClusterResult {
+		res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config: cfg, Replicas: 4, Router: r,
+		}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cluster.TimedOut {
+			t.Fatalf("%s run timed out", r)
+		}
+		return res
+	}
+	aff := run(tokenflow.RouterSessionAffinity)
+	rr := run(tokenflow.RouterRoundRobin)
+
+	if aff.PrefixHits <= rr.PrefixHits {
+		t.Errorf("affinity preserved %d prefix hits, round-robin %d; affinity should preserve more",
+			aff.PrefixHits, rr.PrefixHits)
+	}
+	if aff.Cluster.P99TTFT >= rr.Cluster.P99TTFT {
+		t.Errorf("session-affinity P99 TTFT %v should beat round-robin %v",
+			aff.Cluster.P99TTFT, rr.Cluster.P99TTFT)
+	}
+}
+
+// TestRouterPoliciesAllComplete smoke-tests every policy end to end on a
+// small cluster.
+func TestRouterPoliciesAllComplete(t *testing.T) {
+	w := tokenflow.SessionWorkload(12, 60, 20, 3)
+	for _, pol := range tokenflow.RouterPolicies() {
+		res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config:   tokenflow.Config{GPU: "RTX-4090", Model: "Llama3-8B"},
+			Replicas: 2,
+			Router:   pol,
+		}, w)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.Cluster.Finished != res.Cluster.Total {
+			t.Errorf("%s: %d/%d finished", pol, res.Cluster.Finished, res.Cluster.Total)
+		}
+	}
+}
+
+func TestRunClusterErrors(t *testing.T) {
+	w := tokenflow.BurstWorkload(4, 128, 128, 20, 1)
+	if _, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+		Config: tokenflow.Config{GPU: "RTX-4090", Model: "Llama3-8B"},
+		Router: "warm-pool",
+	}, w); err == nil {
+		t.Error("unknown router should fail")
+	}
+	if _, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+		Config:   tokenflow.Config{GPU: "RTX-4090", Model: "Llama3-8B"},
+		Replicas: -2,
+	}, w); err == nil {
+		t.Error("negative replica count should fail")
+	}
+}

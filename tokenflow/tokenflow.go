@@ -27,6 +27,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/request"
 	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -65,6 +66,12 @@ type Request struct {
 	// RatePerSec is the client's token consumption rate (reading or
 	// listening speed); 0 means the client consumes instantly.
 	RatePerSec float64
+	// SessionID and Turn mark multi-turn conversation membership
+	// (SessionID 0 = stateless). Turns of one session share a growing
+	// prompt prefix, which session-affinity routing and the per-replica
+	// prefix cache exploit.
+	SessionID int
+	Turn      int
 }
 
 // Workload is an ordered list of requests.
@@ -257,29 +264,39 @@ func toTrace(w Workload) trace.Workload {
 			PromptLen: r.PromptTokens,
 			OutputLen: r.OutputTokens,
 			Rate:      r.RatePerSec,
+			Session:   r.SessionID,
+			Turn:      r.Turn,
 		})
 	}
 	return out
 }
 
 func convert(sys System, res *engine.Result) *Result {
+	return convertParts(sys, res.Report, res.Requests, res.Samples, res.Makespan, res.TimedOut)
+}
+
+// convertParts assembles the public Result from report pieces; the single-
+// device and cluster paths share it so their outputs stay comparable
+// field for field.
+func convertParts(sys System, rep metrics.Report, reqs []*request.Request,
+	samples []request.Sample, makespan time.Duration, timedOut bool) *Result {
 	out := &Result{
 		System:              sys,
-		Finished:            res.Report.Finished,
-		Total:               res.Report.N,
-		Throughput:          res.Report.Throughput,
-		EffectiveThroughput: res.Report.EffectiveThroughput,
-		QoS:                 res.Report.QoS,
-		MeanTTFT:            res.Report.MeanTTFT,
-		P50TTFT:             res.Report.P50TTFT,
-		P99TTFT:             res.Report.P99TTFT,
-		TotalRebuffer:       res.Report.TotalRebuffer,
-		Preemptions:         res.Report.Preemptions,
-		MakespanSec:         res.Makespan.Seconds(),
-		TimedOut:            res.TimedOut,
+		Finished:            rep.Finished,
+		Total:               rep.N,
+		Throughput:          rep.Throughput,
+		EffectiveThroughput: rep.EffectiveThroughput,
+		QoS:                 rep.QoS,
+		MeanTTFT:            rep.MeanTTFT,
+		P50TTFT:             rep.P50TTFT,
+		P99TTFT:             rep.P99TTFT,
+		TotalRebuffer:       rep.TotalRebuffer,
+		Preemptions:         rep.Preemptions,
+		MakespanSec:         makespan.Seconds(),
+		TimedOut:            timedOut,
 	}
-	for i, r := range res.Requests {
-		rm := res.Report.Requests[i]
+	for i, r := range reqs {
+		rm := rep.Requests[i]
 		rs := RequestStats{
 			ID: r.ID, Finished: rm.Finished, TTFT: rm.TTFT,
 			Rebuffer: rm.Rebuffer, Tokens: rm.Tokens, Preemptions: rm.Preemptions,
@@ -289,7 +306,7 @@ func convert(sys System, res *engine.Result) *Result {
 		}
 		out.Requests = append(out.Requests, rs)
 	}
-	for _, s := range res.Samples {
+	for _, s := range samples {
 		out.Samples = append(out.Samples, Sample{AtSeconds: s.At.Seconds(), Queued: s.Queued, Running: s.Running})
 	}
 	return out
@@ -346,6 +363,36 @@ func BurstGPTSpikesWorkload(durationSec, baseRate float64, spikeEverySec float64
 	return fromTrace(w)
 }
 
+// SessionWorkload builds a multi-turn chat workload: sessions
+// conversations starting uniformly over durationSec, each 3-8 turns whose
+// prompts grow by the previous response plus a short followup (a shared
+// prefix session-affinity routing can exploit), separated by think-time
+// gaps.
+func SessionWorkload(sessions int, durationSec float64, rate float64, seed int64) Workload {
+	w := trace.Sessions("sessions", trace.SessionConfig{
+		Sessions: sessions,
+		Duration: simclock.FromSeconds(durationSec),
+		Rates:    trace.FixedRate(rate),
+		Seed:     seed,
+	})
+	return fromTrace(w)
+}
+
+// SessionSpikesWorkload is SessionWorkload with periodic flash crowds:
+// every spikeEverySec, a cohort of sessions opens simultaneously (half of
+// all sessions arrive in cohorts) — the multi-turn request-burst regime
+// the cluster experiment studies.
+func SessionSpikesWorkload(sessions int, durationSec, spikeEverySec float64, rate float64, seed int64) Workload {
+	w := trace.Sessions("session-spikes", trace.SessionConfig{
+		Sessions:   sessions,
+		Duration:   simclock.FromSeconds(durationSec),
+		SpikeEvery: simclock.FromSeconds(spikeEverySec),
+		Rates:      trace.FixedRate(rate),
+		Seed:       seed,
+	})
+	return fromTrace(w)
+}
+
 func fromTrace(w trace.Workload) Workload {
 	out := make(Workload, 0, w.Len())
 	for _, it := range w.Items {
@@ -354,6 +401,8 @@ func fromTrace(w trace.Workload) Workload {
 			PromptTokens:   it.PromptLen,
 			OutputTokens:   it.OutputLen,
 			RatePerSec:     it.Rate,
+			SessionID:      it.Session,
+			Turn:           it.Turn,
 		})
 	}
 	return out
