@@ -65,6 +65,7 @@ func BenchmarkFig22RescheduleInterval(b *testing.B)     { runExperiment(b, "fig2
 func BenchmarkFig23BufferConservativeness(b *testing.B) { runExperiment(b, "fig23") }
 func BenchmarkTab02Ablation(b *testing.B)               { runExperiment(b, "tab02") }
 func BenchmarkClusterScaling(b *testing.B)              { runExperiment(b, "cluster") }
+func BenchmarkHeteroPools(b *testing.B)                 { runExperiment(b, "hetero") }
 
 // BenchmarkCluster4xLeastQueue measures one full 4-replica cluster
 // simulation under least-queue routing on the multi-turn spike workload —
@@ -92,6 +93,44 @@ func BenchmarkCluster4xLeastQueue(b *testing.B) {
 		}
 	}
 }
+
+// benchHetero measures one full heterogeneous cluster run (1×H200 +
+// 2×RTX-4090) under session-affinity routing on the multi-turn spike
+// workload, with cross-replica KV migration on or off — the
+// unified-residency subsystem's wall-clock cost and the perf datapoint
+// pair for the migration-vs-recompute tradeoff.
+func benchHetero(b *testing.B, migrate bool) {
+	b.Helper()
+	s := experiments.Scale
+	sessions := int(300 * s)
+	if sessions < 1 {
+		sessions = 1
+	}
+	w := tokenflow.SessionSpikesWorkload(sessions, 240*s, 60*s, 20, 7)
+	for i := 0; i < b.N; i++ {
+		res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config: tokenflow.Config{GPU: "RTX-4090", Model: "Llama3-8B"},
+			ReplicaSpecs: []tokenflow.ReplicaSpec{
+				{GPU: "H200", MemFraction: 0.3, Count: 1},
+				{GPU: "RTX-4090", MemFraction: 0.9, Count: 2},
+			},
+			Router:  tokenflow.RouterSessionAffinity,
+			Migrate: migrate,
+		}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cluster.Finished == 0 {
+			b.Fatal("no requests finished")
+		}
+		if res.PinnedPrefixPages == 0 {
+			b.Fatal("prefix residency should charge the pools")
+		}
+	}
+}
+
+func BenchmarkCluster4xHeteroMigrate(b *testing.B)   { benchHetero(b, true) }
+func BenchmarkCluster4xHeteroNoMigrate(b *testing.B) { benchHetero(b, false) }
 
 // The §7.6 overhead analysis as direct testing.B microbenchmarks: the
 // wall-clock cost of one scheduling decision on a stressed view (the

@@ -9,15 +9,59 @@
 //
 //	tokenflow-sim -replicas 4 -router session-affinity \
 //	    -workload session-spikes -n 300 -duration 240
+//
+// -hetero lays out a heterogeneous pool ("GPU[:count[:memfrac]]" comma
+// list) and -migrate enables cross-replica KV migration:
+//
+//	tokenflow-sim -hetero "H200:1:0.3,RTX-4090:3:0.75" -migrate \
+//	    -router session-affinity -workload session-spikes -n 300 -duration 240
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"repro/tokenflow"
 )
+
+// parseHetero parses a "GPU[:count[:memfrac]]" comma list into replica
+// specs, e.g. "H200:1:0.3,RTX-4090:3:0.75".
+func parseHetero(s string) ([]tokenflow.ReplicaSpec, error) {
+	var specs []tokenflow.ReplicaSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("bad replica spec %q (want GPU[:count[:memfrac]])", part)
+		}
+		spec := tokenflow.ReplicaSpec{GPU: fields[0], Count: 1}
+		if len(fields) > 1 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad replica count in %q", part)
+			}
+			spec.Count = n
+		}
+		if len(fields) > 2 {
+			f, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || f <= 0 || f > 1 {
+				return nil, fmt.Errorf("bad mem fraction in %q", part)
+			}
+			spec.MemFraction = f
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty -hetero spec %q", s)
+	}
+	return specs, nil
+}
 
 func main() {
 	var (
@@ -35,7 +79,9 @@ func main() {
 		rate     = flag.Float64("rate", 20, "client consumption rate (tok/s); 0 = instant")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		replicas = flag.Int("replicas", 1, "engine replicas (cluster mode when > 1)")
-		routerP  = flag.String("router", "round-robin", "round-robin | least-queue | least-kv | session-affinity")
+		routerP  = flag.String("router", "round-robin", "round-robin | least-queue | least-kv | weighted-capacity | session-affinity")
+		hetero   = flag.String("hetero", "", `heterogeneous pool as "GPU[:count[:memfrac]],..." (cluster mode)`)
+		migrate  = flag.Bool("migrate", false, "enable cross-replica KV migration over the interconnect")
 	)
 	flag.Parse()
 
@@ -63,23 +109,39 @@ func main() {
 	}
 
 	var res *tokenflow.Result
-	if *replicas > 1 {
-		cres, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+	if *replicas > 1 || *hetero != "" {
+		ccfg := tokenflow.ClusterConfig{
 			Config:   cfg,
 			Replicas: *replicas,
 			Router:   tokenflow.RouterPolicy(*routerP),
-		}, w)
+			Migrate:  *migrate,
+		}
+		if *hetero != "" {
+			specs, err := parseHetero(*hetero)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ccfg.ReplicaSpecs = specs
+		}
+		cres, err := tokenflow.RunCluster(ccfg, w)
 		if err != nil {
 			log.Fatal(err)
 		}
 		res = cres.Cluster
-		fmt.Printf("replicas            %d (router: %s)\n", *replicas, cres.Router)
+		fmt.Printf("replicas            %d (router: %s)\n", len(cres.Replicas), cres.Router)
 		fmt.Printf("load imbalance      %.2fx peak/mean\n", cres.Imbalance)
 		fmt.Printf("prefix-cache hits   %d (%d tokens of prefill skipped)\n",
 			cres.PrefixHits, cres.PrefixHitTokens)
+		fmt.Printf("prefix residency    %d pages pinned at end, %d pressure evictions\n",
+			cres.PinnedPrefixPages, cres.PrefixEvictions)
+		if *migrate {
+			fmt.Printf("KV migrations       %d (%d tokens shipped, %d drops)\n",
+				cres.Migrations, cres.MigratedTokens, cres.MigrationDrops)
+		}
 		for _, rr := range cres.Replicas {
-			fmt.Printf("  replica %d         %d routed, %d finished, p99 TTFT %.2fs\n",
-				rr.ID, rr.Routed, rr.Result.Finished, rr.Result.P99TTFT.Seconds())
+			fmt.Printf("  replica %d (%s)  %d routed, %d finished, p99 TTFT %.2fs, %d pages pinned\n",
+				rr.ID, rr.GPU, rr.Routed, rr.Result.Finished, rr.Result.P99TTFT.Seconds(),
+				rr.PinnedPrefixPages)
 		}
 	} else {
 		var err error

@@ -1,7 +1,12 @@
 // Cluster: horizontally scaling a chat deployment. A multi-turn session
 // workload with periodic flash crowds is served by 4 TokenFlow replicas
 // under each routing policy; the router that keeps sessions on the
-// replica holding their prefix KV wins the tail latency race.
+// replica holding their prefix KV wins the tail latency race. A second
+// pass runs an imbalanced heterogeneous pool (1×H200 + 2×RTX-4090) and
+// toggles cross-replica KV migration: when routing diverts a session off
+// its pin holder, shipping the pinned prefix over the interconnect keeps
+// the reuse chain alive instead of recomputing it — more prefix hits,
+// lower mean TTFT.
 //
 //	go run ./examples/cluster
 package main
@@ -42,5 +47,37 @@ func main() {
 			res.Cluster.QoS,
 			res.PrefixHits,
 			res.Imbalance)
+	}
+
+	// Heterogeneous pool, affinity routing, migration on vs off. Prefix
+	// residency is charged to the pools (pinned pages > 0), and when an
+	// overloaded pin holder forces a diversion, migration ships the
+	// session's pinned KV to the new replica instead of recomputing it.
+	fmt.Printf("\n1×H200 + 2×RTX-4090, session-affinity:\n")
+	fmt.Printf("%-12s %10s %12s %12s %12s\n",
+		"migration", "mean-TTFT", "prefix-hits", "pinned-pages", "migrations")
+	for _, migrate := range []bool{false, true} {
+		res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config: cfg,
+			ReplicaSpecs: []tokenflow.ReplicaSpec{
+				{GPU: "H200", MemFraction: 0.3, Count: 1},
+				{GPU: "RTX-4090", MemFraction: 0.9, Count: 2},
+			},
+			Router:  tokenflow.RouterSessionAffinity,
+			Migrate: migrate,
+		}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "off"
+		if migrate {
+			name = "on"
+		}
+		fmt.Printf("%-12s %9.3fs %12d %12d %12d\n",
+			name,
+			res.Cluster.MeanTTFT.Seconds(),
+			res.PrefixHits,
+			res.PinnedPrefixPages,
+			res.Migrations)
 	}
 }

@@ -1,9 +1,19 @@
-// Package cluster simulates a multi-replica serving deployment: N
-// independent engine replicas sharing one virtual clock, fronted by a
-// pluggable routing policy (internal/router) that assigns each arriving
-// request to a replica at its arrival instant. Per-replica results are
-// aggregated into a cluster-level report with merged TTFT percentiles,
-// total throughput, QoS, and a load-imbalance statistic.
+// Package cluster simulates a multi-replica serving deployment: N engine
+// replicas — possibly heterogeneous (mixed GPUs, pool sizes, compute
+// costs; the BuildEngine callback decides per index) — sharing one virtual
+// clock, fronted by a pluggable routing policy (internal/router) that
+// assigns each arriving request to a replica at its arrival instant.
+// Per-replica results are aggregated into a cluster-level report with
+// merged TTFT percentiles, total throughput, QoS, and load-imbalance
+// statistics (end-of-run and per-sample-tick).
+//
+// With migration enabled the replicas are joined by an interconnect link
+// mesh: when the routing policy steers a multi-turn request away from the
+// replica holding its pinned prefix KV (typically because that replica is
+// overloaded), the cluster ships the pinned pages to the chosen replica
+// over the mesh instead of letting it recompute them. The request is
+// delivered when its KV arrives, so migration latency is on the virtual
+// clock and inside the request's TTFT.
 //
 // A single-replica cluster with round-robin routing reduces exactly to the
 // single-device engine.Run path: same clock, same admission sequence, same
@@ -16,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/request"
 	"repro/internal/router"
@@ -33,11 +44,21 @@ type Config struct {
 	Policy router.Policy
 
 	// SampleEvery enables cluster-wide queued/running time-series sampling
-	// (per replica plus the merged series); zero disables it.
+	// (per replica plus the merged series and the imbalance series); zero
+	// disables it.
 	SampleEvery time.Duration
 
 	// MaxSimTime aborts runaway simulations (default 4 simulated hours).
 	MaxSimTime time.Duration
+
+	// Migrate enables cross-replica KV migration: when the policy routes a
+	// session away from the replica pinning its prefix, the pinned pages
+	// ship over the interconnect mesh instead of being recomputed.
+	Migrate bool
+
+	// InterconnectGBps is the per-directed-pair bandwidth of the replica
+	// interconnect mesh (default 25, RDMA-class).
+	InterconnectGBps float64
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSimTime == 0 {
 		c.MaxSimTime = 4 * time.Hour
+	}
+	if c.InterconnectGBps == 0 {
+		c.InterconnectGBps = 25
 	}
 	return c
 }
@@ -67,6 +91,8 @@ type replica struct {
 func (r *replica) ID() int                            { return r.id }
 func (r *replica) QueueDepth() int                    { return r.eng.OutstandingRequests() }
 func (r *replica) FreeKVPages() int                   { return r.eng.FreeKVPages() }
+func (r *replica) TotalKVPages() int                  { return r.eng.TotalKVPages() }
+func (r *replica) FreeKVTokens() int                  { return r.eng.FreeKVTokens() }
 func (r *replica) CachedPrefixTokens(session int) int { return r.eng.CachedPrefixTokens(session) }
 
 // ReplicaStats reports one replica's share of a finished run.
@@ -103,6 +129,20 @@ type Result struct {
 	// tokens (1.0 = perfectly balanced).
 	Imbalance float64
 
+	// ImbalanceSeries samples the per-replica load imbalance over time:
+	// at each sampling tick, the peak-to-mean ratio of outstanding
+	// (queued + running) requests across replicas. Empty when sampling is
+	// disabled.
+	ImbalanceSeries []ImbalancePoint
+
+	// Migrations counts cross-replica prefix migrations the cluster
+	// performed; MigratedTokens the KV tokens shipped over the mesh;
+	// MigrationDrops the installs the target replica had to reject for
+	// lack of memory.
+	Migrations     int64
+	MigratedTokens int64
+	MigrationDrops int64
+
 	// PrefixHits and PrefixHitTokens total the session prefix-cache hits
 	// across replicas (the reuse affinity routing preserved).
 	PrefixHits      int64
@@ -115,6 +155,14 @@ type Result struct {
 	Requests []*request.Request
 }
 
+// ImbalancePoint is one sample of the per-replica load imbalance.
+type ImbalancePoint struct {
+	At simclock.Time
+	// Value is the peak-to-mean ratio of per-replica outstanding requests
+	// at the instant (1.0 = perfectly balanced or idle).
+	Value float64
+}
+
 // Cluster is a primed multi-replica simulation.
 type Cluster struct {
 	cfg          Config
@@ -122,6 +170,16 @@ type Cluster struct {
 	replicas     []*replica
 	views        []router.Replica
 	arrivalsDone bool
+
+	// ic is the interconnect mesh: ic[i][j] carries prefix KV from
+	// replica i to replica j (nil on the diagonal; built only when
+	// migration is enabled).
+	ic [][]*gpu.Link
+
+	migrationsInFlight int
+	migrations         int64
+	migratedTokens     int64
+	migrationDrops     int64
 }
 
 // New builds a cluster of cfg.Replicas engines on one shared clock.
@@ -146,15 +204,30 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		c.replicas = append(c.replicas, rep)
 		c.views = append(c.views, rep)
 	}
+	if cfg.Migrate {
+		c.ic = make([][]*gpu.Link, cfg.Replicas)
+		for i := range c.ic {
+			c.ic[i] = make([]*gpu.Link, cfg.Replicas)
+			for j := range c.ic[i] {
+				if i != j {
+					c.ic[i][j] = gpu.NewLink(fmt.Sprintf("ic-%d-%d", i, j),
+						cfg.InterconnectGBps*1e9)
+				}
+			}
+		}
+	}
 	return c, nil
 }
 
 // Run simulates the workload across the cluster to completion.
 func (c *Cluster) Run(w trace.Workload) (*Result, error) {
-	// Every request must individually fit one replica (replicas are
-	// homogeneous, so checking against replica 0 covers all).
-	if err := c.replicas[0].eng.ValidateWorkload(w); err != nil {
-		return nil, err
+	// Every request must individually fit every replica: in a
+	// heterogeneous pool any policy may route any request anywhere, so the
+	// smallest replica bounds admissible request sizes.
+	for _, rep := range c.replicas {
+		if err := rep.eng.ValidateWorkload(w); err != nil {
+			return nil, fmt.Errorf("replica %d: %w", rep.id, err)
+		}
 	}
 
 	// Arrivals: the routing decision happens at the arrival instant, when
@@ -172,6 +245,9 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 				for _, rp := range c.replicas {
 					rp.eng.SetArrivalsDone()
 				}
+			}
+			if c.maybeMigrate(r, it, rep, now) {
+				return // Inject happens when the KV arrives.
 			}
 			rep.eng.Inject(r, now)
 		})
@@ -218,10 +294,54 @@ func (c *Cluster) route(id int, it trace.Item) int {
 	return pick
 }
 
-// done reports whether all arrivals were injected and every replica
-// drained its share (a replica routed zero requests counts as drained).
+// maybeMigrate ships a session's pinned prefix KV to the routed replica
+// when a different replica holds it: the donor's pages travel the
+// interconnect mesh and the request is delivered with its KV, so the
+// transfer is on the clock and inside the request's TTFT. It reports
+// whether a migration was started (and the inject deferred).
+func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replica, now simclock.Time) bool {
+	if c.ic == nil || it.Session == 0 {
+		return false
+	}
+	// The donor is the replica pinning the most of this session's prefix —
+	// but only a strictly extendable prefix (smaller than the prompt) is
+	// worth shipping, and only if it beats what the target already holds.
+	donor, best := -1, target.eng.CachedPrefixTokens(it.Session)
+	for _, rep := range c.replicas {
+		if rep == target {
+			continue
+		}
+		if t := rep.eng.CachedPrefixTokens(it.Session); t > best && t < it.PromptLen {
+			donor, best = rep.id, t
+		}
+	}
+	if donor < 0 {
+		return false
+	}
+	tokens, bytes, ok := c.replicas[donor].eng.BeginPrefixMigration(it.Session)
+	if !ok {
+		return false
+	}
+	c.migrations++
+	c.migratedTokens += int64(tokens)
+	c.migrationsInFlight++
+	_, done := c.ic[donor][target.id].Enqueue(now, bytes)
+	c.clock.At(done, func(t simclock.Time) {
+		c.replicas[donor].eng.CompletePrefixMigration(it.Session, t)
+		if !target.eng.InstallMigratedPrefix(it.Session, tokens, t) {
+			c.migrationDrops++
+		}
+		c.migrationsInFlight--
+		target.eng.Inject(r, t)
+	})
+	return true
+}
+
+// done reports whether all arrivals were injected (including requests
+// waiting on an in-flight KV migration) and every replica drained its
+// share (a replica routed zero requests counts as drained).
 func (c *Cluster) done() bool {
-	if !c.arrivalsDone {
+	if !c.arrivalsDone || c.migrationsInFlight > 0 {
 		return false
 	}
 	for _, rep := range c.replicas {
@@ -272,7 +392,35 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.Report = metrics.Analyze(res.Requests, makespan, c.replicas[0].eng.QoSParams())
 	res.Imbalance = metrics.Imbalance(loads)
 	res.Samples = mergeSamples(res.PerReplica)
+	res.ImbalanceSeries = imbalanceSeries(res.PerReplica)
+	res.Migrations = c.migrations
+	res.MigratedTokens = c.migratedTokens
+	res.MigrationDrops = c.migrationDrops
 	return res
+}
+
+// imbalanceSeries computes, per sampling tick, the peak-to-mean ratio of
+// per-replica outstanding (queued + running) requests — the over-time view
+// of the end-of-run Imbalance scalar.
+func imbalanceSeries(per []ReplicaStats) []ImbalancePoint {
+	if len(per) == 0 || len(per[0].Result.Samples) == 0 {
+		return nil
+	}
+	n := len(per[0].Result.Samples)
+	out := make([]ImbalancePoint, 0, n)
+	loads := make([]float64, len(per))
+	for i := 0; i < n; i++ {
+		at := per[0].Result.Samples[i].At
+		for j, rs := range per {
+			loads[j] = 0
+			if i < len(rs.Result.Samples) {
+				s := rs.Result.Samples[i]
+				loads[j] = float64(s.Queued + s.Running)
+			}
+		}
+		out = append(out, ImbalancePoint{At: at, Value: metrics.Imbalance(loads)})
+	}
+	return out
 }
 
 // mergeSamples sums the per-replica queued/running series tick by tick.

@@ -3,6 +3,7 @@ package cluster_test
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -166,6 +167,142 @@ func TestAffinityRoutesTurnsTogether(t *testing.T) {
 	}
 	if res.PrefixHits < int64(turns)/2 {
 		t.Errorf("only %d/%d follow-up turns hit the prefix cache", res.PrefixHits, turns)
+	}
+}
+
+// fixedPolicy routes each request ID to a preassigned replica (testing
+// harness for deterministic migration scenarios).
+type fixedPolicy struct{ m map[int]int }
+
+func (p *fixedPolicy) Name() string { return "fixed" }
+func (p *fixedPolicy) Pick(req router.Request, _ []router.Replica) int {
+	return p.m[req.ID]
+}
+
+// buildHetero returns a BuildEngine with one H200 replica (index 0) ahead
+// of RTX-4090 replicas.
+func buildHetero() cluster.BuildEngine {
+	return func(i int, clock *simclock.Clock) (*engine.Engine, error) {
+		g := gpu.RTX4090
+		if i == 0 {
+			g = gpu.H200
+		}
+		return engine.New(engine.Config{
+			GPU:         g,
+			Model:       model.Llama3_8B,
+			MemFraction: 0.9,
+			Scheduler:   core.MustNew(core.DefaultConfig()),
+			KV:          engine.TokenFlowKVPolicy(),
+			Clock:       clock,
+		})
+	}
+}
+
+// TestHeterogeneousWeightedRouting: on a mixed H200/4090 pool the
+// capacity-weighted policy sends the big replica proportionally more work
+// than its small peers, and everything still completes.
+func TestHeterogeneousWeightedRouting(t *testing.T) {
+	w := sessionWorkload(t)
+	cl, err := cluster.New(cluster.Config{
+		Replicas: 3,
+		Policy:   router.NewWeightedCapacity(),
+	}, buildHetero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Finished != w.Len() {
+		t.Fatalf("finished %d/%d", res.Report.Finished, w.Len())
+	}
+	if h, small := res.PerReplica[0].Routed, res.PerReplica[1].Routed; h <= small {
+		t.Errorf("H200 routed %d <= 4090's %d; capacity weighting should load the big replica more",
+			h, small)
+	}
+}
+
+// TestMigrationShipsPinnedPrefix pins a session's context on replica 0,
+// routes its second turn to replica 1, and checks that with migration the
+// prefix arrives there — the turn hits the cache on a replica that never
+// served it — while without migration it recomputes.
+func TestMigrationShipsPinnedPrefix(t *testing.T) {
+	w := trace.Workload{Name: "migrate", Items: []trace.Item{
+		{Arrival: 0, PromptLen: 256, OutputLen: 64, Rate: 20, Session: 1, Turn: 1},
+		{Arrival: simclock.FromSeconds(30), PromptLen: 384, OutputLen: 64, Rate: 20, Session: 1, Turn: 2},
+	}}
+	run := func(migrate bool) *cluster.Result {
+		cl, err := cluster.New(cluster.Config{
+			Replicas: 2,
+			Policy:   &fixedPolicy{m: map[int]int{0: 0, 1: 1}},
+			Migrate:  migrate,
+		}, buildTokenFlow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.Finished != 2 {
+			t.Fatalf("finished %d/2", res.Report.Finished)
+		}
+		return res
+	}
+
+	with := run(true)
+	without := run(false)
+
+	if with.Migrations != 1 || with.MigratedTokens != 320 {
+		t.Errorf("migrations = %d (%d tokens), want 1 (320 tokens)",
+			with.Migrations, with.MigratedTokens)
+	}
+	if with.PrefixHits != 1 {
+		t.Errorf("migrated run prefix hits = %d, want 1 (hit on the target replica)", with.PrefixHits)
+	}
+	if without.Migrations != 0 || without.PrefixHits != 0 {
+		t.Errorf("migration-off run: migrations=%d hits=%d, want 0/0",
+			without.Migrations, without.PrefixHits)
+	}
+	// Shipping 320 tokens of KV must beat recomputing them.
+	mTTFT := with.Report.Requests[1].TTFT
+	rTTFT := without.Report.Requests[1].TTFT
+	if mTTFT >= rTTFT {
+		t.Errorf("migrated turn TTFT %v >= recompute TTFT %v", mTTFT, rTTFT)
+	}
+}
+
+// TestImbalanceSeriesTracksLoad: sampling produces a per-tick imbalance
+// series aligned with the merged samples.
+func TestImbalanceSeriesTracksLoad(t *testing.T) {
+	w := sessionWorkload(t)
+	cl, err := cluster.New(cluster.Config{
+		Replicas:    4,
+		Policy:      router.NewRoundRobin(),
+		SampleEvery: 5 * time.Second,
+	}, buildTokenFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ImbalanceSeries) == 0 {
+		t.Fatal("sampling enabled but imbalance series empty")
+	}
+	if len(res.ImbalanceSeries) != len(res.Samples) {
+		t.Errorf("imbalance series has %d points, merged samples %d",
+			len(res.ImbalanceSeries), len(res.Samples))
+	}
+	for i, p := range res.ImbalanceSeries {
+		if p.Value < 1 {
+			t.Fatalf("imbalance point %d = %v < 1", i, p.Value)
+		}
+		if p.At != res.Samples[i].At {
+			t.Fatalf("imbalance point %d at %v, sample at %v", i, p.At, res.Samples[i].At)
+		}
 	}
 }
 

@@ -75,11 +75,14 @@ type Config struct {
 	// MaxSimTime aborts runaway simulations (default 4 simulated hours).
 	MaxSimTime time.Duration
 
-	// PrefixCacheFraction sizes the session prefix cache as a share of KV
+	// PrefixCacheFraction caps the session prefix cache as a share of KV
 	// capacity: finished turns of multi-turn sessions keep their context
-	// available (LRU within this token budget), so the session's next turn
-	// prefills only the new tokens. Zero selects the default 0.5; negative
-	// disables the cache. Sessionless workloads are unaffected.
+	// pinned on the device (LRU within this page budget), so the session's
+	// next turn prefills only the new tokens. Pinned prefixes are charged
+	// against the KV page pool, evicted under memory pressure, and always
+	// reclaimed before an admission is allowed to stall. Zero selects the
+	// default 0.5; negative disables the cache. Sessionless workloads are
+	// unaffected.
 	PrefixCacheFraction float64
 
 	// Clock optionally injects a shared virtual clock. When nil the engine
@@ -151,8 +154,12 @@ type Result struct {
 
 	// PrefixHits counts requests admitted with a session prefix-cache hit;
 	// PrefixHitTokens is the total prefill work those hits skipped.
-	PrefixHits      int64
-	PrefixHitTokens int64
+	// PrefixEvictedMisses counts hits revoked at admission because memory
+	// pressure evicted the pinned prefix first (those requests re-prefill
+	// at full cost).
+	PrefixHits          int64
+	PrefixHitTokens     int64
+	PrefixEvictedMisses int64
 
 	// Makespan is the time of the last generated token (T in Eq. 2).
 	Makespan time.Duration
@@ -213,11 +220,12 @@ type Engine struct {
 	arrivalsDone bool
 	timedOut     bool
 
-	// prefix is the session prefix cache (nil when disabled); hits shorten
-	// prefill for multi-turn sessions routed back to this engine.
-	prefix          *prefixCache
-	prefixHits      int64
-	prefixHitTokens int64
+	// Session prefix-cache accounting. The cache itself lives in the KV
+	// manager as pinned page-pool reservations (kvcache prefix pins); hits
+	// shorten prefill for multi-turn sessions routed back to this engine.
+	prefixHits          int64
+	prefixHitTokens     int64
+	prefixEvictedMisses int64
 }
 
 // New builds an engine for the given deployment.
@@ -257,15 +265,16 @@ func New(cfg Config) (*Engine, error) {
 		LoadEvictOverlap: cfg.KV.LoadEvictOverlap,
 		PriorityWrites:   cfg.KV.PriorityWrites,
 	}
+	if cfg.PrefixCacheFraction > 0 {
+		kvcfg.PrefixPages = int(cfg.PrefixCacheFraction * float64(kvcfg.GPUPages))
+	}
 	e.mem, err = kvcache.New(kvcfg, e.clock, e.d2h, e.h2d, kvcache.Callbacks{
-		EvictDone: e.onEvictDone,
-		LoadDone:  e.onLoadDone,
+		EvictDone:  e.onEvictDone,
+		LoadDone:   e.onLoadDone,
+		PinDrained: func(now simclock.Time) { e.kick(now) },
 	})
 	if err != nil {
 		return nil, err
-	}
-	if cfg.PrefixCacheFraction > 0 {
-		e.prefix = newPrefixCache(int(cfg.PrefixCacheFraction * float64(capTokens)))
 	}
 	return e, nil
 }
@@ -355,12 +364,14 @@ func (e *Engine) Prime(w trace.Workload) error {
 // the single-device path so both paths share one admission sequence. A
 // session prefix-cache hit is assessed here, at arrival.
 func (e *Engine) Inject(r *request.Request, now simclock.Time) {
-	if e.prefix != nil && r.Session != 0 {
-		// A hit requires the new prompt to strictly extend the cached
+	if r.Session != 0 {
+		// A hit requires the new prompt to strictly extend the pinned
 		// context (hit < PromptLen). A cached context at least as long as
 		// the prompt means the conversation was truncated upstream — the
-		// prefix no longer aligns, so it counts as a miss.
-		if hit := e.prefix.take(r.Session); hit > 0 && hit < r.PromptLen {
+		// prefix no longer aligns, so it counts as a miss. The hit is
+		// provisional: if memory pressure evicts the pin before this
+		// request is admitted, admission revokes it (prefixEvictedMisses).
+		if hit := e.mem.TakePrefix(r.Session); hit > 0 && hit < r.PromptLen {
 			r.CachedPrompt = hit
 			e.prefixHits++
 			e.prefixHitTokens += int64(hit)
@@ -379,13 +390,10 @@ func (e *Engine) SetArrivalsDone() { e.arrivalsDone = true }
 // simulation-time deadline.
 func (e *Engine) MarkTimedOut() { e.timedOut = true }
 
-// CachedPrefixTokens reports the session prefix tokens this engine's
-// prefix cache holds, without perturbing eviction order (router probe).
+// CachedPrefixTokens reports the session prefix tokens this engine's KV
+// manager holds pinned, without perturbing eviction order (router probe).
 func (e *Engine) CachedPrefixTokens(session int) int {
-	if e.prefix == nil {
-		return 0
-	}
-	return e.prefix.peek(session)
+	return e.mem.PeekPrefix(session)
 }
 
 // Sample appends one point to the engine's queued/running time series.
@@ -393,6 +401,38 @@ func (e *Engine) Sample(now simclock.Time) { e.track.Sample(now) }
 
 // FreeKVPages reports the free device KV pages (router hook).
 func (e *Engine) FreeKVPages() int { return e.mem.FreePages() }
+
+// TotalKVPages reports the device KV pool capacity in pages (the capacity
+// signal heterogeneous-aware routers weigh).
+func (e *Engine) TotalKVPages() int { return e.mem.TotalPages() }
+
+// FreeKVTokens reports the free device KV capacity in tokens.
+func (e *Engine) FreeKVTokens() int { return e.mem.FreePages() * e.cfg.PageTokens }
+
+// PinnedPrefixPages reports the pool pages currently held by session
+// prefix pins (per-replica KV pressure telemetry).
+func (e *Engine) PinnedPrefixPages() int { return e.mem.PinnedPrefixPages() }
+
+// BeginPrefixMigration stakes the session's pinned prefix for migration to
+// a peer replica, reporting the pinned tokens and wire size. The cluster
+// books the interconnect transfer and calls CompletePrefixMigration when
+// it finishes.
+func (e *Engine) BeginPrefixMigration(session int) (tokens int, bytes int64, ok bool) {
+	return e.mem.BeginMigrateOut(session)
+}
+
+// CompletePrefixMigration releases a migrated-out prefix; the freed pages
+// may unblock stalled admissions, so the loop re-kicks.
+func (e *Engine) CompletePrefixMigration(session int, now simclock.Time) {
+	e.mem.CompleteMigrateOut(session)
+	e.kick(now)
+}
+
+// InstallMigratedPrefix materializes a migrated-in session prefix as a
+// pinned page-pool reservation on this replica.
+func (e *Engine) InstallMigratedPrefix(session, tokens int, now simclock.Time) bool {
+	return e.mem.InstallPrefix(session, tokens, now)
+}
 
 // OutstandingRequests reports how many injected requests have not finished
 // generating: the queued+running load a router balances.
@@ -422,20 +462,21 @@ func (e *Engine) Collect() *Result {
 	}
 
 	return &Result{
-		Scheduler:       e.cfg.Scheduler.Name(),
-		Report:          metrics.Analyze(e.track.All(), makespan, e.cfg.QoS),
-		Samples:         e.track.Samples(),
-		KV:              e.mem.Stats(),
-		Requests:        e.track.All(),
-		Iterations:      e.iterations,
-		PrefillIters:    e.prefillIters,
-		DecodeIters:     e.decodeIters,
-		MixedIters:      e.mixedIters,
-		BoundaryStall:   e.boundaryStall,
-		PrefixHits:      e.prefixHits,
-		PrefixHitTokens: e.prefixHitTokens,
-		Makespan:        time.Duration(makespan),
-		TimedOut:        e.timedOut,
+		Scheduler:           e.cfg.Scheduler.Name(),
+		Report:              metrics.Analyze(e.track.All(), makespan, e.cfg.QoS),
+		Samples:             e.track.Samples(),
+		KV:                  e.mem.Stats(),
+		Requests:            e.track.All(),
+		Iterations:          e.iterations,
+		PrefillIters:        e.prefillIters,
+		DecodeIters:         e.decodeIters,
+		MixedIters:          e.mixedIters,
+		BoundaryStall:       e.boundaryStall,
+		PrefixHits:          e.prefixHits,
+		PrefixHitTokens:     e.prefixHitTokens,
+		PrefixEvictedMisses: e.prefixEvictedMisses,
+		Makespan:            time.Duration(makespan),
+		TimedOut:            e.timedOut,
 	}
 }
 

@@ -107,6 +107,11 @@ func (e *Engine) resume(r *request.Request, mode sched.ResumeMode, now simclock.
 		if mode == sched.ResumeLoad {
 			need := int(e.mem.HostBytes(r) / e.mem.PageBytes())
 			if need > e.mem.FreePages() {
+				// Cached prefixes yield to live requests before a load
+				// stalls.
+				e.mem.ReclaimPrefixPages(need-e.mem.FreePages(), now, 0)
+			}
+			if need > e.mem.FreePages() {
 				return // no room yet; scheduler retries later
 			}
 			if _, err := e.mem.StartLoad(r, now); err != nil {
@@ -287,19 +292,42 @@ func (e *Engine) decodeBatch() []*request.Request {
 	return batch
 }
 
-// ensureAllocated claims device pages for a prefill job. Admission never
-// evicts running requests (that is a scheduling decision); when the pool
-// is full the job stays in the backlog and retries after memory frees.
-func (e *Engine) ensureAllocated(j *prefillJob, _ simclock.Time) bool {
+// ensureAllocated claims device pages for a prefill job. A fresh admission
+// with a surviving prefix pin adopts the pin's pages into its allocation
+// (the prefix KV is already resident); a hit whose pin was evicted under
+// pressure re-prefills at full cost. Admission never evicts running
+// requests (that is a scheduling decision), but it does reclaim cached
+// prefixes before stalling: when the pool is full the engine evicts pinned
+// prefixes LRU-first, and only if that cannot make room does the job stay
+// in the backlog to retry after memory frees.
+func (e *Engine) ensureAllocated(j *prefillJob, now simclock.Time) bool {
 	if j.allocated {
 		return true
 	}
+	adopt := 0
+	if !j.resume && j.req.CachedPrompt > 0 {
+		if e.mem.PeekPrefix(j.req.Session) >= j.req.CachedPrompt {
+			adopt = j.req.Session
+		} else {
+			// The pin was evicted between arrival and admission: revoke
+			// the hit and recompute the whole prompt.
+			e.prefixHits--
+			e.prefixHitTokens -= int64(j.req.CachedPrompt)
+			e.prefixEvictedMisses++
+			j.req.CachedPrompt = 0
+			j.target = j.alloc
+		}
+	}
 	// +1 covers the token generated by the prefill's own forward pass.
 	need := j.alloc + 1
-	if !e.mem.CanAllocate(need) {
-		return false
+	if !e.mem.CanAdmit(need, adopt) {
+		deficit := e.mem.Pages(need) - e.mem.FreePages() - e.mem.AdoptablePages(adopt)
+		e.mem.ReclaimPrefixPages(deficit, now, adopt)
+		if !e.mem.CanAdmit(need, adopt) {
+			return false
+		}
 	}
-	if err := e.mem.AllocateResident(j.req, need); err != nil {
+	if err := e.mem.AllocateWithPrefix(j.req, need, adopt); err != nil {
 		return false
 	}
 	j.allocated = true
@@ -318,7 +346,7 @@ func (e *Engine) completePrefill(j *prefillJob, now simclock.Time) {
 		r.DeliverTokens(e.clock, now, 1)
 	}
 	if r.GenerationDone() {
-		e.finish(r)
+		e.finish(r, now)
 	}
 }
 
@@ -336,6 +364,12 @@ func (e *Engine) advanceDecode(batch []*request.Request, now simclock.Time) {
 					grew = true
 					break
 				}
+				// Cached prefixes are the cheapest memory to take back;
+				// only preempt a running victim once no pin can free a
+				// page immediately.
+				if e.mem.ReclaimPrefixPages(1, now, 0) > 0 {
+					continue
+				}
 				if !e.reactiveEvict(r, now) {
 					break
 				}
@@ -348,7 +382,7 @@ func (e *Engine) advanceDecode(batch []*request.Request, now simclock.Time) {
 		}
 		r.DeliverTokens(e.clock, now, 1)
 		if r.GenerationDone() {
-			e.finish(r)
+			e.finish(r, now)
 		}
 	}
 }
@@ -373,13 +407,15 @@ func (e *Engine) reactiveEvict(protect *request.Request, now simclock.Time) bool
 	return true
 }
 
-// finish releases a completed request, retaining its context in the
-// session prefix cache for the session's next turn.
-func (e *Engine) finish(r *request.Request) {
-	if e.prefix != nil && r.Session != 0 {
-		e.prefix.put(r.Session, r.PromptLen+r.Generated)
+// finish releases a completed request. Multi-turn sessions convert their
+// resident context into a pinned prefix reservation — the pages stay
+// charged to the pool for the session's next turn instead of freeing.
+func (e *Engine) finish(r *request.Request, now simclock.Time) {
+	if e.mem.PrefixEnabled() && r.Session != 0 {
+		e.mem.ReleaseAsPrefix(r, r.Session, now)
+	} else {
+		e.mem.Discard(r)
 	}
-	e.mem.Discard(r)
 	e.running = removeReq(e.running, r)
 	e.track.Transition(r, request.StateFinished)
 }

@@ -32,6 +32,7 @@ func All() []Experiment {
 		{"tab02", Tab02},
 		{"overhead", Overhead},
 		{"cluster", ExpCluster},
+		{"hetero", ExpHetero},
 	}
 }
 

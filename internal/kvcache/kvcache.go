@@ -10,6 +10,7 @@
 package kvcache
 
 import (
+	"container/list"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -55,6 +56,12 @@ type Config struct {
 	// (requests most likely to be preempted sync first, §5.2); when false
 	// the write queue is FIFO by request admission.
 	PriorityWrites bool
+
+	// PrefixPages caps the pool pages that session prefix pins may occupy
+	// (see prefix.go). Pinned prefixes are real page-pool citizens: they
+	// are charged against GPUPages, evicted LRU under pressure, and
+	// reclaimed before any admission stall. Zero disables prefix pinning.
+	PrefixPages int
 }
 
 // Validate reports an error for non-positive geometry.
@@ -66,6 +73,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kvcache: non-positive pool size %d", c.GPUPages)
 	case c.BytesPerToken <= 0:
 		return fmt.Errorf("kvcache: non-positive bytes/token %d", c.BytesPerToken)
+	case c.PrefixPages < 0:
+		return fmt.Errorf("kvcache: negative prefix page budget %d", c.PrefixPages)
+	case c.PrefixPages > c.GPUPages:
+		return fmt.Errorf("kvcache: prefix budget %d exceeds pool %d", c.PrefixPages, c.GPUPages)
 	}
 	return nil
 }
@@ -124,6 +135,10 @@ type Callbacks struct {
 	EvictDone func(r *request.Request, now simclock.Time)
 	// LoadDone fires when a resuming request's KV is fully resident.
 	LoadDone func(r *request.Request, now simclock.Time)
+	// PinDrained fires when an evicted prefix pin's dirty pages finish
+	// draining to the host and their pool pages free (memory that may
+	// unblock a stalled admission or load).
+	PinDrained func(now simclock.Time)
 }
 
 // Manager is the hierarchical KV cache manager.
@@ -140,9 +155,19 @@ type Manager struct {
 	// syncOrder preserves admission order for FIFO write-through.
 	syncOrder []*entry
 
+	// Session prefix pins (see prefix.go).
+	pins            map[int]*pin
+	pinOrder        *list.List // Front = most recently used
+	pinnedPages     int
+	peakPinnedPages int
+
 	// stats
-	evictions, loads, discards, syncChunks int64
-	bytesEvicted, bytesLoaded, bytesSynced int64
+	evictions, loads, discards, syncChunks    int64
+	bytesEvicted, bytesLoaded, bytesSynced    int64
+	prefixPins, prefixEvictions, prefixAdopts int64
+	prefixBytesDrained                        int64
+	migratedInTokens, migratedOutTokens       int64
+	migrationDrops                            int64
 }
 
 // New constructs a manager. The two links model the full-duplex host
@@ -155,13 +180,15 @@ func New(cfg Config, clock *simclock.Clock, d2h, h2d *gpu.Link, cb Callbacks) (*
 		return nil, fmt.Errorf("kvcache: nil clock or links")
 	}
 	return &Manager{
-		cfg:     cfg,
-		clock:   clock,
-		d2h:     d2h,
-		h2d:     h2d,
-		cb:      cb,
-		free:    cfg.GPUPages,
-		entries: make(map[int]*entry),
+		cfg:      cfg,
+		clock:    clock,
+		d2h:      d2h,
+		h2d:      h2d,
+		cb:       cb,
+		free:     cfg.GPUPages,
+		entries:  make(map[int]*entry),
+		pins:     make(map[int]*pin),
+		pinOrder: list.New(),
 	}, nil
 }
 
@@ -221,18 +248,7 @@ func (m *Manager) CanAllocate(tokens int) bool {
 // freshly computed KV (prefill or recompute-resume). All pages start dirty
 // under write-through and unsynced under write-back.
 func (m *Manager) AllocateResident(r *request.Request, contextTokens int) error {
-	if e, ok := m.entries[r.ID]; ok && e.res != ResNone {
-		return fmt.Errorf("kvcache: request %d already has residency %v", r.ID, e.res)
-	}
-	pages := m.Pages(contextTokens)
-	if pages > m.free {
-		return fmt.Errorf("kvcache: request %d needs %d pages, %d free", r.ID, pages, m.free)
-	}
-	m.free -= pages
-	e := &entry{req: r, res: ResGPU, pages: pages, gpuHeld: pages}
-	m.entries[r.ID] = e
-	m.syncOrder = append(m.syncOrder, e)
-	return nil
+	return m.AllocateWithPrefix(r, contextTokens, 0)
 }
 
 // NeedsGrowth reports whether appending one token to the request's context
@@ -285,6 +301,11 @@ func (m *Manager) Discard(r *request.Request) {
 	e.epoch++
 	m.discards++
 	delete(m.entries, r.ID)
+	m.dropFromSyncOrder(e)
+}
+
+// dropFromSyncOrder removes an entry from the write-through queue.
+func (m *Manager) dropFromSyncOrder(e *entry) {
 	for i, se := range m.syncOrder {
 		if se == e {
 			m.syncOrder = append(m.syncOrder[:i], m.syncOrder[i+1:]...)

@@ -251,6 +251,16 @@ func (m *Manager) EstimateEvict(r *request.Request, now simclock.Time) time.Dura
 type Stats struct {
 	Evictions, Loads, Discards, SyncChunks int64
 	BytesEvicted, BytesLoaded, BytesSynced int64
+
+	// Prefix-pin residency counters (see prefix.go). PinnedPages and
+	// PeakPinnedPages are pool pages held by session prefix pins — the
+	// memory the prefix cache charges that the old compute-side model
+	// pretended was free.
+	PrefixPins, PrefixEvictions, PrefixAdoptions int64
+	PrefixBytesDrained                           int64
+	MigratedInTokens, MigratedOutTokens          int64
+	MigrationDrops                               int64
+	PinnedPages, PeakPinnedPages                 int
 }
 
 // Stats returns cumulative counters.
@@ -259,5 +269,10 @@ func (m *Manager) Stats() Stats {
 		Evictions: m.evictions, Loads: m.loads, Discards: m.discards,
 		SyncChunks: m.syncChunks, BytesEvicted: m.bytesEvicted,
 		BytesLoaded: m.bytesLoaded, BytesSynced: m.bytesSynced,
+		PrefixPins: m.prefixPins, PrefixEvictions: m.prefixEvictions,
+		PrefixAdoptions: m.prefixAdopts, PrefixBytesDrained: m.prefixBytesDrained,
+		MigratedInTokens: m.migratedInTokens, MigratedOutTokens: m.migratedOutTokens,
+		MigrationDrops: m.migrationDrops,
+		PinnedPages:    m.pinnedPages, PeakPinnedPages: m.peakPinnedPages,
 	}
 }

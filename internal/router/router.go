@@ -35,9 +35,16 @@ type Replica interface {
 	QueueDepth() int
 	// FreeKVPages reports the replica's free device KV pages.
 	FreeKVPages() int
+	// TotalKVPages reports the replica's KV pool capacity in pages. In a
+	// heterogeneous pool this is the capacity signal weighted policies
+	// normalize by.
+	TotalKVPages() int
+	// FreeKVTokens reports the replica's free device KV capacity in
+	// tokens (free pages × page granularity).
+	FreeKVTokens() int
 	// CachedPrefixTokens reports how many tokens of the session's prefix
-	// the replica's KV cache still holds (0 for unknown sessions). Probing
-	// must not perturb the cache's eviction order.
+	// the replica's KV cache still holds pinned (0 for unknown sessions).
+	// Probing must not perturb the cache's eviction order.
 	CachedPrefixTokens(session int) int
 }
 
@@ -54,15 +61,17 @@ type Policy interface {
 
 // Policy names accepted by ByName.
 const (
-	NameRoundRobin      = "round-robin"
-	NameLeastQueue      = "least-queue"
-	NameLeastKV         = "least-kv"
-	NameSessionAffinity = "session-affinity"
+	NameRoundRobin       = "round-robin"
+	NameLeastQueue       = "least-queue"
+	NameLeastKV          = "least-kv"
+	NameWeightedCapacity = "weighted-capacity"
+	NameSessionAffinity  = "session-affinity"
 )
 
 // Names lists the built-in policy names.
 func Names() []string {
-	return []string{NameRoundRobin, NameLeastQueue, NameLeastKV, NameSessionAffinity}
+	return []string{NameRoundRobin, NameLeastQueue, NameLeastKV,
+		NameWeightedCapacity, NameSessionAffinity}
 }
 
 // ByName constructs a fresh policy instance by name.
@@ -74,6 +83,8 @@ func ByName(name string) (Policy, error) {
 		return NewLeastQueue(), nil
 	case NameLeastKV:
 		return NewLeastKV(), nil
+	case NameWeightedCapacity:
+		return NewWeightedCapacity(), nil
 	case NameSessionAffinity:
 		return NewSessionAffinity(), nil
 	default:
@@ -142,14 +153,64 @@ func (p *LeastKV) Pick(_ Request, replicas []Replica) int {
 	return best
 }
 
-// SessionAffinity sticks multi-turn requests to the replica holding their
-// prefix KV (the replica reporting the largest cached prefix for the
-// session), falling back to least-queue for stateless requests, first
-// turns, and sessions whose prefix no replica retains — the AIBrix-style
-// prefix-cache-aware routing policy.
-type SessionAffinity struct {
-	fallback LeastQueue
+// WeightedCapacity routes to the replica with the lowest outstanding load
+// per unit of KV capacity — the heterogeneous-pool load balancer: a
+// replica with twice the pool absorbs twice the queue before it looks as
+// busy as its smaller peer. Ties break by larger capacity, then lowest
+// replica index.
+type WeightedCapacity struct{}
+
+// NewWeightedCapacity returns the capacity-weighted policy.
+func NewWeightedCapacity() *WeightedCapacity { return &WeightedCapacity{} }
+
+// Name implements Policy.
+func (p *WeightedCapacity) Name() string { return NameWeightedCapacity }
+
+// Pick implements Policy.
+func (p *WeightedCapacity) Pick(_ Request, replicas []Replica) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		// Compare q_i/cap_i < q_best/cap_best by cross-multiplying (exact
+		// integer arithmetic keeps picks deterministic).
+		qi, ci := replicas[i].QueueDepth(), replicas[i].TotalKVPages()
+		qb, cb := replicas[best].QueueDepth(), replicas[best].TotalKVPages()
+		li, lb := qi*cb, qb*ci
+		if li < lb || (li == lb && ci > cb) {
+			best = i
+		}
+	}
+	return best
 }
+
+// SessionAffinity sticks multi-turn requests to the replica holding their
+// prefix KV (the replica reporting the largest pinned prefix for the
+// session) — the AIBrix-style prefix-cache-aware routing policy. Under the
+// unified residency model the prefix competes with live requests for
+// pages, so the policy consults the target before sticking and falls back
+// to least-queue when the target cannot serve the session well:
+//
+//   - Memory: a replica too full to hold the request's full lifetime
+//     context (prompt plus decode growth, counting the pinned prefix
+//     itself, which admission folds into the allocation) would evict the
+//     very prefix the request came for, or preempt its neighbors.
+//   - Load: a replica queueing far beyond its lightest peer (more than
+//     2× the minimum queue plus a fixed slack) would stall the request
+//     longer than recomputing the prefix elsewhere costs.
+//
+// In both cases the cluster may migrate the pinned prefix to the fallback
+// replica instead of recomputing it. Stateless requests, first turns, and
+// sessions whose prefix every replica evicted also fall back. The
+// fallback is capacity-weighted: on a homogeneous pool it reduces to
+// least-queue, and on a mixed pool it steers displaced sessions toward
+// the replicas with the room to hold them.
+type SessionAffinity struct {
+	fallback WeightedCapacity
+}
+
+// affinityOverloadSlack is the queue-depth headroom an affinity target
+// gets over 2× the cluster's lightest queue before it counts as
+// overloaded.
+const affinityOverloadSlack = 4
 
 // NewSessionAffinity returns the session-affinity policy.
 func NewSessionAffinity() *SessionAffinity { return &SessionAffinity{} }
@@ -161,12 +222,21 @@ func (p *SessionAffinity) Name() string { return NameSessionAffinity }
 func (p *SessionAffinity) Pick(req Request, replicas []Replica) int {
 	if req.Session != 0 {
 		best, bestTokens := -1, 0
+		minQueue := replicas[0].QueueDepth()
 		for i, r := range replicas {
+			if q := r.QueueDepth(); q < minQueue {
+				minQueue = q
+			}
 			if t := r.CachedPrefixTokens(req.Session); t > bestTokens {
 				best, bestTokens = i, t
 			}
 		}
-		if best >= 0 {
+		// The pinned prefix adopts into the admission, so it counts as
+		// headroom alongside the free pool; the request then grows by its
+		// output during decode.
+		if best >= 0 &&
+			replicas[best].FreeKVTokens()+bestTokens >= req.PromptLen+req.OutputLen &&
+			replicas[best].QueueDepth() <= 2*minQueue+affinityOverloadSlack {
 			return best
 		}
 	}

@@ -4,17 +4,26 @@ import (
 	"testing"
 )
 
-// fakeReplica is a synthetic replica state for policy tests.
+// fakeReplica is a synthetic replica state for policy tests; pages are
+// 16 tokens, and a zero totalKV defaults to 1000 pages.
 type fakeReplica struct {
-	id     int
-	queue  int
-	freeKV int
-	cached map[int]int
+	id      int
+	queue   int
+	freeKV  int
+	totalKV int
+	cached  map[int]int
 }
 
 func (f *fakeReplica) ID() int          { return f.id }
 func (f *fakeReplica) QueueDepth() int  { return f.queue }
 func (f *fakeReplica) FreeKVPages() int { return f.freeKV }
+func (f *fakeReplica) TotalKVPages() int {
+	if f.totalKV == 0 {
+		return 1000
+	}
+	return f.totalKV
+}
+func (f *fakeReplica) FreeKVTokens() int { return f.freeKV * 16 }
 func (f *fakeReplica) CachedPrefixTokens(session int) int {
 	return f.cached[session]
 }
@@ -93,12 +102,86 @@ func TestTiesBreakByLowestIndex(t *testing.T) {
 
 func TestAffinityPrefersLargestPrefix(t *testing.T) {
 	reps := replicas(
-		&fakeReplica{id: 0, cached: map[int]int{5: 100}},
-		&fakeReplica{id: 1, cached: map[int]int{5: 800}},
-		&fakeReplica{id: 2, queue: 0},
+		&fakeReplica{id: 0, freeKV: 500, cached: map[int]int{5: 100}},
+		&fakeReplica{id: 1, freeKV: 500, cached: map[int]int{5: 800}},
+		&fakeReplica{id: 2, freeKV: 500, queue: 0},
 	)
-	if got := NewSessionAffinity().Pick(Request{Session: 5, Turn: 3}, reps); got != 1 {
+	if got := NewSessionAffinity().Pick(Request{Session: 5, Turn: 3, PromptLen: 900}, reps); got != 1 {
 		t.Errorf("affinity = %d, want 1 (largest cached prefix)", got)
+	}
+}
+
+// TestAffinityFallsBackWhenTargetFull: the unified residency model means a
+// replica with no free KV headroom for the prompt would evict the very
+// prefix the session came for, so affinity yields to load balancing.
+func TestAffinityFallsBackWhenTargetFull(t *testing.T) {
+	reps := replicas(
+		&fakeReplica{id: 0, queue: 3, freeKV: 500},
+		// Replica 1 holds the prefix but only 32 free KV tokens.
+		&fakeReplica{id: 1, queue: 5, freeKV: 2, cached: map[int]int{5: 800}},
+		&fakeReplica{id: 2, queue: 1, freeKV: 500},
+	)
+	req := Request{Session: 5, Turn: 3, PromptLen: 900}
+	if got := NewSessionAffinity().Pick(req, reps); got != 2 {
+		t.Errorf("affinity with full target = %d, want 2 (least-queue fallback)", got)
+	}
+	// A prompt the target can still hold sticks as before.
+	small := Request{Session: 5, Turn: 3, PromptLen: 32}
+	if got := NewSessionAffinity().Pick(small, reps); got != 1 {
+		t.Errorf("affinity with fitting prompt = %d, want 1", got)
+	}
+	// The pinned prefix itself counts as headroom: 32 free tokens + 800
+	// adoptable cover an 830-token prompt.
+	adoptable := Request{Session: 5, Turn: 3, PromptLen: 830}
+	if got := NewSessionAffinity().Pick(adoptable, reps); got != 1 {
+		t.Errorf("affinity with adoptable pin = %d, want 1", got)
+	}
+}
+
+// TestAffinityFallsBackWhenTargetOverloaded: a pin holder queueing far
+// beyond its lightest peer stalls the session longer than recomputing (or
+// migrating) the prefix elsewhere, so affinity yields.
+func TestAffinityFallsBackWhenTargetOverloaded(t *testing.T) {
+	reps := replicas(
+		&fakeReplica{id: 0, queue: 0, freeKV: 500},
+		&fakeReplica{id: 1, queue: 12, freeKV: 500, cached: map[int]int{5: 800}},
+	)
+	req := Request{Session: 5, Turn: 3, PromptLen: 900}
+	if got := NewSessionAffinity().Pick(req, reps); got != 0 {
+		t.Errorf("affinity with overloaded target = %d, want 0 (least-queue fallback)", got)
+	}
+	// A moderately busy target still wins: affinity tolerates 2×min+slack.
+	reps[1].(*fakeReplica).queue = 4
+	if got := NewSessionAffinity().Pick(req, reps); got != 1 {
+		t.Errorf("affinity with tolerable queue = %d, want 1", got)
+	}
+}
+
+// TestWeightedCapacityNormalizesByPool: a big replica absorbs
+// proportionally more queue before losing to a small one.
+func TestWeightedCapacityNormalizesByPool(t *testing.T) {
+	reps := replicas(
+		&fakeReplica{id: 0, queue: 3, totalKV: 4000}, // 3/4000
+		&fakeReplica{id: 1, queue: 1, totalKV: 1000}, // 4/4000
+	)
+	if got := NewWeightedCapacity().Pick(Request{}, reps); got != 0 {
+		t.Errorf("weighted = %d, want 0 (lower load per capacity)", got)
+	}
+	// Equal normalized load ties toward the larger pool.
+	tied := replicas(
+		&fakeReplica{id: 0, queue: 1, totalKV: 1000},
+		&fakeReplica{id: 1, queue: 4, totalKV: 4000},
+	)
+	if got := NewWeightedCapacity().Pick(Request{}, tied); got != 1 {
+		t.Errorf("weighted tie = %d, want 1 (larger capacity)", got)
+	}
+	// Empty cluster-wide queue also ties toward capacity.
+	idle := replicas(
+		&fakeReplica{id: 0, totalKV: 1000},
+		&fakeReplica{id: 1, totalKV: 4000},
+	)
+	if got := NewWeightedCapacity().Pick(Request{}, idle); got != 1 {
+		t.Errorf("weighted idle = %d, want 1 (larger capacity)", got)
 	}
 }
 

@@ -21,41 +21,96 @@ const (
 	RouterLeastQueue RouterPolicy = "least-queue"
 	// RouterLeastKV routes to the replica with the most free KV pages.
 	RouterLeastKV RouterPolicy = "least-kv"
+	// RouterWeightedCapacity routes to the replica with the lowest
+	// outstanding load per unit of KV capacity — the load balancer for
+	// heterogeneous pools.
+	RouterWeightedCapacity RouterPolicy = "weighted-capacity"
 	// RouterSessionAffinity sticks multi-turn sessions to the replica
-	// holding their prefix KV, falling back to least-queue.
+	// holding their pinned prefix KV, falling back to least-queue for
+	// stateless requests and overloaded targets.
 	RouterSessionAffinity RouterPolicy = "session-affinity"
 )
 
 // RouterPolicies lists all routing policies.
 func RouterPolicies() []RouterPolicy {
-	return []RouterPolicy{RouterRoundRobin, RouterLeastQueue, RouterLeastKV, RouterSessionAffinity}
+	return []RouterPolicy{RouterRoundRobin, RouterLeastQueue, RouterLeastKV,
+		RouterWeightedCapacity, RouterSessionAffinity}
 }
 
-// ClusterConfig describes a simulated multi-replica deployment: Replicas
-// identical copies of the embedded single-device Config behind a router.
+// ReplicaSpec describes one group of identical replicas in a
+// heterogeneous cluster.
+type ReplicaSpec struct {
+	// GPU names the device of this group ("RTX-4090", "A6000", "H200",
+	// "Ascend-910B"); empty inherits the cluster Config's GPU.
+	GPU string
+	// MemFraction overrides the device-memory share for this group; zero
+	// inherits the cluster Config's MemFraction.
+	MemFraction float64
+	// Count is the number of replicas in this group (default 1).
+	Count int
+}
+
+// ClusterConfig describes a simulated multi-replica deployment: engine
+// replicas behind a router, either Replicas identical copies of the
+// embedded single-device Config or the heterogeneous pool ReplicaSpecs
+// lays out.
 type ClusterConfig struct {
 	// Config is the per-replica deployment (system, GPU, model, memory).
 	Config
 
-	// Replicas is the number of engine replicas (default 1).
+	// Replicas is the number of engine replicas (default 1). Ignored when
+	// ReplicaSpecs is set.
 	Replicas int
+
+	// ReplicaSpecs lays out a heterogeneous pool: each spec contributes
+	// Count replicas of its GPU/MemFraction, in order. All replicas serve
+	// the same model. Empty means Replicas homogeneous copies of Config.
+	ReplicaSpecs []ReplicaSpec
 
 	// Router selects the routing policy (default RouterRoundRobin).
 	Router RouterPolicy
+
+	// Migrate enables cross-replica KV migration: when routing steers a
+	// session away from the replica pinning its prefix KV, the pinned
+	// pages ship over the replica interconnect instead of being
+	// recomputed, with the transfer time on the virtual clock.
+	Migrate bool
+
+	// InterconnectGBps is the replica interconnect bandwidth per directed
+	// pair (default 25, RDMA-class). Only used with Migrate.
+	InterconnectGBps float64
 }
 
 // ReplicaResult reports one replica's share of a cluster run.
 type ReplicaResult struct {
 	// ID is the replica index.
 	ID int
+	// GPU names the replica's device.
+	GPU string
 	// Routed counts requests the policy assigned to this replica.
 	Routed int
 	// PrefixHits counts requests this replica admitted with a session
 	// prefix-cache hit.
 	PrefixHits int64
+	// PinnedPrefixPages is the replica's KV pool pages still held by
+	// session prefix pins at the end of the run; PeakPinnedPages the
+	// run's maximum — the memory the prefix cache actually charged.
+	PinnedPrefixPages int
+	PeakPinnedPages   int
+	// PrefixEvictions counts pinned prefixes this replica evicted under
+	// memory pressure.
+	PrefixEvictions int64
 	// Result is the replica's own serving report (covering only the
 	// requests it served).
 	Result *Result
+}
+
+// ImbalanceSample is one point of the cluster's load-imbalance series.
+type ImbalanceSample struct {
+	AtSeconds float64
+	// Imbalance is the peak-to-mean ratio of per-replica outstanding
+	// requests at the instant (1.0 = balanced or idle).
+	Imbalance float64
 }
 
 // ClusterResult reports a completed cluster simulation.
@@ -75,38 +130,104 @@ type ClusterResult struct {
 	// (1.0 = perfectly balanced).
 	Imbalance float64
 
+	// ImbalanceSeries samples the per-replica load imbalance over time
+	// (requires SampleEverySeconds).
+	ImbalanceSeries []ImbalanceSample
+
 	// PrefixHits counts requests admitted with a session prefix-cache hit;
 	// PrefixHitTokens is the prefill work those hits skipped.
 	PrefixHits      int64
 	PrefixHitTokens int64
+
+	// PrefixEvictions totals pinned prefixes evicted under memory pressure
+	// across replicas; PinnedPrefixPages the pages still pinned at the end
+	// of the run (prefix residency charged to the pools).
+	PrefixEvictions   int64
+	PinnedPrefixPages int
+
+	// Migrations counts cross-replica KV migrations; MigratedTokens the
+	// prefix tokens shipped over the interconnect; MigrationDrops installs
+	// the target replica rejected for lack of memory.
+	Migrations     int64
+	MigratedTokens int64
+	MigrationDrops int64
 }
 
-// RunCluster simulates Replicas copies of the deployment serving the
-// workload behind the selected routing policy, all on one virtual clock.
+// expandReplicaSpecs resolves the cluster layout into one (GPU,
+// MemFraction) pair per replica, applying the embedded Config's values as
+// defaults.
+func expandReplicaSpecs(cfg ClusterConfig) ([]ReplicaSpec, error) {
+	base := ReplicaSpec{GPU: cfg.GPU, MemFraction: cfg.MemFraction}
+	if base.GPU == "" {
+		base.GPU = "H200"
+	}
+	if len(cfg.ReplicaSpecs) == 0 {
+		n := cfg.Replicas
+		if n == 0 {
+			n = 1
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("tokenflow: replica count %d must be >= 1", n)
+		}
+		out := make([]ReplicaSpec, n)
+		for i := range out {
+			out[i] = base
+		}
+		return out, nil
+	}
+	var out []ReplicaSpec
+	for i, s := range cfg.ReplicaSpecs {
+		if s.Count < 0 {
+			return nil, fmt.Errorf("tokenflow: replica spec %d has negative count %d", i, s.Count)
+		}
+		count := s.Count
+		if count == 0 {
+			count = 1
+		}
+		r := s
+		if r.GPU == "" {
+			r.GPU = base.GPU
+		}
+		if r.MemFraction == 0 {
+			r.MemFraction = base.MemFraction
+		}
+		for k := 0; k < count; k++ {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// RunCluster simulates the replica pool (Replicas identical copies, or
+// the heterogeneous layout of ReplicaSpecs) serving the workload behind
+// the selected routing policy, all on one virtual clock.
 func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
-	if cfg.Replicas == 0 {
-		cfg.Replicas = 1
-	}
-	if cfg.Replicas < 1 {
-		return nil, fmt.Errorf("tokenflow: replica count %d must be >= 1", cfg.Replicas)
-	}
 	if cfg.Router == "" {
 		cfg.Router = RouterRoundRobin
 	}
 	if cfg.System == "" {
 		cfg.System = SystemTokenFlow
 	}
+	reps, err := expandReplicaSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
 	pol, err := router.ByName(string(cfg.Router))
 	if err != nil {
 		return nil, err
 	}
 	cl, err := cluster.New(cluster.Config{
-		Replicas:    cfg.Replicas,
-		Policy:      pol,
-		SampleEvery: simclock.Duration(cfg.SampleEverySeconds),
-		MaxSimTime:  simclock.Duration(cfg.MaxSimTimeSeconds),
-	}, func(_ int, clock *simclock.Clock) (*engine.Engine, error) {
-		ecfg, err := buildEngineConfig(cfg.Config)
+		Replicas:         len(reps),
+		Policy:           pol,
+		SampleEvery:      simclock.Duration(cfg.SampleEverySeconds),
+		MaxSimTime:       simclock.Duration(cfg.MaxSimTimeSeconds),
+		Migrate:          cfg.Migrate,
+		InterconnectGBps: cfg.InterconnectGBps,
+	}, func(i int, clock *simclock.Clock) (*engine.Engine, error) {
+		rcfg := cfg.Config
+		rcfg.GPU = reps[i].GPU
+		rcfg.MemFraction = reps[i].MemFraction
+		ecfg, err := buildEngineConfig(rcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -129,14 +250,29 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		Imbalance:       res.Imbalance,
 		PrefixHits:      res.PrefixHits,
 		PrefixHitTokens: res.PrefixHitTokens,
+		Migrations:      res.Migrations,
+		MigratedTokens:  res.MigratedTokens,
+		MigrationDrops:  res.MigrationDrops,
 	}
-	for _, rs := range res.PerReplica {
-		out.Replicas = append(out.Replicas, ReplicaResult{
-			ID:         rs.ID,
-			Routed:     rs.Routed,
-			PrefixHits: rs.Result.PrefixHits,
-			Result:     convert(cfg.System, rs.Result),
+	for _, p := range res.ImbalanceSeries {
+		out.ImbalanceSeries = append(out.ImbalanceSeries, ImbalanceSample{
+			AtSeconds: p.At.Seconds(), Imbalance: p.Value,
 		})
+	}
+	for i, rs := range res.PerReplica {
+		kv := rs.Result.KV
+		out.Replicas = append(out.Replicas, ReplicaResult{
+			ID:                rs.ID,
+			GPU:               reps[i].GPU,
+			Routed:            rs.Routed,
+			PrefixHits:        rs.Result.PrefixHits,
+			PinnedPrefixPages: kv.PinnedPages,
+			PeakPinnedPages:   kv.PeakPinnedPages,
+			PrefixEvictions:   kv.PrefixEvictions,
+			Result:            convert(cfg.System, rs.Result),
+		})
+		out.PrefixEvictions += kv.PrefixEvictions
+		out.PinnedPrefixPages += kv.PinnedPages
 	}
 	return out, nil
 }
