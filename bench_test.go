@@ -66,6 +66,37 @@ func BenchmarkFig23BufferConservativeness(b *testing.B) { runExperiment(b, "fig2
 func BenchmarkTab02Ablation(b *testing.B)               { runExperiment(b, "tab02") }
 func BenchmarkClusterScaling(b *testing.B)              { runExperiment(b, "cluster") }
 func BenchmarkHeteroPools(b *testing.B)                 { runExperiment(b, "hetero") }
+func BenchmarkAutoscale(b *testing.B)                   { runExperiment(b, "autoscale") }
+
+// BenchmarkAutoscaledSpikes measures one full autoscaled cluster run
+// (1..4 replicas, queue-pressure policy, KV pre-warming) on the multi-turn
+// spike workload — the autoscaler subsystem's wall-clock cost per
+// simulated run.
+func BenchmarkAutoscaledSpikes(b *testing.B) {
+	s := experiments.Scale
+	sessions := int(300 * s)
+	if sessions < 1 {
+		sessions = 1
+	}
+	w := tokenflow.SessionSpikesWorkload(sessions, 240*s, 60*s, 20, 7)
+	for i := 0; i < b.N; i++ {
+		res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config:   tokenflow.Config{GPU: "RTX-4090", Model: "Llama3-8B"},
+			Replicas: 4,
+			Router:   tokenflow.RouterSessionAffinity,
+			Autoscale: &tokenflow.AutoscaleSpec{
+				MinReplicas: 1, MaxReplicas: 4,
+				WarmupSeconds: 5, Prewarm: true,
+			},
+		}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cluster.Finished == 0 {
+			b.Fatal("no requests finished")
+		}
+	}
+}
 
 // BenchmarkCluster4xLeastQueue measures one full 4-replica cluster
 // simulation under least-queue routing on the multi-turn spike workload —

@@ -15,6 +15,14 @@
 //
 //	tokenflow-sim -hetero "H200:1:0.3,RTX-4090:3:0.75" -migrate \
 //	    -router session-affinity -workload session-spikes -n 300 -duration 240
+//
+// -autoscale enables SLO-driven replica autoscaling between -min-replicas
+// and -max-replicas, with -warmup seconds of scale-up latency and -prewarm
+// shipping hot KV prefixes to warming replicas:
+//
+//	tokenflow-sim -autoscale queue-pressure -min-replicas 1 -max-replicas 4 \
+//	    -warmup 8 -prewarm -router session-affinity \
+//	    -workload session-spikes -n 300 -duration 240
 package main
 
 import (
@@ -82,6 +90,11 @@ func main() {
 		routerP  = flag.String("router", "round-robin", "round-robin | least-queue | least-kv | weighted-capacity | session-affinity")
 		hetero   = flag.String("hetero", "", `heterogeneous pool as "GPU[:count[:memfrac]],..." (cluster mode)`)
 		migrate  = flag.Bool("migrate", false, "enable cross-replica KV migration over the interconnect")
+		scaler   = flag.String("autoscale", "", "autoscaling policy: queue-pressure | kv-utilization (empty = static pool)")
+		minReps  = flag.Int("min-replicas", 1, "autoscaling lower bound on in-service replicas")
+		maxReps  = flag.Int("max-replicas", 0, "autoscaling upper bound (default: the replica layout size)")
+		warmup   = flag.Float64("warmup", 8, "autoscaling scale-up warm-up latency (s); 0 = instant")
+		prewarm  = flag.Bool("prewarm", false, "pre-warm scaling-up replicas with hot KV prefixes over the interconnect")
 	)
 	flag.Parse()
 
@@ -109,7 +122,7 @@ func main() {
 	}
 
 	var res *tokenflow.Result
-	if *replicas > 1 || *hetero != "" {
+	if *replicas > 1 || *hetero != "" || *scaler != "" {
 		ccfg := tokenflow.ClusterConfig{
 			Config:   cfg,
 			Replicas: *replicas,
@@ -122,6 +135,22 @@ func main() {
 				log.Fatal(err)
 			}
 			ccfg.ReplicaSpecs = specs
+		}
+		if *scaler != "" {
+			ws := *warmup
+			if ws == 0 {
+				// The flag default is 8, so an explicit 0 means "instant" —
+				// map it onto the spec's negative-means-instant convention
+				// (its own zero value selects the default).
+				ws = -1
+			}
+			ccfg.Autoscale = &tokenflow.AutoscaleSpec{
+				Policy:        tokenflow.AutoscalePolicy(*scaler),
+				MinReplicas:   *minReps,
+				MaxReplicas:   *maxReps,
+				WarmupSeconds: ws,
+				Prewarm:       *prewarm,
+			}
 		}
 		cres, err := tokenflow.RunCluster(ccfg, w)
 		if err != nil {
@@ -138,10 +167,24 @@ func main() {
 			fmt.Printf("KV migrations       %d (%d tokens shipped, %d drops)\n",
 				cres.Migrations, cres.MigratedTokens, cres.MigrationDrops)
 		}
+		if *scaler != "" {
+			fmt.Printf("autoscaling         %s: %d scale-ups, %d scale-downs, %d warm-up-stalled arrivals\n",
+				*scaler, cres.ScaleUps, cres.ScaleDowns, cres.WarmupStalls)
+			fmt.Printf("GPU-seconds         %.0f (fixed %d-replica pool would burn %.0f)\n",
+				cres.GPUSeconds, len(cres.Replicas),
+				float64(len(cres.Replicas))*res.MakespanSec)
+			if *prewarm {
+				fmt.Printf("KV pre-warm         %d pins shipped (%d tokens)\n",
+					cres.Prewarms, cres.PrewarmedTokens)
+			}
+			for _, ev := range cres.ScaleEvents {
+				fmt.Printf("  t=%7.2fs  replica %d  %s\n", ev.AtSeconds, ev.Replica, ev.Kind)
+			}
+		}
 		for _, rr := range cres.Replicas {
-			fmt.Printf("  replica %d (%s)  %d routed, %d finished, p99 TTFT %.2fs, %d pages pinned\n",
+			fmt.Printf("  replica %d (%s)  %d routed, %d finished, p99 TTFT %.2fs, %d pages pinned, %s\n",
 				rr.ID, rr.GPU, rr.Routed, rr.Result.Finished, rr.Result.P99TTFT.Seconds(),
-				rr.PinnedPrefixPages)
+				rr.PinnedPrefixPages, rr.State)
 		}
 	} else {
 		var err error

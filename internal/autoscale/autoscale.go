@@ -1,0 +1,320 @@
+// Package autoscale implements SLO-driven replica autoscaling for the
+// multi-replica cluster simulation: a control loop (driven by the cluster
+// on its virtual clock) samples per-tick cluster signals — queue pressure,
+// KV utilization, warm-up progress — and a pluggable policy decides whether
+// to grow or shrink the replica set between a configured minimum and
+// maximum.
+//
+// Replicas move through a lifecycle the cluster enforces:
+//
+//	off ──scale-up──▶ warming ──warm-up latency──▶ active
+//	active ──scale-down──▶ draining ──last request finishes──▶ off
+//
+// A warming replica occupies its GPU (model load + allocator init) but
+// accepts no traffic; the cluster may overlap the warm-up with KV
+// pre-warming, migrating the hottest pinned session prefixes to the new
+// replica over the interconnect so its first requests hit the prefix cache
+// instead of recomputing. A draining replica receives no new requests,
+// finishes its in-flight work, and hands its pinned prefixes to the
+// surviving replicas (or drops them) before releasing the GPU.
+//
+// Policies are deterministic and stateful: hysteresis (consecutive-tick
+// streaks plus a post-action cooldown) keeps an oscillating load from
+// flapping the replica set.
+package autoscale
+
+import "fmt"
+
+// State is a replica's position in the autoscaler lifecycle.
+type State int
+
+const (
+	// Off: the replica holds no GPU and receives no traffic.
+	Off State = iota
+	// Warming: the GPU is loading model weights and initializing the
+	// allocator; no traffic yet, but GPU-seconds are already being paid.
+	Warming
+	// Active: the replica serves routed traffic.
+	Active
+	// Draining: no new traffic; in-flight requests finish and pinned
+	// prefixes migrate out before the replica turns off.
+	Draining
+)
+
+var stateNames = [...]string{"off", "warming", "active", "draining"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// InService reports whether the replica occupies its GPU (everything but
+// Off) — the states that accrue GPU-seconds.
+func (s State) InService() bool { return s != Off }
+
+// Signals is the per-tick cluster view a policy decides from. All fields
+// describe the instant of the control tick.
+type Signals struct {
+	// Active, Warming and Draining count replicas per lifecycle state;
+	// Min and Max bound the active+warming set.
+	Active, Warming, Draining int
+	Min, Max                  int
+
+	// Outstanding is the queued+running request count across active
+	// replicas (draining replicas finish their own work and are excluded:
+	// their load disappears on its own).
+	Outstanding int
+
+	// KVUtil is the used-page fraction pooled over active replicas
+	// (0 when none are active).
+	KVUtil float64
+}
+
+// Provisioned counts the replicas that are, or are about to be, serving
+// capacity: active plus warming. Policies normalize pressure by it so a
+// warm-up in flight already counts as an answer to the current load.
+func (s Signals) Provisioned() int { return s.Active + s.Warming }
+
+// Pressure is the outstanding requests per provisioned replica.
+func (s Signals) Pressure() float64 {
+	if p := s.Provisioned(); p > 0 {
+		return float64(s.Outstanding) / float64(p)
+	}
+	return float64(s.Outstanding)
+}
+
+// Decision is a policy's verdict for one control tick.
+type Decision int
+
+const (
+	// Hold keeps the replica set as is.
+	Hold Decision = iota
+	// ScaleUp asks the cluster to start warming one more replica.
+	ScaleUp
+	// ScaleDown asks the cluster to drain one active replica.
+	ScaleDown
+)
+
+var decisionNames = [...]string{"hold", "scale-up", "scale-down"}
+
+func (d Decision) String() string {
+	if int(d) < len(decisionNames) {
+		return decisionNames[d]
+	}
+	return fmt.Sprintf("decision(%d)", int(d))
+}
+
+// Policy decides scale actions from per-tick signals. Implementations keep
+// hysteresis state; one Policy instance serves one cluster run.
+type Policy interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+	// Decide returns the action for this control tick. The cluster
+	// enforces Min/Max; policies should still respect them to keep their
+	// hysteresis state honest.
+	Decide(s Signals) Decision
+}
+
+// Policy names accepted by ByName.
+const (
+	NameQueuePressure = "queue-pressure"
+	NameKVUtilization = "kv-utilization"
+)
+
+// Names lists the built-in policy names.
+func Names() []string { return []string{NameQueuePressure, NameKVUtilization} }
+
+// ByName constructs a fresh policy instance by name with default tuning.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case NameQueuePressure:
+		return NewQueuePressure(QueuePressureConfig{}), nil
+	case NameKVUtilization:
+		return NewKVUtilization(KVUtilizationConfig{}), nil
+	default:
+		return nil, fmt.Errorf("autoscale: unknown policy %q (have %v)", name, Names())
+	}
+}
+
+// hysteresis is the shared flap damper: an action fires only after its
+// trigger condition held for a streak of consecutive ticks, and after any
+// action the policy holds for a cooldown regardless of signals.
+type hysteresis struct {
+	upTicks, downTicks, cooldownTicks int
+
+	upStreak, downStreak, cooldown int
+}
+
+// decide folds this tick's trigger readings into the streaks and returns
+// the action, if any, that just crossed its streak threshold.
+func (h *hysteresis) decide(wantUp, wantDown bool) Decision {
+	if h.cooldown > 0 {
+		h.cooldown--
+		return Hold
+	}
+	if wantUp {
+		h.upStreak++
+		h.downStreak = 0
+		if h.upStreak >= h.upTicks {
+			h.fired()
+			return ScaleUp
+		}
+		return Hold
+	}
+	if wantDown {
+		h.downStreak++
+		h.upStreak = 0
+		if h.downStreak >= h.downTicks {
+			h.fired()
+			return ScaleDown
+		}
+		return Hold
+	}
+	h.upStreak, h.downStreak = 0, 0
+	return Hold
+}
+
+// fired resets the streaks and arms the post-action cooldown.
+func (h *hysteresis) fired() {
+	h.upStreak, h.downStreak = 0, 0
+	h.cooldown = h.cooldownTicks
+}
+
+// QueuePressureConfig tunes the queue/TTFT-pressure policy. Zero values
+// select the defaults noted per field.
+type QueuePressureConfig struct {
+	// UpPressure is the outstanding-per-provisioned-replica level above
+	// which the pool is under-provisioned (default 8 — roughly one decode
+	// batch of headroom before TTFT starts stretching).
+	UpPressure float64
+	// DownPressure is the level below which the pool is over-provisioned
+	// (default 1). Must stay below UpPressure for the hysteresis band.
+	DownPressure float64
+	// UpTicks / DownTicks are the consecutive control ticks a level must
+	// hold before acting (defaults 2 and 8: scale up briskly, scale down
+	// reluctantly).
+	UpTicks, DownTicks int
+	// CooldownTicks holds after any action (default 4).
+	CooldownTicks int
+}
+
+func (c QueuePressureConfig) withDefaults() QueuePressureConfig {
+	if c.UpPressure == 0 {
+		c.UpPressure = 8
+	}
+	if c.DownPressure == 0 {
+		c.DownPressure = 1
+	}
+	if c.UpTicks == 0 {
+		c.UpTicks = 2
+	}
+	if c.DownTicks == 0 {
+		c.DownTicks = 8
+	}
+	if c.CooldownTicks == 0 {
+		c.CooldownTicks = 4
+	}
+	return c
+}
+
+// QueuePressure scales on queue depth per provisioned replica — the
+// TTFT-pressure proxy: outstanding requests beyond what the provisioned
+// replicas can batch stretch time-to-first-token linearly. Hysteresis
+// (streaks + cooldown) keeps oscillating load from flapping the pool.
+type QueuePressure struct {
+	cfg QueuePressureConfig
+	h   hysteresis
+}
+
+// NewQueuePressure returns a queue-pressure policy with the given tuning.
+func NewQueuePressure(cfg QueuePressureConfig) *QueuePressure {
+	cfg = cfg.withDefaults()
+	return &QueuePressure{cfg: cfg, h: hysteresis{
+		upTicks: cfg.UpTicks, downTicks: cfg.DownTicks, cooldownTicks: cfg.CooldownTicks,
+	}}
+}
+
+// Name implements Policy.
+func (p *QueuePressure) Name() string { return NameQueuePressure }
+
+// Decide implements Policy.
+func (p *QueuePressure) Decide(s Signals) Decision {
+	wantUp := s.Pressure() >= p.cfg.UpPressure && s.Provisioned() < s.Max
+	// Shrinking is judged against the post-shrink pool: the remaining
+	// replicas must still sit below the scale-up band, or the pool would
+	// flap straight back up.
+	wantDown := false
+	if s.Active > s.Min && s.Warming == 0 {
+		after := float64(s.Outstanding) / float64(s.Provisioned()-1)
+		wantDown = s.Pressure() <= p.cfg.DownPressure && after < p.cfg.UpPressure
+	}
+	return p.h.decide(wantUp, wantDown)
+}
+
+// KVUtilizationConfig tunes the KV-utilization policy. Zero values select
+// the defaults noted per field.
+type KVUtilizationConfig struct {
+	// HighUtil is the pooled used-page fraction above which the pool is
+	// memory-pressured (default 0.85 — past it, admissions start stalling
+	// and pinned prefixes get evicted).
+	HighUtil float64
+	// LowUtil is the fraction below which the pool is over-provisioned
+	// (default 0.30).
+	LowUtil float64
+	// UpTicks / DownTicks are the consecutive control ticks a level must
+	// hold before acting (defaults 2 and 8).
+	UpTicks, DownTicks int
+	// CooldownTicks holds after any action (default 4).
+	CooldownTicks int
+}
+
+func (c KVUtilizationConfig) withDefaults() KVUtilizationConfig {
+	if c.HighUtil == 0 {
+		c.HighUtil = 0.85
+	}
+	if c.LowUtil == 0 {
+		c.LowUtil = 0.30
+	}
+	if c.UpTicks == 0 {
+		c.UpTicks = 2
+	}
+	if c.DownTicks == 0 {
+		c.DownTicks = 8
+	}
+	if c.CooldownTicks == 0 {
+		c.CooldownTicks = 4
+	}
+	return c
+}
+
+// KVUtilization scales on pooled KV-page utilization: a pool running hot on
+// KV memory evicts pinned prefixes and stalls admissions long before queues
+// look deep, so memory is the earlier congestion signal for long-context
+// session workloads. Scale-down additionally requires the queue to be
+// near-empty — low memory use with a deep queue means short contexts, not
+// idle capacity.
+type KVUtilization struct {
+	cfg KVUtilizationConfig
+	h   hysteresis
+}
+
+// NewKVUtilization returns a KV-utilization policy with the given tuning.
+func NewKVUtilization(cfg KVUtilizationConfig) *KVUtilization {
+	cfg = cfg.withDefaults()
+	return &KVUtilization{cfg: cfg, h: hysteresis{
+		upTicks: cfg.UpTicks, downTicks: cfg.DownTicks, cooldownTicks: cfg.CooldownTicks,
+	}}
+}
+
+// Name implements Policy.
+func (p *KVUtilization) Name() string { return NameKVUtilization }
+
+// Decide implements Policy.
+func (p *KVUtilization) Decide(s Signals) Decision {
+	wantUp := s.KVUtil >= p.cfg.HighUtil && s.Provisioned() < s.Max && s.Warming == 0
+	wantDown := s.Active > s.Min && s.Warming == 0 &&
+		s.KVUtil <= p.cfg.LowUtil && float64(s.Outstanding) <= float64(s.Active)
+	return p.h.decide(wantUp, wantDown)
+}

@@ -1,0 +1,198 @@
+package autoscale_test
+
+import (
+	"testing"
+
+	"repro/internal/autoscale"
+)
+
+// tick is one scripted control tick: the signals fed in and the decision
+// expected out.
+type tick struct {
+	s    autoscale.Signals
+	want autoscale.Decision
+}
+
+// sig builds queue-pressure signals for active replicas with outstanding
+// load in a 1..4 pool.
+func sig(active, warming, outstanding int) autoscale.Signals {
+	return autoscale.Signals{
+		Active: active, Warming: warming, Min: 1, Max: 4,
+		Outstanding: outstanding,
+	}
+}
+
+// kvsig builds KV-utilization signals.
+func kvsig(active int, util float64, outstanding int) autoscale.Signals {
+	return autoscale.Signals{
+		Active: active, Min: 1, Max: 4,
+		Outstanding: outstanding, KVUtil: util,
+	}
+}
+
+func runScript(t *testing.T, p autoscale.Policy, script []tick) {
+	t.Helper()
+	for i, tk := range script {
+		if got := p.Decide(tk.s); got != tk.want {
+			t.Fatalf("tick %d: Decide(%+v) = %v, want %v", i, tk.s, got, tk.want)
+		}
+	}
+}
+
+func TestQueuePressureHysteresis(t *testing.T) {
+	cfg := autoscale.QueuePressureConfig{
+		UpPressure: 8, DownPressure: 1,
+		UpTicks: 2, DownTicks: 3, CooldownTicks: 2,
+	}
+	cases := []struct {
+		name   string
+		script []tick
+	}{
+		{
+			// Sustained pressure scales up only after the streak, then the
+			// cooldown swallows continued pressure.
+			name: "sustained-pressure-one-scale-up",
+			script: []tick{
+				{sig(1, 0, 20), autoscale.Hold},    // streak 1/2
+				{sig(1, 0, 20), autoscale.ScaleUp}, // streak 2/2 fires
+				{sig(1, 1, 20), autoscale.Hold},    // cooldown 1
+				{sig(1, 1, 20), autoscale.Hold},    // cooldown 2
+				{sig(1, 1, 20), autoscale.Hold},    // warming counts as provisioned: 20/2 >= 8, streak 1/2
+				{sig(1, 1, 20), autoscale.ScaleUp}, // still pressured with the warm-up counted: fire again
+			},
+		},
+		{
+			// Load oscillating across the up threshold every tick never
+			// completes a streak: no flapping.
+			name: "oscillating-load-never-fires",
+			script: []tick{
+				{sig(2, 0, 20), autoscale.Hold}, // pressure 10: streak 1/2
+				{sig(2, 0, 4), autoscale.Hold},  // pressure 2: streaks reset
+				{sig(2, 0, 20), autoscale.Hold},
+				{sig(2, 0, 4), autoscale.Hold},
+				{sig(2, 0, 20), autoscale.Hold},
+				{sig(2, 0, 4), autoscale.Hold},
+			},
+		},
+		{
+			// Idle pool shrinks only after the (longer) down streak.
+			name: "idle-scales-down-after-streak",
+			script: []tick{
+				{sig(3, 0, 0), autoscale.Hold},
+				{sig(3, 0, 0), autoscale.Hold},
+				{sig(3, 0, 0), autoscale.ScaleDown},
+				{sig(2, 0, 0), autoscale.Hold}, // cooldown 1
+				{sig(2, 0, 0), autoscale.Hold}, // cooldown 2
+				{sig(2, 0, 0), autoscale.Hold}, // streak 1/3
+				{sig(2, 0, 0), autoscale.Hold},
+				{sig(2, 0, 0), autoscale.ScaleDown},
+			},
+		},
+		{
+			// At Min the pool never shrinks; at Max (counting warming) it
+			// never grows.
+			name: "min-max-bounds-hold",
+			script: []tick{
+				{sig(1, 0, 0), autoscale.Hold},
+				{sig(1, 0, 0), autoscale.Hold},
+				{sig(1, 0, 0), autoscale.Hold},
+				{sig(1, 0, 0), autoscale.Hold},
+				{sig(3, 1, 100), autoscale.Hold}, // provisioned == max
+				{sig(3, 1, 100), autoscale.Hold},
+				{sig(3, 1, 100), autoscale.Hold},
+			},
+		},
+		{
+			// A shrink that would push the survivors back over the up
+			// threshold is refused: no up/down flapping at moderate load.
+			name: "no-shrink-into-pressure",
+			script: []tick{
+				{sig(4, 0, 4), autoscale.Hold}, // pressure 1 <= down, but 4/3 load after... fine
+				{sig(4, 0, 4), autoscale.Hold},
+				{sig(4, 0, 4), autoscale.ScaleDown}, // after: 4/3 < 8: allowed
+				{sig(3, 0, 30), autoscale.Hold},     // cooldown 1
+				{sig(3, 0, 30), autoscale.Hold},     // cooldown 2
+				{sig(3, 0, 3), autoscale.Hold},      // pressure 1, but after-shrink 3/2=1.5 < 8: streak 1/3
+				{sig(3, 0, 24), autoscale.Hold},     // pressure 8: up streak 1/2, down reset
+				{sig(3, 0, 3), autoscale.Hold},      // down streak 1/3 again
+				{sig(3, 0, 24), autoscale.Hold},
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runScript(t, autoscale.NewQueuePressure(cfg), tc.script)
+		})
+	}
+}
+
+func TestKVUtilizationHysteresis(t *testing.T) {
+	cfg := autoscale.KVUtilizationConfig{
+		HighUtil: 0.8, LowUtil: 0.3,
+		UpTicks: 2, DownTicks: 3, CooldownTicks: 1,
+	}
+	cases := []struct {
+		name   string
+		script []tick
+	}{
+		{
+			name: "hot-memory-scales-up",
+			script: []tick{
+				{kvsig(2, 0.9, 10), autoscale.Hold},
+				{kvsig(2, 0.9, 10), autoscale.ScaleUp},
+				{kvsig(2, 0.9, 10), autoscale.Hold}, // cooldown
+			},
+		},
+		{
+			// Utilization bouncing across the high-water mark never fires.
+			name: "oscillating-utilization-never-fires",
+			script: []tick{
+				{kvsig(2, 0.9, 10), autoscale.Hold},
+				{kvsig(2, 0.5, 10), autoscale.Hold},
+				{kvsig(2, 0.9, 10), autoscale.Hold},
+				{kvsig(2, 0.5, 10), autoscale.Hold},
+			},
+		},
+		{
+			// Low memory with a deep queue is short contexts, not idle
+			// capacity: no scale-down.
+			name: "low-util-deep-queue-holds",
+			script: []tick{
+				{kvsig(2, 0.1, 50), autoscale.Hold},
+				{kvsig(2, 0.1, 50), autoscale.Hold},
+				{kvsig(2, 0.1, 50), autoscale.Hold},
+				{kvsig(2, 0.1, 50), autoscale.Hold},
+			},
+		},
+		{
+			name: "cold-idle-pool-scales-down",
+			script: []tick{
+				{kvsig(2, 0.1, 1), autoscale.Hold},
+				{kvsig(2, 0.1, 1), autoscale.Hold},
+				{kvsig(2, 0.1, 1), autoscale.ScaleDown},
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runScript(t, autoscale.NewKVUtilization(cfg), tc.script)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range autoscale.Names() {
+		p, err := autoscale.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := autoscale.ByName("nope"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

@@ -15,9 +15,18 @@
 // delivered when its KV arrives, so migration latency is on the virtual
 // clock and inside the request's TTFT.
 //
+// With autoscaling enabled (Config.Autoscale) the replica set is dynamic:
+// a control loop on the same virtual clock drives replicas between off,
+// warming, active, and draining states under a pluggable policy (see
+// internal/autoscale and lifecycle.go). Routing only ever sees active
+// replicas; scale-up pays a warm-up latency, optionally overlapped with
+// pre-warming the hottest pinned prefixes over the interconnect; scale-down
+// drains a replica and hands its pins to the survivors.
+//
 // A single-replica cluster with round-robin routing reduces exactly to the
 // single-device engine.Run path: same clock, same admission sequence, same
-// metrics — byte for byte.
+// metrics — byte for byte. Likewise a min=max autoscaled cluster reduces
+// exactly to the static cluster of the same size.
 package cluster
 
 import (
@@ -25,6 +34,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/engine"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
@@ -59,6 +69,71 @@ type Config struct {
 	// InterconnectGBps is the per-directed-pair bandwidth of the replica
 	// interconnect mesh (default 25, RDMA-class).
 	InterconnectGBps float64
+
+	// Autoscale enables the dynamic replica lifecycle: the cluster builds
+	// Autoscale.Max replicas (overriding Replicas) and a control loop
+	// grows and shrinks the active set. Nil keeps the static pool. The
+	// interconnect mesh is always built under autoscaling (pre-warm and
+	// drain hand-off use it) even when Migrate is off.
+	Autoscale *AutoscaleConfig
+}
+
+// AutoscaleConfig parameterizes the cluster's dynamic replica lifecycle.
+type AutoscaleConfig struct {
+	// Policy decides per-tick scale actions. Required; one instance
+	// serves one run (policies keep hysteresis state).
+	Policy autoscale.Policy
+
+	// Min and Max bound the in-service replica set (defaults 1 and the
+	// Config's Replicas). Initial is the active count at t=0 (default
+	// Min).
+	Min, Max, Initial int
+
+	// Warmup is the latency a scale-up pays before the new replica
+	// accepts traffic — model load plus allocator init (default 8s).
+	Warmup time.Duration
+
+	// ControlEvery is the control-loop tick (default 1s).
+	ControlEvery time.Duration
+
+	// Prewarm overlaps each warm-up with KV pre-warming: the hottest
+	// pinned session prefixes of the active replicas migrate to the
+	// warming replica over the interconnect, so its first requests hit
+	// the prefix cache instead of recomputing.
+	Prewarm bool
+
+	// PrewarmTopK caps the pins shipped per pre-warm (default 8).
+	PrewarmTopK int
+}
+
+func (a *AutoscaleConfig) withDefaults(replicas int) *AutoscaleConfig {
+	out := *a
+	if out.Min == 0 {
+		out.Min = 1
+	}
+	if out.Max == 0 {
+		out.Max = replicas
+	}
+	if out.Max < out.Min {
+		out.Max = out.Min
+	}
+	if out.Initial == 0 {
+		out.Initial = out.Min
+	}
+	if out.Warmup == 0 {
+		out.Warmup = 8 * time.Second
+	} else if out.Warmup < 0 {
+		out.Warmup = 0 // negative means "free warm-up", not a clock error
+	}
+	// The control loop reschedules itself every ControlEvery; zero or
+	// negative would spin the clock in place, so both select the default.
+	if out.ControlEvery <= 0 {
+		out.ControlEvery = time.Second
+	}
+	if out.PrewarmTopK == 0 {
+		out.PrewarmTopK = 8
+	}
+	return &out
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +146,10 @@ func (c Config) withDefaults() Config {
 	if c.InterconnectGBps == 0 {
 		c.InterconnectGBps = 25
 	}
+	if c.Autoscale != nil {
+		c.Autoscale = c.Autoscale.withDefaults(c.Replicas)
+		c.Replicas = c.Autoscale.Max
+	}
 	return c
 }
 
@@ -80,12 +159,26 @@ func (c Config) withDefaults() Config {
 // drives sampling.
 type BuildEngine func(replica int, clock *simclock.Clock) (*engine.Engine, error)
 
-// replica pairs an engine with its routing bookkeeping; it implements
-// router.Replica.
+// replica pairs an engine with its routing and lifecycle bookkeeping; it
+// implements router.Replica.
 type replica struct {
 	id     int
 	eng    *engine.Engine
 	routed int
+
+	// state is the autoscaler lifecycle position (always Active in a
+	// static cluster). sinceOn stamps the last off→in-service transition
+	// and busy accumulates completed in-service periods (GPU-seconds).
+	state   autoscale.State
+	sinceOn simclock.Time
+	busy    time.Duration
+
+	// outMigrations counts this replica's pinned prefixes currently on
+	// the interconnect wire; inMigrations counts transfers (and their
+	// deferred request injects) still inbound. A draining replica turns
+	// off only once both reach zero.
+	outMigrations int
+	inMigrations  int
 }
 
 func (r *replica) ID() int                            { return r.id }
@@ -100,6 +193,12 @@ type ReplicaStats struct {
 	ID int
 	// Routed counts requests the policy assigned to this replica.
 	Routed int
+	// State is the replica's lifecycle state at the end of the run
+	// (always Active in a static cluster).
+	State autoscale.State
+	// GPUSeconds is the simulated time this replica spent in service
+	// (warming, active, or draining).
+	GPUSeconds float64
 	// Result is the replica's own engine result (its report covers only
 	// the requests it served).
 	Result *engine.Result
@@ -148,11 +247,65 @@ type Result struct {
 	PrefixHits      int64
 	PrefixHitTokens int64
 
+	// Autoscaling outcome (zero / empty in a static cluster).
+	//
+	// ScaleEvents logs every lifecycle transition the control loop drove;
+	// ReplicaSeries samples the per-state replica counts at every control
+	// tick. GPUSeconds totals the simulated time replicas spent in
+	// service (warming, active, or draining) — the cost axis autoscaling
+	// trades against tail latency; a static cluster reports
+	// replicas × final-clock-time. WarmupStalls counts arrivals routed
+	// while at least one replica was still warming: demand the pool had
+	// already answered but could not serve yet. Prewarms / PrewarmedTokens
+	// total the pre-warm migrations that seeded warming replicas;
+	// DrainMigrations / DrainDroppedPins account the pinned prefixes a
+	// draining replica handed off or discarded.
+	ScaleEvents      []ScaleEvent
+	ReplicaSeries    []ReplicaCountPoint
+	GPUSeconds       float64
+	WarmupStalls     int64
+	Prewarms         int64
+	PrewarmedTokens  int64
+	DrainMigrations  int64
+	DrainDroppedPins int64
+
 	// PerReplica lists each replica's stats in replica order.
 	PerReplica []ReplicaStats
 
 	// Requests holds every request across replicas, ordered by ID.
 	Requests []*request.Request
+}
+
+// ScaleKind labels a lifecycle transition in the scale-event log.
+type ScaleKind string
+
+// Scale-event kinds.
+const (
+	// ScaleWarmup: off → warming (scale-up started paying warm-up).
+	ScaleWarmup ScaleKind = "warmup"
+	// ScaleActivate: warming → active (warm-up elapsed).
+	ScaleActivate ScaleKind = "activate"
+	// ScaleReactivate: draining → active (a scale-up cancelled an
+	// in-progress drain; the replica was still warm, so no warm-up paid).
+	ScaleReactivate ScaleKind = "reactivate"
+	// ScaleDrain: active → draining (scale-down stopped routing to it).
+	ScaleDrain ScaleKind = "drain"
+	// ScaleOff: draining → off (in-flight work finished, pins handed off).
+	ScaleOff ScaleKind = "off"
+)
+
+// ScaleEvent is one replica lifecycle transition.
+type ScaleEvent struct {
+	At      simclock.Time
+	Kind    ScaleKind
+	Replica int
+}
+
+// ReplicaCountPoint samples the per-state replica counts at one control
+// tick.
+type ReplicaCountPoint struct {
+	At                        simclock.Time
+	Active, Warming, Draining int
 }
 
 // ImbalancePoint is one sample of the per-replica load imbalance.
@@ -172,17 +325,33 @@ type Cluster struct {
 	arrivalsDone bool
 
 	// ic is the interconnect mesh: ic[i][j] carries prefix KV from
-	// replica i to replica j (nil on the diagonal; built only when
-	// migration is enabled).
+	// replica i to replica j (nil on the diagonal; built when migration
+	// or autoscaling is enabled).
 	ic [][]*gpu.Link
 
 	migrationsInFlight int
 	migrations         int64
 	migratedTokens     int64
 	migrationDrops     int64
+
+	// Autoscaler bookkeeping (see lifecycle.go).
+	scaleEvents      []ScaleEvent
+	replicaSeries    []ReplicaCountPoint
+	warmupStalls     int64
+	prewarms         int64
+	prewarmedTokens  int64
+	drainMigrations  int64
+	drainDroppedPins int64
+
+	// svcMask records, per sampling tick, which replicas could hold load
+	// at that instant (active or draining) — the denominator of the
+	// per-tick imbalance series.
+	svcMask [][]bool
 }
 
-// New builds a cluster of cfg.Replicas engines on one shared clock.
+// New builds a cluster of cfg.Replicas engines on one shared clock (with
+// autoscaling, Autoscale.Max engines of which Autoscale.Initial start
+// active).
 func New(cfg Config, build BuildEngine) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Replicas < 1 {
@@ -194,17 +363,31 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 	if build == nil {
 		return nil, fmt.Errorf("cluster: nil engine builder")
 	}
+	if a := cfg.Autoscale; a != nil {
+		switch {
+		case a.Policy == nil:
+			return nil, fmt.Errorf("cluster: autoscaling enabled with nil policy")
+		case a.Min < 1:
+			return nil, fmt.Errorf("cluster: autoscale min %d must be >= 1", a.Min)
+		case a.Initial < a.Min || a.Initial > a.Max:
+			return nil, fmt.Errorf("cluster: autoscale initial %d outside [%d, %d]",
+				a.Initial, a.Min, a.Max)
+		}
+	}
 	c := &Cluster{cfg: cfg, clock: simclock.New()}
 	for i := 0; i < cfg.Replicas; i++ {
 		eng, err := build(i, c.clock)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
-		rep := &replica{id: i, eng: eng}
+		rep := &replica{id: i, eng: eng, state: autoscale.Active}
+		if cfg.Autoscale != nil && i >= cfg.Autoscale.Initial {
+			rep.state = autoscale.Off
+		}
 		c.replicas = append(c.replicas, rep)
 		c.views = append(c.views, rep)
 	}
-	if cfg.Migrate {
+	if cfg.Migrate || cfg.Autoscale != nil {
 		c.ic = make([][]*gpu.Link, cfg.Replicas)
 		for i := range c.ic {
 			c.ic[i] = make([]*gpu.Link, cfg.Replicas)
@@ -236,7 +419,7 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 		it := it
 		id := i
 		c.clock.At(it.Arrival, func(now simclock.Time) {
-			rep := c.replicas[c.route(id, it)]
+			rep := c.route(id, it)
 			rep.routed++
 			r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
 			r.Session, r.Turn = it.Session, it.Turn
@@ -256,14 +439,28 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 	if c.cfg.SampleEvery > 0 {
 		var sample func(now simclock.Time)
 		sample = func(now simclock.Time) {
-			for _, rep := range c.replicas {
+			mask := make([]bool, len(c.replicas))
+			for i, rep := range c.replicas {
 				rep.eng.Sample(now)
+				mask[i] = rep.state == autoscale.Active || rep.state == autoscale.Draining
 			}
+			c.svcMask = append(c.svcMask, mask)
 			if !c.done() {
 				c.clock.After(c.cfg.SampleEvery, sample)
 			}
 		}
 		c.clock.At(0, sample)
+	}
+
+	if c.cfg.Autoscale != nil {
+		var control func(now simclock.Time)
+		control = func(now simclock.Time) {
+			c.controlTick(now)
+			if !c.done() {
+				c.clock.After(c.cfg.Autoscale.ControlEvery, control)
+			}
+		}
+		c.clock.At(0, control)
 	}
 
 	timedOut := false
@@ -277,21 +474,55 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 	return c.collect(timedOut), nil
 }
 
-// route asks the policy for a replica index, guarding against out-of-range
-// picks (a policy bug would otherwise panic deep in the event loop).
-func (c *Cluster) route(id int, it trace.Item) int {
+// routable is the policy's view: only active replicas receive traffic.
+// Warming, draining, and off replicas are invisible to routing — the
+// drain guarantee (no request ever lands on a draining replica) is
+// enforced here, by construction. The slice preserves replica-ID order, so
+// the router's by-ID tie-breaking matches by-index iteration.
+func (c *Cluster) routable() []router.Replica {
+	if c.cfg.Autoscale == nil {
+		return c.views
+	}
+	out := make([]router.Replica, 0, len(c.replicas))
+	for _, rep := range c.replicas {
+		if rep.state == autoscale.Active {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// route asks the policy to pick among the currently active replicas,
+// guarding against out-of-range picks (a policy bug would otherwise panic
+// deep in the event loop).
+func (c *Cluster) route(id int, it trace.Item) *replica {
+	views := c.routable()
+	if len(views) == 0 {
+		// Min >= 1 and scale-down stops at Min, so an empty active set is
+		// a lifecycle bug, not a policy bug.
+		panic("cluster: no active replicas to route to")
+	}
+	if c.cfg.Autoscale != nil && len(views) < len(c.replicas) {
+		for _, rep := range c.replicas {
+			if rep.state == autoscale.Warming {
+				// Capacity this arrival could have used is still loading.
+				c.warmupStalls++
+				break
+			}
+		}
+	}
 	pick := c.cfg.Policy.Pick(router.Request{
 		ID:        id,
 		Session:   it.Session,
 		Turn:      it.Turn,
 		PromptLen: it.PromptLen,
 		OutputLen: it.OutputLen,
-	}, c.views)
-	if pick < 0 || pick >= len(c.replicas) {
+	}, views)
+	if pick < 0 || pick >= len(views) {
 		panic(fmt.Sprintf("cluster: policy %s picked replica %d of %d",
-			c.cfg.Policy.Name(), pick, len(c.replicas)))
+			c.cfg.Policy.Name(), pick, len(views)))
 	}
-	return pick
+	return views[pick].(*replica)
 }
 
 // maybeMigrate ships a session's pinned prefix KV to the routed replica
@@ -300,12 +531,15 @@ func (c *Cluster) route(id int, it trace.Item) int {
 // transfer is on the clock and inside the request's TTFT. It reports
 // whether a migration was started (and the inject deferred).
 func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replica, now simclock.Time) bool {
-	if c.ic == nil || it.Session == 0 {
+	if !c.cfg.Migrate || c.ic == nil || it.Session == 0 {
 		return false
 	}
 	// The donor is the replica pinning the most of this session's prefix —
 	// but only a strictly extendable prefix (smaller than the prompt) is
 	// worth shipping, and only if it beats what the target already holds.
+	// Off replicas hold no pins; warming and draining replicas may (a
+	// pre-warmed or not-yet-drained pin), and donating is exactly what
+	// they should do.
 	donor, best := -1, target.eng.CachedPrefixTokens(it.Session)
 	for _, rep := range c.replicas {
 		if rep == target {
@@ -318,23 +552,12 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 	if donor < 0 {
 		return false
 	}
-	tokens, bytes, ok := c.replicas[donor].eng.BeginPrefixMigration(it.Session)
-	if !ok {
-		return false
-	}
-	c.migrations++
-	c.migratedTokens += int64(tokens)
-	c.migrationsInFlight++
-	_, done := c.ic[donor][target.id].Enqueue(now, bytes)
-	c.clock.At(done, func(t simclock.Time) {
-		c.replicas[donor].eng.CompletePrefixMigration(it.Session, t)
-		if !target.eng.InstallMigratedPrefix(it.Session, tokens, t) {
-			c.migrationDrops++
-		}
-		c.migrationsInFlight--
-		target.eng.Inject(r, t)
-	})
-	return true
+	// The deferred inject rides the transfer completion: the request is
+	// delivered together with its KV, so the wire time lands inside TTFT.
+	return c.migratePin(c.replicas[donor], target, it.Session, now,
+		&c.migrations, &c.migratedTokens, func(t simclock.Time) {
+			target.eng.Inject(r, t)
+		})
 }
 
 // done reports whether all arrivals were injected (including requests
@@ -359,17 +582,33 @@ func (c *Cluster) collect(timedOut bool) *Result {
 		Replicas: len(c.replicas),
 		TimedOut: timedOut,
 	}
-	loads := make([]float64, len(c.replicas))
-	for i, rep := range c.replicas {
+	// Under autoscaling, Imbalance is computed over the replicas that
+	// participated (routed at least one request): a replica that stayed
+	// off, warmed too late, or drained early served zero by design, and
+	// counting its zero load would report imbalance where there was none
+	// to balance. In a static cluster every replica is always available,
+	// so a zero-routed replica there is genuine imbalance and counts.
+	var loads []float64
+	for _, rep := range c.replicas {
+		if rep.state.InService() {
+			rep.busy += c.clock.Now().Sub(rep.sinceOn)
+			rep.sinceOn = c.clock.Now()
+		}
 		if timedOut {
 			rep.eng.MarkTimedOut()
 		}
 		er := rep.eng.Collect()
-		res.PerReplica = append(res.PerReplica, ReplicaStats{ID: rep.id, Routed: rep.routed, Result: er})
+		res.PerReplica = append(res.PerReplica, ReplicaStats{
+			ID: rep.id, Routed: rep.routed, State: rep.state,
+			GPUSeconds: rep.busy.Seconds(), Result: er,
+		})
 		res.Requests = append(res.Requests, er.Requests...)
 		res.PrefixHits += er.PrefixHits
 		res.PrefixHitTokens += er.PrefixHitTokens
-		loads[i] = float64(er.Report.TotalOut)
+		res.GPUSeconds += rep.busy.Seconds()
+		if c.cfg.Autoscale == nil || rep.routed > 0 {
+			loads = append(loads, float64(er.Report.TotalOut))
+		}
 	}
 	sort.SliceStable(res.Requests, func(i, j int) bool { return res.Requests[i].ID < res.Requests[j].ID })
 
@@ -392,31 +631,52 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.Report = metrics.Analyze(res.Requests, makespan, c.replicas[0].eng.QoSParams())
 	res.Imbalance = metrics.Imbalance(loads)
 	res.Samples = mergeSamples(res.PerReplica)
-	res.ImbalanceSeries = imbalanceSeries(res.PerReplica)
+	res.ImbalanceSeries = imbalanceSeries(res.PerReplica, c.svcMask)
 	res.Migrations = c.migrations
 	res.MigratedTokens = c.migratedTokens
 	res.MigrationDrops = c.migrationDrops
+	res.ScaleEvents = c.scaleEvents
+	res.ReplicaSeries = c.replicaSeries
+	res.WarmupStalls = c.warmupStalls
+	res.Prewarms = c.prewarms
+	res.PrewarmedTokens = c.prewarmedTokens
+	res.DrainMigrations = c.drainMigrations
+	res.DrainDroppedPins = c.drainDroppedPins
 	return res
 }
 
 // imbalanceSeries computes, per sampling tick, the peak-to-mean ratio of
 // per-replica outstanding (queued + running) requests — the over-time view
-// of the end-of-run Imbalance scalar.
-func imbalanceSeries(per []ReplicaStats) []ImbalancePoint {
-	if len(per) == 0 || len(per[0].Result.Samples) == 0 {
+// of the end-of-run Imbalance scalar. Only replicas in service at the tick
+// (per svc, recorded at sampling time) enter the ratio: an off or warming
+// replica holds no load by construction, and counting its zero would
+// manufacture imbalance. Series lengths are taken per replica (not from
+// replica 0) so a replica with a short series cannot truncate or skew the
+// merge.
+func imbalanceSeries(per []ReplicaStats, svc [][]bool) []ImbalancePoint {
+	n := 0
+	for _, rs := range per {
+		if len(rs.Result.Samples) > n {
+			n = len(rs.Result.Samples)
+		}
+	}
+	if n == 0 {
 		return nil
 	}
-	n := len(per[0].Result.Samples)
 	out := make([]ImbalancePoint, 0, n)
-	loads := make([]float64, len(per))
 	for i := 0; i < n; i++ {
-		at := per[0].Result.Samples[i].At
+		var at simclock.Time
+		var loads []float64
 		for j, rs := range per {
-			loads[j] = 0
-			if i < len(rs.Result.Samples) {
-				s := rs.Result.Samples[i]
-				loads[j] = float64(s.Queued + s.Running)
+			if i >= len(rs.Result.Samples) {
+				continue
 			}
+			s := rs.Result.Samples[i]
+			at = s.At
+			if i < len(svc) && j < len(svc[i]) && !svc[i][j] {
+				continue
+			}
+			loads = append(loads, float64(s.Queued+s.Running))
 		}
 		out = append(out, ImbalancePoint{At: at, Value: metrics.Imbalance(loads)})
 	}

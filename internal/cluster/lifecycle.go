@@ -1,0 +1,276 @@
+package cluster
+
+// Replica lifecycle: the autoscaler control loop. Runs on the cluster's
+// virtual clock (Config.Autoscale.ControlEvery); each tick sweeps draining
+// replicas, gathers cluster signals, and executes the policy's decision.
+//
+//	off ──scaleUp──▶ warming ──Warmup elapses──▶ active
+//	active ──scaleDown──▶ draining ──outstanding = 0, pins handed off──▶ off
+//
+// Scale-up optionally overlaps the warm-up latency with KV pre-warming:
+// the hottest pinned session prefixes across the active replicas migrate
+// to the warming replica over the interconnect mesh, so the sessions most
+// likely to return find their KV waiting when the replica starts taking
+// traffic. Scale-down routes no new work to the replica (enforced by
+// Cluster.routable), lets in-flight requests finish, and hands pinned
+// prefixes to the surviving replicas — or drops them when no peer can
+// take them.
+
+import (
+	"sort"
+
+	"repro/internal/autoscale"
+	"repro/internal/kvcache"
+	"repro/internal/simclock"
+)
+
+// event appends one lifecycle transition to the scale-event log.
+func (c *Cluster) event(at simclock.Time, kind ScaleKind, replica int) {
+	c.scaleEvents = append(c.scaleEvents, ScaleEvent{At: at, Kind: kind, Replica: replica})
+}
+
+// controlTick is one pass of the autoscaler control loop.
+func (c *Cluster) controlTick(now simclock.Time) {
+	c.sweepDrained(now)
+	s := c.signals()
+	switch c.cfg.Autoscale.Policy.Decide(s) {
+	case autoscale.ScaleUp:
+		c.scaleUp(now)
+	case autoscale.ScaleDown:
+		c.scaleDown(now, s.Active)
+	}
+	point := ReplicaCountPoint{At: now}
+	for _, rep := range c.replicas {
+		switch rep.state {
+		case autoscale.Active:
+			point.Active++
+		case autoscale.Warming:
+			point.Warming++
+		case autoscale.Draining:
+			point.Draining++
+		}
+	}
+	c.replicaSeries = append(c.replicaSeries, point)
+}
+
+// signals assembles the per-tick cluster view the policy decides from.
+func (c *Cluster) signals() autoscale.Signals {
+	s := autoscale.Signals{Min: c.cfg.Autoscale.Min, Max: c.cfg.Autoscale.Max}
+	var used, total int
+	for _, rep := range c.replicas {
+		switch rep.state {
+		case autoscale.Active:
+			s.Active++
+			s.Outstanding += rep.eng.OutstandingRequests()
+			total += rep.eng.TotalKVPages()
+			used += rep.eng.TotalKVPages() - rep.eng.FreeKVPages()
+		case autoscale.Warming:
+			s.Warming++
+		case autoscale.Draining:
+			s.Draining++
+		}
+	}
+	if total > 0 {
+		s.KVUtil = float64(used) / float64(total)
+	}
+	return s
+}
+
+// scaleUp brings one more replica toward the active set. A draining
+// replica is reactivated first — it is still warm, its KV is still
+// resident, and cancelling the drain delivers capacity instantly — and
+// only when none is draining does the lowest-ID off replica start paying
+// the warm-up (and pre-warming, when enabled).
+func (c *Cluster) scaleUp(now simclock.Time) {
+	for _, rep := range c.replicas {
+		if rep.state == autoscale.Draining {
+			rep.state = autoscale.Active
+			c.event(now, ScaleReactivate, rep.id)
+			return
+		}
+	}
+	var target *replica
+	for _, rep := range c.replicas {
+		if rep.state == autoscale.Off {
+			target = rep
+			break
+		}
+	}
+	if target == nil {
+		return // every replica is already active or warming
+	}
+	target.state = autoscale.Warming
+	target.sinceOn = now
+	c.event(now, ScaleWarmup, target.id)
+	if c.cfg.Autoscale.Prewarm {
+		c.prewarm(target, now)
+	}
+	c.clock.After(c.cfg.Autoscale.Warmup, func(t simclock.Time) {
+		if target.state == autoscale.Warming {
+			target.state = autoscale.Active
+			c.event(t, ScaleActivate, target.id)
+		}
+	})
+}
+
+// prewarm overlaps a replica's warm-up with KV pre-warming: the hottest
+// pinned session prefixes across the active replicas (merged most-recently-
+// used first, larger prefixes and lower donor IDs breaking ties) migrate to
+// the warming replica over the interconnect. The donors lose the pins —
+// affinity routing will follow the sessions to the new replica, which is
+// exactly the rebalancing a scale-up wants.
+func (c *Cluster) prewarm(target *replica, now simclock.Time) {
+	type candidate struct {
+		donor *replica
+		info  kvcache.PrefixInfo
+		rank  int
+	}
+	topK := c.cfg.Autoscale.PrewarmTopK
+	var cands []candidate
+	for _, rep := range c.replicas {
+		if rep.state != autoscale.Active {
+			continue
+		}
+		for rank, info := range rep.eng.HottestPrefixes(topK) {
+			cands = append(cands, candidate{donor: rep, info: info, rank: rank})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].rank != cands[j].rank {
+			return cands[i].rank < cands[j].rank
+		}
+		if cands[i].info.Tokens != cands[j].info.Tokens {
+			return cands[i].info.Tokens > cands[j].info.Tokens
+		}
+		return cands[i].donor.id < cands[j].donor.id
+	})
+	shipped := 0
+	for _, cd := range cands {
+		if shipped == topK {
+			break
+		}
+		if c.migratePin(cd.donor, target, cd.info.Session, now, &c.prewarms, &c.prewarmedTokens, nil) {
+			shipped++
+		}
+	}
+}
+
+// scaleDown drains the active replica that will empty soonest: fewest
+// outstanding requests, ties broken by highest ID (last scaled up, first
+// drained — the reverse of scale-up order).
+func (c *Cluster) scaleDown(now simclock.Time, active int) {
+	if active <= c.cfg.Autoscale.Min {
+		return
+	}
+	var target *replica
+	for _, rep := range c.replicas {
+		if rep.state != autoscale.Active {
+			continue
+		}
+		if target == nil || rep.eng.OutstandingRequests() <= target.eng.OutstandingRequests() {
+			target = rep
+		}
+	}
+	if target == nil {
+		return
+	}
+	target.state = autoscale.Draining
+	c.event(now, ScaleDrain, target.id)
+	c.drainPins(target, now)
+}
+
+// drainPins hands a draining replica's pinned prefixes to the surviving
+// active replicas — each pin migrates to the peer with the most free KV
+// headroom (lowest ID on ties) — or drops them when no active peer
+// exists. Headroom counts the pages already planned onto a peer in this
+// pass: installs only charge the pool when the transfer lands, so
+// FreeKVPages alone would send every pin to the same peer and overflow
+// it. Idempotent: pins already on the wire are skipped, so it runs again
+// at sweep time for pins created by requests that finished during the
+// drain.
+func (c *Cluster) drainPins(rep *replica, now simclock.Time) {
+	planned := make(map[*replica]int)
+	for _, info := range rep.eng.HottestPrefixes(0) {
+		var dst *replica
+		head := 0
+		for _, peer := range c.replicas {
+			if peer.state != autoscale.Active {
+				continue
+			}
+			if h := peer.eng.FreeKVPages() - planned[peer]; dst == nil || h > head {
+				dst, head = peer, h
+			}
+		}
+		if dst == nil {
+			if rep.eng.DropPrefix(info.Session, now) {
+				c.drainDroppedPins++
+			}
+			continue
+		}
+		if c.migratePin(rep, dst, info.Session, now, &c.drainMigrations, nil, nil) {
+			planned[dst] += info.Pages
+		}
+	}
+}
+
+// migratePin ships one pinned prefix from donor to target over the
+// interconnect, accounting the transfer against the given counters; every
+// cross-replica transfer (routing migration, pre-warm, drain hand-off)
+// funnels through it so the in/out-migration gating stays in one place.
+// onDone, if set, runs after the install attempt at transfer completion
+// (the routing path injects its deferred request there). It reports
+// whether a migration started.
+func (c *Cluster) migratePin(donor, target *replica, session int, now simclock.Time,
+	count, tokenCount *int64, onDone func(now simclock.Time)) bool {
+	tokens, bytes, ok := donor.eng.BeginPrefixMigration(session)
+	if !ok {
+		return false
+	}
+	*count++
+	if tokenCount != nil {
+		*tokenCount += int64(tokens)
+	}
+	c.migrationsInFlight++
+	donor.outMigrations++
+	target.inMigrations++
+	_, done := c.ic[donor.id][target.id].Enqueue(now, bytes)
+	c.clock.At(done, func(t simclock.Time) {
+		donor.eng.CompletePrefixMigration(session, t)
+		donor.outMigrations--
+		target.inMigrations--
+		if !target.eng.InstallMigratedPrefix(session, tokens, t) {
+			c.migrationDrops++
+		}
+		c.migrationsInFlight--
+		if onDone != nil {
+			onDone(t)
+		}
+	})
+	return true
+}
+
+// sweepDrained retires draining replicas whose work has run dry: no
+// outstanding requests, nothing inbound on the wire (a routed request
+// whose KV is still in flight is in no engine queue yet), and no pins
+// left to hand off. Late pins — created by requests that finished after
+// the drain began — get one more migration pass first.
+func (c *Cluster) sweepDrained(now simclock.Time) {
+	for _, rep := range c.replicas {
+		if rep.state != autoscale.Draining {
+			continue
+		}
+		if rep.eng.OutstandingRequests() > 0 || rep.inMigrations > 0 {
+			continue
+		}
+		if pins := rep.eng.HottestPrefixes(0); len(pins) > 0 {
+			c.drainPins(rep, now)
+		}
+		if rep.outMigrations > 0 || len(rep.eng.HottestPrefixes(0)) > 0 {
+			continue // transfers still on the wire; retry next tick
+		}
+		rep.state = autoscale.Off
+		rep.busy += now.Sub(rep.sinceOn)
+		rep.sinceOn = 0
+		c.event(now, ScaleOff, rep.id)
+	}
+}

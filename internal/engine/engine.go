@@ -434,6 +434,23 @@ func (e *Engine) InstallMigratedPrefix(session, tokens int, now simclock.Time) b
 	return e.mem.InstallPrefix(session, tokens, now)
 }
 
+// HottestPrefixes lists up to k of this replica's pinned session prefixes
+// in most-recently-used order (k <= 0 lists all) — the donor set for
+// cluster-level KV pre-warming and drain hand-off.
+func (e *Engine) HottestPrefixes(k int) []kvcache.PrefixInfo {
+	return e.mem.HottestPrefixes(k)
+}
+
+// DropPrefix evicts a session's pinned prefix outright (drain hand-off
+// when no peer can take it); freed pages may unblock stalled admissions.
+func (e *Engine) DropPrefix(session int, now simclock.Time) bool {
+	dropped := e.mem.DropPrefix(session, now)
+	if dropped {
+		e.kick(now)
+	}
+	return dropped
+}
+
 // OutstandingRequests reports how many injected requests have not finished
 // generating: the queued+running load a router balances.
 func (e *Engine) OutstandingRequests() int {

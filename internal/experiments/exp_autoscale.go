@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// spikeWorkload is clusterWorkload with a variable flash-crowd period:
+// shorter spikeEvery packs more concurrent session-opening bursts into the
+// same duration — the spike-intensity axis of the autoscaling study.
+func spikeWorkload(spikeEverySec float64) trace.Workload {
+	return trace.Sessions("autoscale-sessions", trace.SessionConfig{
+		Sessions:   scaled(220),
+		Duration:   scaledDur(240),
+		SpikeEvery: scaledDur(spikeEverySec),
+		Rates:      trace.FixedRate(20),
+		Seed:       7,
+	})
+}
+
+// scaledUpHitRate is the prefix hit rate over the replicas that started
+// off and were scaled in (replica IDs >= initial) — the post-scale-up
+// cache effectiveness pre-warming targets.
+func scaledUpHitRate(res *cluster.Result, initial int) float64 {
+	var hits, routed int64
+	for _, rs := range res.PerReplica[initial:] {
+		hits += rs.Result.PrefixHits
+		routed += int64(rs.Routed)
+	}
+	if routed == 0 {
+		return 0
+	}
+	return float64(hits) / float64(routed)
+}
+
+// ExpAutoscale studies SLO-driven replica autoscaling: tail TTFT and
+// GPU-seconds versus spike intensity × warm-up latency × interconnect
+// bandwidth, for a 1..4-replica autoscaled pool with and without KV
+// pre-warming, against fixed 1- and 4-replica pools. The sweep's question:
+// when does pre-warming stop paying off? (Answer shape: it pays on the
+// post-scale-up hit rate whenever the interconnect can ship the pins
+// within the warm-up window; at starved bandwidth the transfers trail the
+// activation and the benefit shrinks toward zero.)
+func ExpAutoscale() (*Table, error) {
+	dep := dep4090Llama
+	const minReps, maxReps = 1, 4
+
+	type variant struct {
+		spikeEvery float64 // seconds between session flash crowds
+		warmup     float64 // seconds of scale-up warm-up latency
+		icGBps     float64 // interconnect bandwidth
+		mode       string  // fixed-1 | fixed-4 | cold | prewarm
+	}
+	var variants []variant
+	for _, spike := range []float64{30, 90} {
+		variants = append(variants,
+			variant{spike, 0, 0, "fixed-1"},
+			variant{spike, 0, 0, "fixed-4"})
+		for _, warmup := range []float64{2, 15} {
+			for _, bw := range []float64{0.1, 25} {
+				variants = append(variants,
+					variant{spike, warmup, bw, "cold"},
+					variant{spike, warmup, bw, "prewarm"})
+			}
+		}
+	}
+
+	type cell struct {
+		v   variant
+		res *cluster.Result
+		err error
+	}
+	cells := make([]cell, len(variants))
+	for i, v := range variants {
+		cells[i] = cell{v: v}
+	}
+	var wg sync.WaitGroup
+	for i := range cells {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := cells[i].v
+			cfg := cluster.Config{
+				Replicas: maxReps,
+				Policy:   router.NewSessionAffinity(),
+			}
+			switch v.mode {
+			case "fixed-1":
+				cfg.Replicas = minReps
+			case "fixed-4":
+				// static pool at max size
+			default:
+				cfg.InterconnectGBps = v.icGBps
+				cfg.Autoscale = &cluster.AutoscaleConfig{
+					Policy:  autoscale.NewQueuePressure(autoscale.QueuePressureConfig{}),
+					Min:     minReps,
+					Max:     maxReps,
+					Warmup:  time.Duration(v.warmup * float64(time.Second)),
+					Prewarm: v.mode == "prewarm",
+				}
+			}
+			cl, err := cluster.New(cfg, buildReplica(dep))
+			if err != nil {
+				cells[i].err = err
+				return
+			}
+			cells[i].res, cells[i].err = cl.Run(spikeWorkload(v.spikeEvery))
+		}()
+	}
+	wg.Wait()
+
+	t := &Table{
+		ID: "Autoscale",
+		Title: "SLO-driven autoscaling: spike intensity × warm-up latency × interconnect " +
+			"bandwidth, 1..4 TokenFlow replicas, multi-turn spikes",
+		Header: []string{"spike-every", "warmup", "ic-GB/s", "mode", "P99-TTFT", "QoS",
+			"GPU-s", "ups", "downs", "stalls", "prewarm-tok", "post-up-hit%"},
+	}
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, fmt.Errorf("autoscale %+v: %w", c.v, c.err)
+		}
+		warmup, bw, hit := "-", "-", "-"
+		if c.v.mode == "cold" || c.v.mode == "prewarm" {
+			warmup = ffloat(c.v.warmup, 0) + "s"
+			bw = ffloat(c.v.icGBps, 1)
+			hit = ffloat(100*scaledUpHitRate(c.res, minReps), 1)
+		}
+		t.Rows = append(t.Rows, []string{
+			ffloat(c.v.spikeEvery, 0) + "s",
+			warmup,
+			bw,
+			c.v.mode,
+			fsec(c.res.Report.P99TTFT),
+			ftps(c.res.Report.QoS),
+			ffloat(c.res.GPUSeconds, 0),
+			fint(int64(countKind(c.res, cluster.ScaleWarmup) + countKind(c.res, cluster.ScaleReactivate))),
+			fint(int64(countKind(c.res, cluster.ScaleDrain))),
+			fint(c.res.WarmupStalls),
+			fint(c.res.PrewarmedTokens),
+			hit,
+		})
+	}
+	t.Notes = "Expected shape: autoscaled pools sit between fixed-1 (P99) and fixed-4 (GPU-seconds); " +
+		"longer warm-up means more stalled arrivals and worse tails; pre-warming lifts the " +
+		"post-scale-up hit rate whenever the interconnect outruns the warm-up window."
+	return t, nil
+}
+
+// countKind tallies scale events of one kind.
+func countKind(res *cluster.Result, kind cluster.ScaleKind) int {
+	n := 0
+	for _, ev := range res.ScaleEvents {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

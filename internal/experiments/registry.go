@@ -33,6 +33,7 @@ func All() []Experiment {
 		{"overhead", Overhead},
 		{"cluster", ExpCluster},
 		{"hetero", ExpHetero},
+		{"autoscale", ExpAutoscale},
 	}
 }
 

@@ -269,6 +269,48 @@ func (m *Manager) AllocateWithPrefix(r *request.Request, contextTokens, session 
 	return nil
 }
 
+// PrefixInfo describes one pinned session prefix (batch pre-warm and
+// drain planning).
+type PrefixInfo struct {
+	// Session is the pin's conversation key.
+	Session int
+	// Tokens is the pinned context length; Pages its pool footprint.
+	Tokens, Pages int
+}
+
+// HottestPrefixes lists up to k pinned prefixes in most-recently-used
+// order, skipping pins already on the interconnect wire; k <= 0 lists all.
+// The cluster uses it to pre-warm a scaling-up replica with the sessions
+// most likely to return, and to empty a draining replica. Probing does not
+// perturb the eviction order.
+func (m *Manager) HottestPrefixes(k int) []PrefixInfo {
+	if k <= 0 || k > m.pinOrder.Len() {
+		k = m.pinOrder.Len()
+	}
+	out := make([]PrefixInfo, 0, k)
+	for el := m.pinOrder.Front(); el != nil && len(out) < k; el = el.Next() {
+		p := el.Value.(*pin)
+		if p.migrating {
+			continue
+		}
+		out = append(out, PrefixInfo{Session: p.session, Tokens: p.tokens, Pages: p.pages})
+	}
+	return out
+}
+
+// DropPrefix evicts a session's pin outright (a draining replica with no
+// surviving peer to migrate to). Synced pages free immediately; dirty pages
+// drain to the host first, exactly as a pressure eviction would. It reports
+// whether a pin was dropped.
+func (m *Manager) DropPrefix(session int, now simclock.Time) bool {
+	p, ok := m.pins[session]
+	if !ok || p.migrating {
+		return false
+	}
+	m.evictPin(p, now)
+	return true
+}
+
 // BeginMigrateOut stakes a pin for cross-replica migration: the pin's
 // pages stay charged (they are being read over the wire) but it no longer
 // hits, adopts, or evicts. It reports the pinned tokens and the transfer

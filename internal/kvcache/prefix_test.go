@@ -349,3 +349,57 @@ func TestPoolNeverOvercommitsUnderPrefixChurn(t *testing.T) {
 		check()
 	}
 }
+
+func TestHottestPrefixesMRUOrder(t *testing.T) {
+	rig := prefixRig(t)
+	finishAs(t, rig, 1, 7, 160, 0)
+	finishAs(t, rig, 2, 8, 96, 0)
+	finishAs(t, rig, 3, 9, 64, 0)
+	// Touch session 7: it becomes MRU again.
+	if rig.m.TakePrefix(7) != 160 {
+		t.Fatal("take should hit")
+	}
+
+	got := rig.m.HottestPrefixes(2)
+	if len(got) != 2 || got[0].Session != 7 || got[1].Session != 9 {
+		t.Fatalf("top-2 = %+v, want sessions [7 9]", got)
+	}
+	if got[0].Tokens != 160 || got[0].Pages != 10 {
+		t.Errorf("session 7 info = %+v, want 160 tokens / 10 pages", got[0])
+	}
+
+	all := rig.m.HottestPrefixes(0)
+	if len(all) != 3 || all[2].Session != 8 {
+		t.Fatalf("all pins = %+v, want [7 9 8]", all)
+	}
+
+	// A migrating pin is invisible: its pages are leaving the device.
+	if _, _, ok := rig.m.BeginMigrateOut(9); !ok {
+		t.Fatal("migrate-out should start")
+	}
+	if got := rig.m.HottestPrefixes(0); len(got) != 2 {
+		t.Fatalf("migrating pin listed: %+v", got)
+	}
+}
+
+func TestDropPrefixFreesPin(t *testing.T) {
+	rig := prefixRig(t)
+	finishAs(t, rig, 1, 7, 160, 0)
+	free := rig.m.FreePages()
+	if !rig.m.DropPrefix(7, 0) {
+		t.Fatal("drop should find the pin")
+	}
+	rig.clock.Run() // drain any dirty pages
+	if got := rig.m.FreePages() - free; got != 10 {
+		t.Errorf("drop freed %d pages, want 10", got)
+	}
+	if rig.m.PeekPrefix(7) != 0 || rig.m.PinnedPrefixPages() != 0 {
+		t.Error("pin should be gone")
+	}
+	if rig.m.DropPrefix(7, 0) {
+		t.Error("second drop should miss")
+	}
+	if s := rig.m.Stats(); s.PrefixEvictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.PrefixEvictions)
+	}
+}

@@ -112,7 +112,10 @@ func (p *RoundRobin) Pick(_ Request, replicas []Replica) int {
 }
 
 // LeastQueue routes to the replica with the fewest outstanding requests
-// (queued + running), breaking ties by lowest replica index.
+// (queued + running), breaking ties by lowest replica ID. Tie-breaking on
+// the ID rather than the slice position keeps picks stable however the
+// caller orders its view (an autoscaled cluster routes over the shifting
+// subset of active replicas).
 type LeastQueue struct{}
 
 // NewLeastQueue returns the least-queue policy.
@@ -125,7 +128,8 @@ func (p *LeastQueue) Name() string { return NameLeastQueue }
 func (p *LeastQueue) Pick(_ Request, replicas []Replica) int {
 	best := 0
 	for i := 1; i < len(replicas); i++ {
-		if replicas[i].QueueDepth() < replicas[best].QueueDepth() {
+		qi, qb := replicas[i].QueueDepth(), replicas[best].QueueDepth()
+		if qi < qb || (qi == qb && replicas[i].ID() < replicas[best].ID()) {
 			best = i
 		}
 	}
@@ -133,7 +137,7 @@ func (p *LeastQueue) Pick(_ Request, replicas []Replica) int {
 }
 
 // LeastKV routes to the replica with the most free KV pages — memory
-// headroom as the load signal — breaking ties by lowest replica index.
+// headroom as the load signal — breaking ties by lowest replica ID.
 type LeastKV struct{}
 
 // NewLeastKV returns the least-KV policy.
@@ -146,7 +150,8 @@ func (p *LeastKV) Name() string { return NameLeastKV }
 func (p *LeastKV) Pick(_ Request, replicas []Replica) int {
 	best := 0
 	for i := 1; i < len(replicas); i++ {
-		if replicas[i].FreeKVPages() > replicas[best].FreeKVPages() {
+		fi, fb := replicas[i].FreeKVPages(), replicas[best].FreeKVPages()
+		if fi > fb || (fi == fb && replicas[i].ID() < replicas[best].ID()) {
 			best = i
 		}
 	}
@@ -157,7 +162,8 @@ func (p *LeastKV) Pick(_ Request, replicas []Replica) int {
 // per unit of KV capacity — the heterogeneous-pool load balancer: a
 // replica with twice the pool absorbs twice the queue before it looks as
 // busy as its smaller peer. Ties break by larger capacity, then lowest
-// replica index.
+// replica ID (stable under any view ordering, including an autoscaled
+// cluster's shifting active subset).
 type WeightedCapacity struct{}
 
 // NewWeightedCapacity returns the capacity-weighted policy.
@@ -175,7 +181,7 @@ func (p *WeightedCapacity) Pick(_ Request, replicas []Replica) int {
 		qi, ci := replicas[i].QueueDepth(), replicas[i].TotalKVPages()
 		qb, cb := replicas[best].QueueDepth(), replicas[best].TotalKVPages()
 		li, lb := qi*cb, qb*ci
-		if li < lb || (li == lb && ci > cb) {
+		if li < lb || (li == lb && (ci > cb || (ci == cb && replicas[i].ID() < replicas[best].ID()))) {
 			best = i
 		}
 	}

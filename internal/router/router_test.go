@@ -199,3 +199,35 @@ func TestByName(t *testing.T) {
 		t.Error("ByName with unknown policy should fail")
 	}
 }
+
+// TestTieBreakStableByID: when two replicas report identical load signals,
+// every selection policy must break the tie by the lower replica ID — not
+// by slice position, which shifts as an autoscaled cluster's active subset
+// changes. The views here are deliberately NOT in ID order.
+func TestTieBreakStableByID(t *testing.T) {
+	// Replicas 5 and 2 are indistinguishable on every signal; replica 9 is
+	// strictly worse (deeper queue, less memory).
+	state := func() []Replica {
+		return replicas(
+			&fakeReplica{id: 5, queue: 3, freeKV: 400, totalKV: 800},
+			&fakeReplica{id: 9, queue: 7, freeKV: 100, totalKV: 800},
+			&fakeReplica{id: 2, queue: 3, freeKV: 400, totalKV: 800},
+		)
+	}
+	req := Request{ID: 1, PromptLen: 256, OutputLen: 128}
+
+	for _, p := range []Policy{NewLeastQueue(), NewLeastKV(), NewWeightedCapacity(), NewSessionAffinity()} {
+		views := state()
+		pick := p.Pick(req, views)
+		if got := views[pick].ID(); got != 2 {
+			t.Errorf("%s: tied pick went to replica %d, want lowest ID 2", p.Name(), got)
+		}
+		// The same state permuted must pick the same replica.
+		views = state()
+		views[0], views[2] = views[2], views[0]
+		pick = p.Pick(req, views)
+		if got := views[pick].ID(); got != 2 {
+			t.Errorf("%s: permuted tied pick went to replica %d, want 2", p.Name(), got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tokenflow
 import (
 	"fmt"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/router"
@@ -77,8 +78,93 @@ type ClusterConfig struct {
 	Migrate bool
 
 	// InterconnectGBps is the replica interconnect bandwidth per directed
-	// pair (default 25, RDMA-class). Only used with Migrate.
+	// pair (default 25, RDMA-class). Used with Migrate and with
+	// autoscaling (pre-warm and drain hand-off travel the same mesh).
 	InterconnectGBps float64
+
+	// Autoscale enables SLO-driven replica autoscaling: a control loop on
+	// the virtual clock grows and shrinks the active replica set between
+	// MinReplicas and MaxReplicas. Nil keeps the static pool.
+	Autoscale *AutoscaleSpec
+}
+
+// AutoscalePolicy selects how the autoscaler decides scale actions.
+type AutoscalePolicy string
+
+// Autoscaling policies.
+const (
+	// AutoscaleQueuePressure scales on outstanding requests per
+	// provisioned replica (the TTFT-pressure proxy), with hysteresis.
+	AutoscaleQueuePressure AutoscalePolicy = "queue-pressure"
+	// AutoscaleKVUtilization scales on pooled KV-page utilization — the
+	// earlier congestion signal for long-context session workloads.
+	AutoscaleKVUtilization AutoscalePolicy = "kv-utilization"
+)
+
+// AutoscalePolicies lists the autoscaling policies.
+func AutoscalePolicies() []AutoscalePolicy {
+	return []AutoscalePolicy{AutoscaleQueuePressure, AutoscaleKVUtilization}
+}
+
+// AutoscaleSpec parameterizes SLO-driven replica autoscaling. The replica
+// layout (Replicas or ReplicaSpecs) sizes the maximum pool: a homogeneous
+// layout stretches to MaxReplicas automatically, a heterogeneous layout
+// must list exactly MaxReplicas replicas.
+type AutoscaleSpec struct {
+	// Policy selects the scale-decision policy (default
+	// AutoscaleQueuePressure).
+	Policy AutoscalePolicy
+
+	// MinReplicas and MaxReplicas bound the in-service replica set
+	// (defaults: 1 and the replica layout size). InitialReplicas is the
+	// active count at t=0 (default MinReplicas).
+	MinReplicas, MaxReplicas, InitialReplicas int
+
+	// WarmupSeconds is the latency a scale-up pays before the new replica
+	// accepts traffic — model load plus allocator init (default 8;
+	// negative means instant).
+	WarmupSeconds float64
+
+	// ControlEverySeconds is the autoscaler control-loop tick (default 1).
+	ControlEverySeconds float64
+
+	// Prewarm overlaps each warm-up with KV pre-warming: the hottest
+	// pinned session prefixes migrate from the active replicas to the
+	// warming one over the interconnect, so its first requests hit the
+	// prefix cache instead of recomputing.
+	Prewarm bool
+
+	// PrewarmTopK caps the pins shipped per pre-warm (default 8).
+	PrewarmTopK int
+
+	// ScaleUpPressure / ScaleDownPressure tune the queue-pressure policy:
+	// outstanding requests per provisioned replica above which to grow
+	// (default 8) and below which to shrink (default 1).
+	ScaleUpPressure, ScaleDownPressure float64
+
+	// KVUtilHigh / KVUtilLow tune the kv-utilization policy: pooled
+	// used-page fractions above which to grow (default 0.85) and below
+	// which to shrink (default 0.30).
+	KVUtilHigh, KVUtilLow float64
+}
+
+// policy constructs the internal autoscale policy the spec names.
+func (s AutoscaleSpec) policy() (autoscale.Policy, error) {
+	switch s.Policy {
+	case "", AutoscaleQueuePressure:
+		return autoscale.NewQueuePressure(autoscale.QueuePressureConfig{
+			UpPressure:   s.ScaleUpPressure,
+			DownPressure: s.ScaleDownPressure,
+		}), nil
+	case AutoscaleKVUtilization:
+		return autoscale.NewKVUtilization(autoscale.KVUtilizationConfig{
+			HighUtil: s.KVUtilHigh,
+			LowUtil:  s.KVUtilLow,
+		}), nil
+	default:
+		return nil, fmt.Errorf("tokenflow: unknown autoscale policy %q (have %v)",
+			s.Policy, AutoscalePolicies())
+	}
 }
 
 // ReplicaResult reports one replica's share of a cluster run.
@@ -100,9 +186,33 @@ type ReplicaResult struct {
 	// PrefixEvictions counts pinned prefixes this replica evicted under
 	// memory pressure.
 	PrefixEvictions int64
+	// State is the replica's lifecycle state at the end of the run:
+	// "off", "warming", "active", or "draining" ("active" always, in a
+	// static cluster).
+	State string
+	// GPUSeconds is the simulated time this replica spent in service
+	// (warming, active, or draining).
+	GPUSeconds float64
 	// Result is the replica's own serving report (covering only the
 	// requests it served).
 	Result *Result
+}
+
+// ScaleEvent is one replica lifecycle transition the autoscaler drove:
+// "warmup" (off → warming), "activate" (warming → active), "reactivate"
+// (a scale-up cancelled an in-progress drain), "drain" (active →
+// draining), "off" (drain completed).
+type ScaleEvent struct {
+	AtSeconds float64
+	Kind      string
+	Replica   int
+}
+
+// ReplicaCountSample is one control-tick sample of the per-state replica
+// counts.
+type ReplicaCountSample struct {
+	AtSeconds                 float64
+	Active, Warming, Draining int
 }
 
 // ImbalanceSample is one point of the cluster's load-imbalance series.
@@ -151,6 +261,26 @@ type ClusterResult struct {
 	Migrations     int64
 	MigratedTokens int64
 	MigrationDrops int64
+
+	// Autoscaling outcome (zero / empty in a static cluster).
+	//
+	// GPUSeconds totals the simulated time replicas spent in service
+	// (warming, active, or draining) — the cost axis autoscaling trades
+	// against tail latency; a static cluster reports replicas × run time.
+	// WarmupStalls counts arrivals routed while a replica was still
+	// warming (capacity the pool had answered but could not serve yet).
+	// Prewarms / PrewarmedTokens total the pre-warm migrations seeding
+	// warming replicas; DrainMigrations / DrainDroppedPins account the
+	// pins draining replicas handed off or discarded.
+	ScaleUps, ScaleDowns int
+	ScaleEvents          []ScaleEvent
+	ReplicaSeries        []ReplicaCountSample
+	GPUSeconds           float64
+	WarmupStalls         int64
+	Prewarms             int64
+	PrewarmedTokens      int64
+	DrainMigrations      int64
+	DrainDroppedPins     int64
 }
 
 // expandReplicaSpecs resolves the cluster layout into one (GPU,
@@ -212,6 +342,46 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var asCfg *cluster.AutoscaleConfig
+	if cfg.Autoscale != nil {
+		spec := *cfg.Autoscale // defaults are resolved on a copy; the caller's spec is reusable
+		if spec.MaxReplicas == 0 {
+			spec.MaxReplicas = len(reps)
+			if spec.MaxReplicas < spec.MinReplicas {
+				spec.MaxReplicas = spec.MinReplicas
+			}
+		}
+		if len(cfg.ReplicaSpecs) == 0 && len(reps) != spec.MaxReplicas {
+			// A homogeneous layout stretches to the autoscaling bound.
+			base := reps[0]
+			reps = make([]ReplicaSpec, spec.MaxReplicas)
+			for i := range reps {
+				reps[i] = base
+			}
+		}
+		if spec.MinReplicas > spec.MaxReplicas {
+			return nil, fmt.Errorf("tokenflow: autoscale min %d exceeds max %d",
+				spec.MinReplicas, spec.MaxReplicas)
+		}
+		if len(reps) != spec.MaxReplicas {
+			return nil, fmt.Errorf("tokenflow: replica layout has %d replicas, autoscale max is %d",
+				len(reps), spec.MaxReplicas)
+		}
+		pol, err := spec.policy()
+		if err != nil {
+			return nil, err
+		}
+		asCfg = &cluster.AutoscaleConfig{
+			Policy:       pol,
+			Min:          spec.MinReplicas,
+			Max:          spec.MaxReplicas,
+			Initial:      spec.InitialReplicas,
+			Warmup:       simclock.Duration(spec.WarmupSeconds),
+			ControlEvery: simclock.Duration(spec.ControlEverySeconds),
+			Prewarm:      spec.Prewarm,
+			PrewarmTopK:  spec.PrewarmTopK,
+		}
+	}
 	pol, err := router.ByName(string(cfg.Router))
 	if err != nil {
 		return nil, err
@@ -223,6 +393,7 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		MaxSimTime:       simclock.Duration(cfg.MaxSimTimeSeconds),
 		Migrate:          cfg.Migrate,
 		InterconnectGBps: cfg.InterconnectGBps,
+		Autoscale:        asCfg,
 	}, func(i int, clock *simclock.Clock) (*engine.Engine, error) {
 		rcfg := cfg.Config
 		rcfg.GPU = reps[i].GPU
@@ -253,10 +424,37 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		Migrations:      res.Migrations,
 		MigratedTokens:  res.MigratedTokens,
 		MigrationDrops:  res.MigrationDrops,
+
+		GPUSeconds:       res.GPUSeconds,
+		WarmupStalls:     res.WarmupStalls,
+		Prewarms:         res.Prewarms,
+		PrewarmedTokens:  res.PrewarmedTokens,
+		DrainMigrations:  res.DrainMigrations,
+		DrainDroppedPins: res.DrainDroppedPins,
 	}
 	for _, p := range res.ImbalanceSeries {
 		out.ImbalanceSeries = append(out.ImbalanceSeries, ImbalanceSample{
 			AtSeconds: p.At.Seconds(), Imbalance: p.Value,
+		})
+	}
+	for _, ev := range res.ScaleEvents {
+		out.ScaleEvents = append(out.ScaleEvents, ScaleEvent{
+			AtSeconds: ev.At.Seconds(), Kind: string(ev.Kind), Replica: ev.Replica,
+		})
+		// A cancelled drain restores capacity just like a warm-up does, so
+		// reactivations count as scale-ups — the up/down totals then match
+		// the control loop's actual activity under flapping load.
+		switch ev.Kind {
+		case cluster.ScaleWarmup, cluster.ScaleReactivate:
+			out.ScaleUps++
+		case cluster.ScaleDrain:
+			out.ScaleDowns++
+		}
+	}
+	for _, p := range res.ReplicaSeries {
+		out.ReplicaSeries = append(out.ReplicaSeries, ReplicaCountSample{
+			AtSeconds: p.At.Seconds(),
+			Active:    p.Active, Warming: p.Warming, Draining: p.Draining,
 		})
 	}
 	for i, rs := range res.PerReplica {
@@ -269,6 +467,8 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 			PinnedPrefixPages: kv.PinnedPages,
 			PeakPinnedPages:   kv.PeakPinnedPages,
 			PrefixEvictions:   kv.PrefixEvictions,
+			State:             rs.State.String(),
+			GPUSeconds:        rs.GPUSeconds,
 			Result:            convert(cfg.System, rs.Result),
 		})
 		out.PrefixEvictions += kv.PrefixEvictions
