@@ -67,6 +67,7 @@ func BenchmarkTab02Ablation(b *testing.B)               { runExperiment(b, "tab0
 func BenchmarkClusterScaling(b *testing.B)              { runExperiment(b, "cluster") }
 func BenchmarkHeteroPools(b *testing.B)                 { runExperiment(b, "hetero") }
 func BenchmarkAutoscale(b *testing.B)                   { runExperiment(b, "autoscale") }
+func BenchmarkFabric(b *testing.B)                      { runExperiment(b, "fabric") }
 
 // BenchmarkAutoscaledSpikes measures one full autoscaled cluster run
 // (1..4 replicas, queue-pressure policy, KV pre-warming) on the multi-turn

@@ -23,6 +23,15 @@
 //	tokenflow-sim -autoscale queue-pressure -min-replicas 1 -max-replicas 4 \
 //	    -warmup 8 -prewarm -router session-affinity \
 //	    -workload session-spikes -n 300 -duration 240
+//
+// -topology selects the transfer-fabric interconnect (shared per-replica
+// NICs contend; the default full mesh does not), -migration-policy cost
+// declines migrations the wire would lose, and -host-cache lets evicted
+// prefix pins reload from host memory instead of recomputing:
+//
+//	tokenflow-sim -replicas 4 -router session-affinity -migrate \
+//	    -topology shared-nic -link-gbps 1 -migration-policy cost -host-cache \
+//	    -workload session-spikes -n 300 -duration 240
 package main
 
 import (
@@ -34,6 +43,54 @@ import (
 
 	"repro/tokenflow"
 )
+
+// flagGroups sections the -help output: one group per subsystem instead of
+// one flat alphabetical list.
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"Deployment", []string{"system", "gpu", "model", "mem-fraction"}},
+	{"Workload", []string{"workload", "n", "lambda", "duration", "spike-every",
+		"prompt", "output", "rate", "seed"}},
+	{"Cluster", []string{"replicas", "router", "hetero", "migrate", "migration-policy"}},
+	{"Transfer fabric / KV movement", []string{"topology", "link-gbps", "switch-gbps", "host-cache"}},
+	{"Autoscaling", []string{"autoscale", "min-replicas", "max-replicas", "warmup", "prewarm"}},
+}
+
+// groupedUsage prints the flag sections of flagGroups, then any flag the
+// groups forgot (so a new flag can never silently vanish from -help).
+func groupedUsage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "Usage: tokenflow-sim [flags]\n")
+	seen := map[string]bool{}
+	printFlag := func(f *flag.Flag) {
+		name, usage := flag.UnquoteUsage(f)
+		if name != "" {
+			name = " " + name
+		}
+		fmt.Fprintf(out, "  -%s%s\n    \t%s (default %v)\n", f.Name, name, usage, f.DefValue)
+	}
+	for _, g := range flagGroups {
+		fmt.Fprintf(out, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			if f := flag.Lookup(name); f != nil {
+				seen[name] = true
+				printFlag(f)
+			}
+		}
+	}
+	first := true
+	flag.VisitAll(func(f *flag.Flag) {
+		if !seen[f.Name] {
+			if first {
+				fmt.Fprintf(out, "\nOther:\n")
+				first = false
+			}
+			printFlag(f)
+		}
+	})
+}
 
 // parseHetero parses a "GPU[:count[:memfrac]]" comma list into replica
 // specs, e.g. "H200:1:0.3,RTX-4090:3:0.75".
@@ -90,12 +147,18 @@ func main() {
 		routerP  = flag.String("router", "round-robin", "round-robin | least-queue | least-kv | weighted-capacity | session-affinity")
 		hetero   = flag.String("hetero", "", `heterogeneous pool as "GPU[:count[:memfrac]],..." (cluster mode)`)
 		migrate  = flag.Bool("migrate", false, "enable cross-replica KV migration over the interconnect")
+		migPol   = flag.String("migration-policy", "always", "always | cost (cost declines migrations the wire would lose)")
+		topology = flag.String("topology", "full-mesh", "interconnect layout: full-mesh | shared-nic")
+		linkBW   = flag.Float64("link-gbps", 25, "interconnect link bandwidth (GB/s): per pair (full-mesh) or per NIC direction (shared-nic)")
+		switchBW = flag.Float64("switch-gbps", 0, "shared-nic switch stage bandwidth (GB/s); 0 = non-blocking")
+		hostCach = flag.Bool("host-cache", false, "host-tier prefix cache: evicted session pins reload over h2d instead of recomputing")
 		scaler   = flag.String("autoscale", "", "autoscaling policy: queue-pressure | kv-utilization (empty = static pool)")
 		minReps  = flag.Int("min-replicas", 1, "autoscaling lower bound on in-service replicas")
 		maxReps  = flag.Int("max-replicas", 0, "autoscaling upper bound (default: the replica layout size)")
 		warmup   = flag.Float64("warmup", 8, "autoscaling scale-up warm-up latency (s); 0 = instant")
 		prewarm  = flag.Bool("prewarm", false, "pre-warm scaling-up replicas with hot KV prefixes over the interconnect")
 	)
+	flag.Usage = groupedUsage
 	flag.Parse()
 
 	var w tokenflow.Workload
@@ -115,19 +178,29 @@ func main() {
 	}
 
 	cfg := tokenflow.Config{
-		System:      tokenflow.System(*system),
-		GPU:         *gpuName,
-		Model:       *modelID,
-		MemFraction: *memFrac,
+		System:          tokenflow.System(*system),
+		GPU:             *gpuName,
+		Model:           *modelID,
+		MemFraction:     *memFrac,
+		HostPrefixCache: *hostCach,
 	}
 
 	var res *tokenflow.Result
-	if *replicas > 1 || *hetero != "" || *scaler != "" {
+	// -host-cache routes through cluster mode even for one replica (a
+	// 1-replica round-robin cluster reproduces Run exactly) so the host
+	// prefix cache's reload/fallback stats are reported.
+	if *replicas > 1 || *hetero != "" || *scaler != "" || *hostCach {
 		ccfg := tokenflow.ClusterConfig{
-			Config:   cfg,
-			Replicas: *replicas,
-			Router:   tokenflow.RouterPolicy(*routerP),
-			Migrate:  *migrate,
+			Config:          cfg,
+			Replicas:        *replicas,
+			Router:          tokenflow.RouterPolicy(*routerP),
+			Migrate:         *migrate,
+			MigrationPolicy: tokenflow.MigrationPolicy(*migPol),
+			Topology: &tokenflow.TopologySpec{
+				Kind:       tokenflow.TopologyKind(*topology),
+				LinkGBps:   *linkBW,
+				SwitchGBps: *switchBW,
+			},
 		}
 		if *hetero != "" {
 			specs, err := parseHetero(*hetero)
@@ -164,8 +237,20 @@ func main() {
 		fmt.Printf("prefix residency    %d pages pinned at end, %d pressure evictions\n",
 			cres.PinnedPrefixPages, cres.PrefixEvictions)
 		if *migrate {
-			fmt.Printf("KV migrations       %d (%d tokens shipped, %d drops)\n",
-				cres.Migrations, cres.MigratedTokens, cres.MigrationDrops)
+			fmt.Printf("KV migrations       %d (%d tokens shipped, %d drops, %d declined by cost model)\n",
+				cres.Migrations, cres.MigratedTokens, cres.MigrationDrops, cres.MigrationsDeclined)
+		}
+		if *hostCach {
+			fmt.Printf("host prefix cache   %d reloads (%d tokens), %d recompute fallbacks\n",
+				cres.HostReloads, cres.HostReloadTokens, cres.HostReloadFallbacks)
+		}
+		fmt.Printf("transfer fabric     %s, %.1f GB/s links\n", *topology, *linkBW)
+		for _, cs := range cres.Transfers {
+			if cs.Transfers == 0 {
+				continue
+			}
+			fmt.Printf("  %-8s %6d transfers, %8.1f MB, %7.3fs wire-busy\n",
+				cs.Class, cs.Transfers, float64(cs.Bytes)/1e6, cs.BusySeconds)
 		}
 		if *scaler != "" {
 			fmt.Printf("autoscaling         %s: %d scale-ups, %d scale-downs, %d warm-up-stalled arrivals\n",

@@ -8,6 +8,13 @@
 // the reuse chain alive instead of recomputing it — more prefix hits,
 // lower mean TTFT.
 //
+// A third pass is the "when migration loses" walkthrough: the same
+// hetero pool on a starved shared-NIC topology (every transfer out of a
+// replica crosses its one uplink), with the host-tier prefix cache on.
+// Always-migrate queues diverted turns behind the saturated NIC; the
+// cost model prices each transfer against recomputing the prefix on the
+// target, declines the ones the wire would lose, and holds the tail.
+//
 //	go run ./examples/cluster
 package main
 
@@ -79,5 +86,53 @@ func main() {
 			res.PrefixHits,
 			res.PinnedPrefixPages,
 			res.Migrations)
+	}
+
+	// When migration loses: the same pool behind one starved 0.05 GB/s NIC
+	// per replica. Shipping a pinned prefix now costs ~seconds of queued
+	// wire versus ~0.1s of recompute, so always-migrate drags every
+	// diverted turn through the bottleneck while the cost model declines
+	// and recomputes. The host-tier prefix cache rides along: evicted pins
+	// reload over host PCIe whenever that link (measured, not assumed)
+	// beats recompute.
+	hostCfg := cfg
+	hostCfg.HostPrefixCache = true
+	fmt.Printf("\nsame pool, shared 0.05 GB/s NICs (when migration loses):\n")
+	fmt.Printf("%-12s %10s %10s %12s %12s %12s\n",
+		"policy", "p99-TTFT", "mean-TTFT", "migrations", "declined", "host-reloads")
+	for _, policy := range tokenflow.MigrationPolicies() {
+		res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+			Config: hostCfg,
+			ReplicaSpecs: []tokenflow.ReplicaSpec{
+				{GPU: "H200", MemFraction: 0.3, Count: 1},
+				{GPU: "RTX-4090", MemFraction: 0.9, Count: 2},
+			},
+			Router:          tokenflow.RouterSessionAffinity,
+			Migrate:         true,
+			MigrationPolicy: policy,
+			Topology: &tokenflow.TopologySpec{
+				Kind:     tokenflow.TopologySharedNIC,
+				LinkGBps: 0.05,
+			},
+		}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %9.2fs %9.3fs %12d %12d %12d\n",
+			policy,
+			res.Cluster.P99TTFT.Seconds(),
+			res.Cluster.MeanTTFT.Seconds(),
+			res.Migrations,
+			res.MigrationsDeclined,
+			res.HostReloads)
+		if policy == tokenflow.MigrateCost {
+			fmt.Printf("  transfer ledger:")
+			for _, cs := range res.Transfers {
+				if cs.Transfers > 0 {
+					fmt.Printf(" %s=%0.1fMB", cs.Class, float64(cs.Bytes)/1e6)
+				}
+			}
+			fmt.Println()
+		}
 	}
 }

@@ -7,13 +7,24 @@
 // merged TTFT percentiles, total throughput, QoS, and load-imbalance
 // statistics (end-of-run and per-sample-tick).
 //
-// With migration enabled the replicas are joined by an interconnect link
-// mesh: when the routing policy steers a multi-turn request away from the
-// replica holding its pinned prefix KV (typically because that replica is
-// overloaded), the cluster ships the pinned pages to the chosen replica
-// over the mesh instead of letting it recompute them. The request is
-// delivered when its KV arrives, so migration latency is on the virtual
-// clock and inside the request's TTFT.
+// Every KV byte the cluster moves — write-through sync, evictions, loads,
+// host-tier reloads, routing migrations, pre-warm, drain hand-off — is
+// booked on one transfer fabric (internal/fabric): a topology of named
+// links covering each replica's host PCIe pair and the replica
+// interconnect. The interconnect is either a full mesh of dedicated
+// per-pair links (the default, equivalent to earlier revisions) or shared
+// per-replica NIC uplinks behind an optional switch, where concurrent
+// transfers that share an endpoint serialize.
+//
+// With migration enabled, when the routing policy steers a multi-turn
+// request away from the replica holding its pinned prefix KV (typically
+// because that replica is overloaded), the cluster ships the pinned pages
+// to the chosen replica over the fabric instead of letting it recompute
+// them. The request is delivered when its KV arrives, so migration latency
+// is on the virtual clock and inside the request's TTFT. Under
+// MigrateCost the cluster first weighs the queued transfer time on the
+// real topology against the target's estimated prefix recompute time and
+// skips the migration when the wire loses.
 //
 // With autoscaling enabled (Config.Autoscale) the replica set is dynamic:
 // a control loop on the same virtual clock drives replicas between off,
@@ -36,7 +47,7 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/engine"
-	"repro/internal/gpu"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/request"
 	"repro/internal/router"
@@ -63,12 +74,26 @@ type Config struct {
 
 	// Migrate enables cross-replica KV migration: when the policy routes a
 	// session away from the replica pinning its prefix, the pinned pages
-	// ship over the interconnect mesh instead of being recomputed.
+	// ship over the interconnect instead of being recomputed.
 	Migrate bool
 
-	// InterconnectGBps is the per-directed-pair bandwidth of the replica
-	// interconnect mesh (default 25, RDMA-class).
+	// MigrationPolicy selects how migrations are committed: MigrateAlways
+	// (the default) ships whenever a divert finds a better donor, while
+	// MigrateCost first compares the queued transfer time on the real
+	// topology against the target's estimated prefix recompute time and
+	// declines when the wire loses.
+	MigrationPolicy MigrationPolicy
+
+	// InterconnectGBps is the interconnect link bandwidth in GB/s (default
+	// 25, RDMA-class): per directed pair under the default full mesh, per
+	// NIC direction under a shared-NIC Topology.
 	InterconnectGBps float64
+
+	// Topology selects the interconnect layout. Nil selects the full mesh
+	// of dedicated per-pair links at InterconnectGBps — the configuration
+	// earlier revisions hard-coded, under which no two transfers between
+	// different replica pairs ever contend.
+	Topology *fabric.Spec
 
 	// Autoscale enables the dynamic replica lifecycle: the cluster builds
 	// Autoscale.Max replicas (overriding Replicas) and a control loop
@@ -136,6 +161,26 @@ func (a *AutoscaleConfig) withDefaults(replicas int) *AutoscaleConfig {
 	return &out
 }
 
+// MigrationPolicy selects how cross-replica migrations are committed.
+type MigrationPolicy string
+
+// Migration policies.
+const (
+	// MigrateAlways ships a pinned prefix whenever routing diverts its
+	// session to a replica holding less of it (the pre-cost-model
+	// behavior).
+	MigrateAlways MigrationPolicy = "always"
+	// MigrateCost ships only when the queued transfer time on the real
+	// topology beats the target's estimated recompute of the prefix
+	// tokens the migration would save.
+	MigrateCost MigrationPolicy = "cost"
+)
+
+// MigrationPolicies lists the migration policies.
+func MigrationPolicies() []MigrationPolicy {
+	return []MigrationPolicy{MigrateAlways, MigrateCost}
+}
+
 func (c Config) withDefaults() Config {
 	if c.Replicas == 0 {
 		c.Replicas = 1
@@ -146,6 +191,20 @@ func (c Config) withDefaults() Config {
 	if c.InterconnectGBps == 0 {
 		c.InterconnectGBps = 25
 	}
+	if c.MigrationPolicy == "" {
+		c.MigrationPolicy = MigrateAlways
+	}
+	spec := fabric.Spec{Kind: fabric.FullMesh, LinkGBps: c.InterconnectGBps}
+	if c.Topology != nil {
+		spec = *c.Topology
+		if spec.Kind == "" {
+			spec.Kind = fabric.FullMesh
+		}
+		if spec.LinkGBps == 0 {
+			spec.LinkGBps = c.InterconnectGBps
+		}
+	}
+	c.Topology = &spec
 	if c.Autoscale != nil {
 		c.Autoscale = c.Autoscale.withDefaults(c.Replicas)
 		c.Replicas = c.Autoscale.Max
@@ -153,11 +212,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// BuildEngine constructs replica i's engine on the shared clock. Each call
-// must return a fresh engine with a fresh scheduler (schedulers are
-// stateful). The engine must not enable its own SampleEvery: the cluster
-// drives sampling.
-type BuildEngine func(replica int, clock *simclock.Clock) (*engine.Engine, error)
+// BuildEngine constructs replica i's engine on the shared clock and the
+// replica's endpoint on the cluster's transfer fabric (pass it through as
+// engine.Config.Fabric so host transfers are class-accounted on the shared
+// topology). Each call must return a fresh engine with a fresh scheduler
+// (schedulers are stateful). The engine must not enable its own
+// SampleEvery: the cluster drives sampling.
+type BuildEngine func(replica int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error)
 
 // replica pairs an engine with its routing and lifecycle bookkeeping; it
 // implements router.Replica.
@@ -235,12 +296,31 @@ type Result struct {
 	ImbalanceSeries []ImbalancePoint
 
 	// Migrations counts cross-replica prefix migrations the cluster
-	// performed; MigratedTokens the KV tokens shipped over the mesh;
+	// performed; MigratedTokens the KV tokens shipped over the fabric;
 	// MigrationDrops the installs the target replica had to reject for
-	// lack of memory.
-	Migrations     int64
-	MigratedTokens int64
-	MigrationDrops int64
+	// lack of memory. MigrationsDeclined counts diverts where MigrateCost
+	// judged the queued wire slower than recomputing and skipped the
+	// transfer (always zero under MigrateAlways).
+	Migrations         int64
+	MigratedTokens     int64
+	MigrationDrops     int64
+	MigrationsDeclined int64
+
+	// TransferClasses totals the fabric traffic per transfer class (sync,
+	// evict, load, reload, migrate, prewarm, drain) across every link of
+	// the topology — the movement-cost ledger of the run.
+	TransferClasses []fabric.ClassStats
+
+	// HostReloads / HostReloadTokens total the host-tier prefix reloads
+	// across replicas (evicted pins brought back over h2d instead of
+	// recomputed); HostReloadFallbacks the reloads declined by the
+	// recompute-vs-reload break-even; HostReloadDrops the reloads whose
+	// pin could not be installed when the transfer landed (the wire was
+	// paid but the turn recomputed anyway).
+	HostReloads         int64
+	HostReloadTokens    int64
+	HostReloadFallbacks int64
+	HostReloadDrops     int64
 
 	// PrefixHits and PrefixHitTokens total the session prefix-cache hits
 	// across replicas (the reuse affinity routing preserved).
@@ -324,15 +404,18 @@ type Cluster struct {
 	views        []router.Replica
 	arrivalsDone bool
 
-	// ic is the interconnect mesh: ic[i][j] carries prefix KV from
-	// replica i to replica j (nil on the diagonal; built when migration
-	// or autoscaling is enabled).
-	ic [][]*gpu.Link
+	// fab is the unified transfer fabric: every replica's host link pair
+	// plus the interconnect the Topology spec lays out. Routing
+	// migrations, pre-warm, and drain hand-off book on it — and so does
+	// every engine-side sync, evict, load, and reload, through the
+	// endpoints handed to BuildEngine.
+	fab *fabric.TransferScheduler
 
 	migrationsInFlight int
 	migrations         int64
 	migratedTokens     int64
 	migrationDrops     int64
+	migrationsDeclined int64
 
 	// Autoscaler bookkeeping (see lifecycle.go).
 	scaleEvents      []ScaleEvent
@@ -374,9 +457,19 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 				a.Initial, a.Min, a.Max)
 		}
 	}
-	c := &Cluster{cfg: cfg, clock: simclock.New()}
+	switch cfg.MigrationPolicy {
+	case MigrateAlways, MigrateCost:
+	default:
+		return nil, fmt.Errorf("cluster: unknown migration policy %q (have %v)",
+			cfg.MigrationPolicy, MigrationPolicies())
+	}
+	topo, err := fabric.NewTopology(cfg.Replicas, *cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, clock: simclock.New(), fab: fabric.NewScheduler(topo)}
 	for i := 0; i < cfg.Replicas; i++ {
-		eng, err := build(i, c.clock)
+		eng, err := build(i, c.clock, c.fab.Endpoint(i))
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
@@ -387,20 +480,11 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		c.replicas = append(c.replicas, rep)
 		c.views = append(c.views, rep)
 	}
-	if cfg.Migrate || cfg.Autoscale != nil {
-		c.ic = make([][]*gpu.Link, cfg.Replicas)
-		for i := range c.ic {
-			c.ic[i] = make([]*gpu.Link, cfg.Replicas)
-			for j := range c.ic[i] {
-				if i != j {
-					c.ic[i][j] = gpu.NewLink(fmt.Sprintf("ic-%d-%d", i, j),
-						cfg.InterconnectGBps*1e9)
-				}
-			}
-		}
-	}
 	return c, nil
 }
+
+// Fabric exposes the cluster's transfer scheduler (telemetry and tests).
+func (c *Cluster) Fabric() *fabric.TransferScheduler { return c.fab }
 
 // Run simulates the workload across the cluster to completion.
 func (c *Cluster) Run(w trace.Workload) (*Result, error) {
@@ -527,11 +611,15 @@ func (c *Cluster) route(id int, it trace.Item) *replica {
 
 // maybeMigrate ships a session's pinned prefix KV to the routed replica
 // when a different replica holds it: the donor's pages travel the
-// interconnect mesh and the request is delivered with its KV, so the
-// transfer is on the clock and inside the request's TTFT. It reports
-// whether a migration was started (and the inject deferred).
+// interconnect and the request is delivered with its KV, so the transfer
+// is on the clock and inside the request's TTFT. Under MigrateCost the
+// transfer is first priced on the real topology — queued path backlog plus
+// bottleneck wire time — against the target's estimated recompute of the
+// prefix tokens the migration would save, and skipped when the wire loses
+// (the donor keeps its pin; the turn recomputes). It reports whether a
+// migration was started (and the inject deferred).
 func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replica, now simclock.Time) bool {
-	if !c.cfg.Migrate || c.ic == nil || it.Session == 0 {
+	if !c.cfg.Migrate || it.Session == 0 {
 		return false
 	}
 	// The donor is the replica pinning the most of this session's prefix —
@@ -540,7 +628,8 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 	// Off replicas hold no pins; warming and draining replicas may (a
 	// pre-warmed or not-yet-drained pin), and donating is exactly what
 	// they should do.
-	donor, best := -1, target.eng.CachedPrefixTokens(it.Session)
+	targetOwn := target.eng.CachedPrefixTokens(it.Session)
+	donor, best := -1, targetOwn
 	for _, rep := range c.replicas {
 		if rep == target {
 			continue
@@ -552,9 +641,19 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 	if donor < 0 {
 		return false
 	}
+	if c.cfg.MigrationPolicy == MigrateCost {
+		_, bytes := c.replicas[donor].eng.PrefixFootprint(it.Session)
+		eta := c.fab.ETABetween(donor, target.id, now, bytes)
+		// Migrating saves the target from prefilling the donor's prefix
+		// beyond what it already caches.
+		if eta >= target.eng.EstimatePrefill(best-targetOwn) {
+			c.migrationsDeclined++
+			return false
+		}
+	}
 	// The deferred inject rides the transfer completion: the request is
 	// delivered together with its KV, so the wire time lands inside TTFT.
-	return c.migratePin(c.replicas[donor], target, it.Session, now,
+	return c.migratePin(c.replicas[donor], target, it.Session, fabric.ClassMigrate, now,
 		&c.migrations, &c.migratedTokens, func(t simclock.Time) {
 			target.eng.Inject(r, t)
 		})
@@ -635,6 +734,14 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.Migrations = c.migrations
 	res.MigratedTokens = c.migratedTokens
 	res.MigrationDrops = c.migrationDrops
+	res.MigrationsDeclined = c.migrationsDeclined
+	res.TransferClasses = c.fab.ClassStats()
+	for _, rs := range res.PerReplica {
+		res.HostReloads += rs.Result.KV.HostReloads
+		res.HostReloadTokens += rs.Result.KV.HostReloadTokens
+		res.HostReloadFallbacks += rs.Result.HostReloadFallbacks
+		res.HostReloadDrops += rs.Result.KV.HostReloadDrops
+	}
 	res.ScaleEvents = c.scaleEvents
 	res.ReplicaSeries = c.replicaSeries
 	res.WarmupStalls = c.warmupStalls

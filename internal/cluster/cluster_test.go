@@ -5,9 +5,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/gpu"
 	"repro/internal/model"
 	"repro/internal/router"
@@ -16,9 +18,9 @@ import (
 )
 
 // buildTokenFlow returns a BuildEngine producing fresh TokenFlow engines
-// on the shared clock.
+// on the shared clock and fabric.
 func buildTokenFlow() cluster.BuildEngine {
-	return func(_ int, clock *simclock.Clock) (*engine.Engine, error) {
+	return func(_ int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		return engine.New(engine.Config{
 			GPU:         gpu.RTX4090,
 			Model:       model.Llama3_8B,
@@ -26,6 +28,7 @@ func buildTokenFlow() cluster.BuildEngine {
 			Scheduler:   core.MustNew(core.DefaultConfig()),
 			KV:          engine.TokenFlowKVPolicy(),
 			Clock:       clock,
+			Fabric:      ep,
 		})
 	}
 }
@@ -128,7 +131,7 @@ func TestSingleReplicaMatchesEngine(t *testing.T) {
 	w := sessionWorkload(t)
 	res := runPolicy(t, 1, router.NewRoundRobin(), w)
 
-	eng, err := buildTokenFlow()(0, nil)
+	eng, err := buildTokenFlow()(0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +185,7 @@ func (p *fixedPolicy) Pick(req router.Request, _ []router.Replica) int {
 // buildHetero returns a BuildEngine with one H200 replica (index 0) ahead
 // of RTX-4090 replicas.
 func buildHetero() cluster.BuildEngine {
-	return func(i int, clock *simclock.Clock) (*engine.Engine, error) {
+	return func(i int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		g := gpu.RTX4090
 		if i == 0 {
 			g = gpu.H200
@@ -194,6 +197,7 @@ func buildHetero() cluster.BuildEngine {
 			Scheduler:   core.MustNew(core.DefaultConfig()),
 			KV:          engine.TokenFlowKVPolicy(),
 			Clock:       clock,
+			Fabric:      ep,
 		})
 	}
 }
@@ -322,5 +326,147 @@ func TestClusterConfigErrors(t *testing.T) {
 	}
 	if _, err := cl.Run(trace.Workload{Name: "empty"}); err == nil {
 		t.Error("empty workload should fail")
+	}
+}
+
+// TestFullMeshTopologyMatchesDefault is the refactor's equivalence anchor:
+// an explicit full-mesh TopologySpec with per-pair dedicated links at the
+// default bandwidth must reproduce the nil-topology (pre-fabric) cluster
+// results exactly — for a migrating static cluster and for an autoscaled
+// one with pre-warming.
+func TestFullMeshTopologyMatchesDefault(t *testing.T) {
+	w := sessionWorkload(t)
+
+	runStatic := func(topo *fabric.Spec) *cluster.Result {
+		cl, err := cluster.New(cluster.Config{
+			Replicas: 3,
+			Policy:   router.NewSessionAffinity(),
+			Migrate:  true,
+			Topology: topo,
+		}, buildHetero())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	def := runStatic(nil)
+	mesh := runStatic(&fabric.Spec{Kind: fabric.FullMesh, LinkGBps: 25})
+	if !reflect.DeepEqual(def.Report, mesh.Report) {
+		t.Errorf("explicit full mesh diverges from default:\ndefault: %+v\nmesh:    %+v",
+			def.Report, mesh.Report)
+	}
+	if def.Migrations != mesh.Migrations || def.MigratedTokens != mesh.MigratedTokens {
+		t.Errorf("migrations %d/%d tokens differ from %d/%d",
+			def.Migrations, def.MigratedTokens, mesh.Migrations, mesh.MigratedTokens)
+	}
+
+	runScaled := func(topo *fabric.Spec) *cluster.Result {
+		cl, err := cluster.New(cluster.Config{
+			Replicas: 3,
+			Policy:   router.NewSessionAffinity(),
+			Topology: topo,
+			Autoscale: &cluster.AutoscaleConfig{
+				Policy: autoscale.NewQueuePressure(autoscale.QueuePressureConfig{}),
+				Min:    1, Max: 3,
+				Warmup:  2 * time.Second,
+				Prewarm: true,
+			},
+		}, buildTokenFlow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sdef := runScaled(nil)
+	smesh := runScaled(&fabric.Spec{Kind: fabric.FullMesh, LinkGBps: 25})
+	if !reflect.DeepEqual(sdef.Report, smesh.Report) {
+		t.Errorf("autoscaled full mesh diverges from default:\ndefault: %+v\nmesh:    %+v",
+			sdef.Report, smesh.Report)
+	}
+	if sdef.Prewarms != smesh.Prewarms || sdef.GPUSeconds != smesh.GPUSeconds {
+		t.Errorf("prewarm/GPU-seconds differ: %d/%.1f vs %d/%.1f",
+			sdef.Prewarms, sdef.GPUSeconds, smesh.Prewarms, smesh.GPUSeconds)
+	}
+}
+
+// TestCostModelDeclinesMigrationOnNarrowNIC is the migration cost model's
+// acceptance scenario: a divert the always-migrate policy ships over a
+// starved shared NIC gets declined by the cost model — recomputing the
+// prefix on the target is faster than the queued wire — and the declined
+// run ends with strictly better tail TTFT on that topology. On a fat
+// interconnect the same cost model still migrates.
+func TestCostModelDeclinesMigrationOnNarrowNIC(t *testing.T) {
+	w := trace.Workload{Name: "divert", Items: []trace.Item{
+		{Arrival: 0, PromptLen: 256, OutputLen: 64, Rate: 20, Session: 1, Turn: 1},
+		{Arrival: simclock.FromSeconds(30), PromptLen: 384, OutputLen: 64, Rate: 20, Session: 1, Turn: 2},
+	}}
+	run := func(policy cluster.MigrationPolicy, topo *fabric.Spec) *cluster.Result {
+		cl, err := cluster.New(cluster.Config{
+			Replicas:        2,
+			Policy:          &fixedPolicy{m: map[int]int{0: 0, 1: 1}},
+			Migrate:         true,
+			MigrationPolicy: policy,
+			Topology:        topo,
+		}, buildTokenFlow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.Finished != 2 {
+			t.Fatalf("finished %d/2", res.Report.Finished)
+		}
+		return res
+	}
+
+	narrow := &fabric.Spec{Kind: fabric.SharedNIC, LinkGBps: 0.01}
+	always := run(cluster.MigrateAlways, narrow)
+	cost := run(cluster.MigrateCost, narrow)
+
+	if always.Migrations != 1 {
+		t.Fatalf("always-migrate shipped %d migrations, want 1", always.Migrations)
+	}
+	if cost.Migrations != 0 || cost.MigrationsDeclined != 1 {
+		t.Errorf("cost model: %d migrations, %d declined; want 0 and 1",
+			cost.Migrations, cost.MigrationsDeclined)
+	}
+	if cost.Report.P99TTFT >= always.Report.P99TTFT {
+		t.Errorf("declining the starved wire should win: cost P99 %v >= always %v",
+			cost.Report.P99TTFT, always.Report.P99TTFT)
+	}
+
+	// A fat mesh flips the break-even: the same cost model migrates.
+	fat := run(cluster.MigrateCost, &fabric.Spec{Kind: fabric.FullMesh, LinkGBps: 25})
+	if fat.Migrations != 1 || fat.MigrationsDeclined != 0 {
+		t.Errorf("fat-link cost model: %d migrations, %d declined; want 1 and 0",
+			fat.Migrations, fat.MigrationsDeclined)
+	}
+}
+
+// TestTransferClassLedger: the cluster result carries the fabric's
+// per-class ledger, and engine-side traffic (sync, evict, load) lands in
+// it alongside interconnect migrations.
+func TestTransferClassLedger(t *testing.T) {
+	w := sessionWorkload(t)
+	res := runPolicy(t, 2, router.NewSessionAffinity(), w)
+	classes := map[string]fabric.ClassStats{}
+	for _, cs := range res.TransferClasses {
+		classes[cs.Class.String()] = cs
+	}
+	if len(classes) != 7 {
+		t.Fatalf("ledger has %d classes: %+v", len(classes), res.TransferClasses)
+	}
+	if classes["sync"].Bytes == 0 {
+		t.Error("write-through traffic missing from the sync class")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/autoscale"
+	"repro/internal/fabric"
 	"repro/internal/kvcache"
 	"repro/internal/simclock"
 )
@@ -149,7 +150,8 @@ func (c *Cluster) prewarm(target *replica, now simclock.Time) {
 		if shipped == topK {
 			break
 		}
-		if c.migratePin(cd.donor, target, cd.info.Session, now, &c.prewarms, &c.prewarmedTokens, nil) {
+		if c.migratePin(cd.donor, target, cd.info.Session, fabric.ClassPrewarm, now,
+			&c.prewarms, &c.prewarmedTokens, nil) {
 			shipped++
 		}
 	}
@@ -207,21 +209,23 @@ func (c *Cluster) drainPins(rep *replica, now simclock.Time) {
 			}
 			continue
 		}
-		if c.migratePin(rep, dst, info.Session, now, &c.drainMigrations, nil, nil) {
+		if c.migratePin(rep, dst, info.Session, fabric.ClassDrain, now,
+			&c.drainMigrations, nil, nil) {
 			planned[dst] += info.Pages
 		}
 	}
 }
 
 // migratePin ships one pinned prefix from donor to target over the
-// interconnect, accounting the transfer against the given counters; every
-// cross-replica transfer (routing migration, pre-warm, drain hand-off)
-// funnels through it so the in/out-migration gating stays in one place.
-// onDone, if set, runs after the install attempt at transfer completion
-// (the routing path injects its deferred request there). It reports
-// whether a migration started.
-func (c *Cluster) migratePin(donor, target *replica, session int, now simclock.Time,
-	count, tokenCount *int64, onDone func(now simclock.Time)) bool {
+// fabric, booked under the given transfer class and accounted against the
+// given counters; every cross-replica transfer (routing migration,
+// pre-warm, drain hand-off) funnels through it so the in/out-migration
+// gating stays in one place — and so all three classes contend for the
+// same topology links. onDone, if set, runs after the install attempt at
+// transfer completion (the routing path injects its deferred request
+// there). It reports whether a migration started.
+func (c *Cluster) migratePin(donor, target *replica, session int, class fabric.Class,
+	now simclock.Time, count, tokenCount *int64, onDone func(now simclock.Time)) bool {
 	tokens, bytes, ok := donor.eng.BeginPrefixMigration(session)
 	if !ok {
 		return false
@@ -233,7 +237,7 @@ func (c *Cluster) migratePin(donor, target *replica, session int, now simclock.T
 	c.migrationsInFlight++
 	donor.outMigrations++
 	target.inMigrations++
-	_, done := c.ic[donor.id][target.id].Enqueue(now, bytes)
+	_, done := c.fab.BookBetween(class, donor.id, target.id, now, bytes)
 	c.clock.At(done, func(t simclock.Time) {
 		donor.eng.CompletePrefixMigration(session, t)
 		donor.outMigrations--

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/gpu"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
@@ -28,6 +29,14 @@ type KVPolicy struct {
 	ChunkedWriting   bool
 	LoadEvictOverlap bool
 	PriorityWrites   bool
+
+	// HostCache extends session prefix pins past eviction: an evicted
+	// pin's host mirror stays reloadable over the host-to-device link, and
+	// a returning turn reloads it (inside its TTFT) whenever the measured
+	// link backlog says the wire beats recomputing the prefix. Requires
+	// Offload. Off by default: it is an extension beyond the paper's §5
+	// manager, so the Table 2 ablations are unaffected.
+	HostCache bool
 }
 
 // TokenFlowKVPolicy enables the full hierarchical manager of §5.
@@ -90,6 +99,14 @@ type Config struct {
 	// multi-replica cluster case) the owner of the clock drives the
 	// simulation and feeds the engine through Inject/Collect.
 	Clock *simclock.Clock
+
+	// Fabric optionally injects this replica's endpoint on a shared
+	// transfer fabric (the cluster case: host links and the replica
+	// interconnect live in one topology, so every transfer class contends
+	// on explicitly modelled wires). When nil the engine builds the
+	// degenerate single-host fabric. Either way the engine attaches the
+	// host link pair at its GPU's PCIe bandwidth.
+	Fabric *fabric.Endpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +178,12 @@ type Result struct {
 	PrefixHitTokens     int64
 	PrefixEvictedMisses int64
 
+	// HostReloadFallbacks counts arrivals whose host-mirrored prefix was
+	// available but the recompute-vs-reload break-even declined the reload
+	// (a starved or backlogged h2d link): those turns recompute instead.
+	// Completed reloads are in KV.HostReloads / KV.HostReloadTokens.
+	HostReloadFallbacks int64
+
 	// Makespan is the time of the last generated token (T in Eq. 2).
 	Makespan time.Duration
 
@@ -192,8 +215,7 @@ type Engine struct {
 	cfg   Config
 	clock *simclock.Clock
 	cost  gpu.CostModel
-	d2h   *gpu.Link
-	h2d   *gpu.Link
+	ep    *fabric.Endpoint
 	mem   *kvcache.Manager
 	track *request.Tracker
 
@@ -202,6 +224,12 @@ type Engine struct {
 	running   []*request.Request
 	preempted []*request.Request
 	loading   []*request.Request
+
+	// pendingInjects counts arrivals deferred behind an in-flight host-tier
+	// prefix reload: the request is delivered together with its KV, so it
+	// is outstanding work the engine (and a draining replica) must wait
+	// for, though not yet registered in any queue.
+	pendingInjects int
 
 	gpuBusy   bool
 	inKick    bool
@@ -226,6 +254,7 @@ type Engine struct {
 	prefixHits          int64
 	prefixHitTokens     int64
 	prefixEvictedMisses int64
+	hostReloadFallbacks int64
 }
 
 // New builds an engine for the given deployment.
@@ -247,12 +276,19 @@ func New(cfg Config) (*Engine, error) {
 	if clock == nil {
 		clock = simclock.New()
 	}
+	ep := cfg.Fabric
+	if ep == nil {
+		ep = fabric.NewSingleHost(cfg.GPU.PCIeBytesPerSec(), cfg.GPU.PCIeBytesPerSec())
+	} else if !ep.HostAttached() {
+		// A pre-attached endpoint (e.g. an asymmetric host link pair built
+		// for a study) keeps its own bandwidths.
+		ep.AttachHost(cfg.GPU.PCIeBytesPerSec())
+	}
 	e := &Engine{
 		cfg:   cfg,
 		clock: clock,
 		cost:  cost,
-		d2h:   gpu.NewLink("d2h", cfg.GPU.PCIeBytesPerSec()),
-		h2d:   gpu.NewLink("h2d", cfg.GPU.PCIeBytesPerSec()),
+		ep:    ep,
 		track: request.NewTracker(),
 	}
 	kvcfg := kvcache.Config{
@@ -264,11 +300,12 @@ func New(cfg Config) (*Engine, error) {
 		ChunkedWriting:   cfg.KV.ChunkedWriting,
 		LoadEvictOverlap: cfg.KV.LoadEvictOverlap,
 		PriorityWrites:   cfg.KV.PriorityWrites,
+		HostCache:        cfg.KV.HostCache,
 	}
 	if cfg.PrefixCacheFraction > 0 {
 		kvcfg.PrefixPages = int(cfg.PrefixCacheFraction * float64(kvcfg.GPUPages))
 	}
-	e.mem, err = kvcache.New(kvcfg, e.clock, e.d2h, e.h2d, kvcache.Callbacks{
+	e.mem, err = kvcache.New(kvcfg, e.clock, ep, kvcache.Callbacks{
 		EvictDone:  e.onEvictDone,
 		LoadDone:   e.onLoadDone,
 		PinDrained: func(now simclock.Time) { e.kick(now) },
@@ -362,8 +399,19 @@ func (e *Engine) Prime(w trace.Workload) error {
 // Inject submits an externally created request at the current virtual time.
 // The cluster router uses it to deliver routed arrivals; Prime uses it for
 // the single-device path so both paths share one admission sequence. A
-// session prefix-cache hit is assessed here, at arrival.
+// session prefix-cache hit is assessed here, at arrival — and when the
+// device pin is gone but a host-tier mirror survives, the arrival may
+// first wait for a host-to-device reload (the wire time lands inside its
+// TTFT, exactly like a cross-replica migration).
 func (e *Engine) Inject(r *request.Request, now simclock.Time) {
+	if e.tryHostReload(r, now) {
+		return // delivered when the reloaded prefix is resident
+	}
+	e.injectNow(r, now)
+}
+
+// injectNow registers and queues a request whose prefix state is settled.
+func (e *Engine) injectNow(r *request.Request, now simclock.Time) {
 	if r.Session != 0 {
 		// A hit requires the new prompt to strictly extend the pinned
 		// context (hit < PromptLen). A cached context at least as long as
@@ -380,6 +428,43 @@ func (e *Engine) Inject(r *request.Request, now simclock.Time) {
 	e.track.Register(r)
 	e.waiting = append(e.waiting, r)
 	e.kick(now)
+}
+
+// tryHostReload decides the recompute-vs-reload break-even for an arriving
+// session turn whose pinned prefix was evicted but host-mirrored: if the
+// measured h2d backlog plus wire time undercuts the estimated prefill of
+// the mirrored tokens, the mirror reloads and the inject rides the
+// transfer completion (reload latency inside TTFT). It reports whether the
+// inject was deferred.
+func (e *Engine) tryHostReload(r *request.Request, now simclock.Time) bool {
+	if r.Session == 0 || !e.mem.HostCacheEnabled() {
+		return false
+	}
+	if e.mem.PeekPrefix(r.Session) > 0 {
+		return false // device pin present: the normal hit path applies
+	}
+	tokens := e.mem.HostMirrorTokens(r.Session)
+	if tokens <= 0 || tokens >= r.PromptLen {
+		return false
+	}
+	if e.mem.EstimateHostReload(r.Session, now) >= e.EstimatePrefill(tokens) {
+		e.hostReloadFallbacks++
+		return false // the wire loses: recompute the prefix
+	}
+	done, _, ok := e.mem.StartHostReload(r.Session, now)
+	if !ok {
+		return false
+	}
+	e.pendingInjects++
+	e.clock.At(done, func(t simclock.Time) {
+		// The manager's install callback fired first (it was scheduled
+		// first for the same instant), so a successful reload is already a
+		// pin and injectNow assesses it as an ordinary hit; a dropped
+		// install falls back to a full recompute.
+		e.pendingInjects--
+		e.injectNow(r, t)
+	})
+	return true
 }
 
 // SetArrivalsDone marks that no further arrivals will be injected, letting
@@ -452,9 +537,33 @@ func (e *Engine) DropPrefix(session int, now simclock.Time) bool {
 }
 
 // OutstandingRequests reports how many injected requests have not finished
-// generating: the queued+running load a router balances.
+// generating: the queued+running load a router balances. Arrivals waiting
+// on an in-flight host-tier prefix reload count — they are committed work
+// this replica must still serve.
 func (e *Engine) OutstandingRequests() int {
-	return len(e.waiting) + len(e.backlog) + len(e.running) + len(e.preempted) + len(e.loading)
+	return len(e.waiting) + len(e.backlog) + len(e.running) + len(e.preempted) +
+		len(e.loading) + e.pendingInjects
+}
+
+// EstimatePrefill predicts the prefill compute time for n tokens on this
+// device: the profiled per-token latency once iterations have landed, the
+// roofline cost model before that. The migration and host-reload cost
+// models weigh it against transfer time.
+func (e *Engine) EstimatePrefill(tokens int) time.Duration {
+	if tokens <= 0 {
+		return 0
+	}
+	if e.avgPrefillTok > 0 {
+		return time.Duration(tokens) * e.avgPrefillTok
+	}
+	return e.cost.PrefillTime(tokens)
+}
+
+// PrefixFootprint reports the session's pinned prefix tokens and wire size
+// without perturbing the cache (the cluster's migration cost model sizes
+// the transfer before committing it).
+func (e *Engine) PrefixFootprint(session int) (tokens int, bytes int64) {
+	return e.mem.PrefixFootprint(session)
 }
 
 // QoSParams exposes the report parameterization (for cluster-level merges).
@@ -492,15 +601,17 @@ func (e *Engine) Collect() *Result {
 		PrefixHits:          e.prefixHits,
 		PrefixHitTokens:     e.prefixHitTokens,
 		PrefixEvictedMisses: e.prefixEvictedMisses,
+		HostReloadFallbacks: e.hostReloadFallbacks,
 		Makespan:            time.Duration(makespan),
 		TimedOut:            e.timedOut,
 	}
 }
 
 // done reports whether all registered requests finished generating and no
-// more arrivals are pending.
+// more arrivals are pending — including arrivals still waiting on an
+// in-flight host-tier prefix reload, which are not registered yet.
 func (e *Engine) done() bool {
-	return e.arrivalsDone && e.track.FinishedAll()
+	return e.arrivalsDone && e.pendingInjects == 0 && e.track.FinishedAll()
 }
 
 // teardown cancels outstanding consumption events after an aborted run.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/router"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -27,17 +28,24 @@ func clusterWorkload() trace.Workload {
 }
 
 // buildReplica constructs one TokenFlow replica engine on the shared
-// cluster clock.
+// cluster clock and fabric.
 func buildReplica(dep Deployment) cluster.BuildEngine {
-	return func(_ int, clock *simclock.Clock) (*engine.Engine, error) {
+	return buildReplicaKV(dep, engine.TokenFlowKVPolicy())
+}
+
+// buildReplicaKV is buildReplica with an explicit KV policy (the fabric
+// experiment enables the host-tier prefix cache).
+func buildReplicaKV(dep Deployment, kv engine.KVPolicy) cluster.BuildEngine {
+	return func(_ int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		return engine.New(engine.Config{
 			GPU:         dep.GPU,
 			Model:       dep.Model,
 			MemFraction: dep.MemFraction,
 			MaxBatch:    dep.MaxBatch,
 			Scheduler:   core.MustNew(core.DefaultConfig()),
-			KV:          engine.TokenFlowKVPolicy(),
+			KV:          kv,
 			Clock:       clock,
+			Fabric:      ep,
 		})
 	}
 }

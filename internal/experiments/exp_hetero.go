@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/gpu"
 	"repro/internal/model"
 	"repro/internal/router"
@@ -38,14 +39,21 @@ func heteroMixes() []poolMix {
 // buildMix constructs one TokenFlow replica per mix slot on the shared
 // cluster clock.
 func buildMix(mix poolMix) cluster.BuildEngine {
-	return func(i int, clock *simclock.Clock) (*engine.Engine, error) {
+	return buildMixKV(mix, engine.TokenFlowKVPolicy())
+}
+
+// buildMixKV is buildMix with an explicit KV policy (the fabric experiment
+// enables the host-tier prefix cache).
+func buildMixKV(mix poolMix, kv engine.KVPolicy) cluster.BuildEngine {
+	return func(i int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		return engine.New(engine.Config{
 			GPU:         mix.gpus[i],
 			Model:       model.Llama3_8B,
 			MemFraction: mix.fracs[i],
 			Scheduler:   core.MustNew(core.DefaultConfig()),
-			KV:          engine.TokenFlowKVPolicy(),
+			KV:          kv,
 			Clock:       clock,
+			Fabric:      ep,
 		})
 	}
 }

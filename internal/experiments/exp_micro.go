@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/gpu"
 	"repro/internal/kvcache"
 	"repro/internal/model"
@@ -192,10 +193,9 @@ func Fig08() (*Table, error) {
 // the strategies differ.
 func writeStrategyLatency(cfg kvcache.Config) (time.Duration, error) {
 	clock := simclock.New()
-	d2h := gpu.NewLink("d2h", 2e9) // constrained link: sync cannot finish everything
-	h2d := gpu.NewLink("h2d", 2e9)
+	ep := fabric.NewSingleHost(2e9, 2e9) // constrained link: sync cannot finish everything
 	var evictAt, doneAt simclock.Time
-	m, err := kvcache.New(cfg, clock, d2h, h2d, kvcache.Callbacks{
+	m, err := kvcache.New(cfg, clock, ep, kvcache.Callbacks{
 		EvictDone: func(r *request.Request, now simclock.Time) {
 			if r.ID == 2 {
 				doneAt = now
@@ -296,10 +296,9 @@ func loadEvictScenario(overlap bool) (loadDone, evictDone simclock.Time, err err
 		Offload: true, LoadEvictOverlap: overlap, WriteThrough: true, ChunkedWriting: true,
 	}
 	clock := simclock.New()
-	d2h := gpu.NewLink("d2h", 5e9)
-	h2d := gpu.NewLink("h2d", 5e9)
+	ep := fabric.NewSingleHost(5e9, 5e9)
 	var lastLoad, evictAt simclock.Time
-	m, err := kvcache.New(cfg, clock, d2h, h2d, kvcache.Callbacks{
+	m, err := kvcache.New(cfg, clock, ep, kvcache.Callbacks{
 		LoadDone: func(r *request.Request, now simclock.Time) {
 			if now > lastLoad {
 				lastLoad = now

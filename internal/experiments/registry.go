@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"cluster", ExpCluster},
 		{"hetero", ExpHetero},
 		{"autoscale", ExpAutoscale},
+		{"fabric", ExpFabric},
 	}
 }
 

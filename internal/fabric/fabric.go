@@ -1,0 +1,444 @@
+// Package fabric is the simulator's unified transfer fabric: a Topology of
+// named gpu.Link queues — per-replica host PCIe pairs plus a replica
+// interconnect — and a TransferScheduler that books every KV byte movement
+// (write-through sync, eviction drains, resume loads, host-tier prefix
+// reloads, routing migrations, pre-warm, drain hand-off) over those links
+// with FIFO contention and per-class byte/busy accounting. It replaces the
+// private link mesh the cluster used to own and the raw link pair inside
+// the KV cache manager, so every transfer in the simulation contends on
+// one explicitly modelled set of wires.
+//
+// Two interconnect layouts are supported. FullMesh gives every directed
+// replica pair a dedicated link, so transfers between different pairs never
+// contend — the infinite-parallelism interconnect earlier revisions
+// hard-coded, kept as the degenerate config the equivalence tests pin.
+// SharedNIC gives each replica one egress and one ingress NIC link,
+// optionally behind a single shared switch link: every transfer out of a
+// replica crosses its egress NIC and every transfer into one crosses its
+// ingress NIC, so concurrent migrations, pre-warms, and drain hand-offs
+// that share an endpoint serialize — the bandwidth-aware contention the
+// cost-modelled migration policy consults before committing a session's KV
+// to the wire.
+//
+// A transfer over a multi-link path is circuit-style: it claims every link
+// on the path from the instant the last of them drains and holds all of
+// them for the wire time of the path's bottleneck link. For single-link
+// paths this reduces exactly to gpu.Link.Enqueue, which is what keeps the
+// refactor byte-identical to the old per-link booking.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/simclock"
+)
+
+// Kind selects the interconnect layout of a Topology.
+type Kind string
+
+// Interconnect layouts.
+const (
+	// FullMesh: a dedicated link per directed replica pair. No contention
+	// between different pairs.
+	FullMesh Kind = "full-mesh"
+	// SharedNIC: one egress and one ingress NIC link per replica, behind an
+	// optional shared switch. Transfers sharing an endpoint serialize.
+	SharedNIC Kind = "shared-nic"
+)
+
+// Kinds lists the supported interconnect layouts.
+func Kinds() []Kind { return []Kind{FullMesh, SharedNIC} }
+
+// Spec describes an interconnect layout. Host links are not part of the
+// spec: replicas attach them with their own device's PCIe bandwidth.
+type Spec struct {
+	// Kind selects the layout (default FullMesh).
+	Kind Kind
+
+	// LinkGBps is the bandwidth of one interconnect link in GB/s: per
+	// directed pair under FullMesh, per NIC direction under SharedNIC
+	// (default 25, RDMA-class).
+	LinkGBps float64
+
+	// SwitchGBps bounds the aggregate switch bandwidth under SharedNIC: all
+	// transfers additionally serialize through one switch link of this
+	// bandwidth. Zero models a non-blocking switch (no shared stage).
+	// Ignored under FullMesh.
+	SwitchGBps float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Kind == "" {
+		s.Kind = FullMesh
+	}
+	if s.LinkGBps == 0 {
+		s.LinkGBps = 25
+	}
+	return s
+}
+
+// Validate reports layout errors.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case FullMesh, SharedNIC:
+	default:
+		return fmt.Errorf("fabric: unknown topology kind %q (have %v)", s.Kind, Kinds())
+	}
+	if s.LinkGBps <= 0 {
+		return fmt.Errorf("fabric: non-positive link bandwidth %v GB/s", s.LinkGBps)
+	}
+	if s.SwitchGBps < 0 {
+		return fmt.Errorf("fabric: negative switch bandwidth %v GB/s", s.SwitchGBps)
+	}
+	return nil
+}
+
+// Topology is the named link set of one deployment: per-replica host PCIe
+// pairs (attached by the engines, which know their device's bandwidth) and
+// the interconnect links the Spec lays out.
+type Topology struct {
+	spec Spec
+	n    int
+
+	hostD2H, hostH2D []*gpu.Link
+
+	// pair[i][j] is the FullMesh link from replica i to j (nil diagonal).
+	pair [][]*gpu.Link
+	// egress[i] / ingress[i] are replica i's SharedNIC uplink directions;
+	// sw is the optional shared switch stage.
+	egress, ingress []*gpu.Link
+	sw              *gpu.Link
+}
+
+// NewTopology builds the interconnect for the given replica count.
+func NewTopology(replicas int, spec Spec) (*Topology, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("fabric: replica count %d must be >= 1", replicas)
+	}
+	t := &Topology{
+		spec:    spec,
+		n:       replicas,
+		hostD2H: make([]*gpu.Link, replicas),
+		hostH2D: make([]*gpu.Link, replicas),
+	}
+	bps := spec.LinkGBps * 1e9
+	switch spec.Kind {
+	case FullMesh:
+		t.pair = make([][]*gpu.Link, replicas)
+		for i := range t.pair {
+			t.pair[i] = make([]*gpu.Link, replicas)
+			for j := range t.pair[i] {
+				if i != j {
+					t.pair[i][j] = gpu.NewLink(fmt.Sprintf("ic-%d-%d", i, j), bps)
+				}
+			}
+		}
+	case SharedNIC:
+		t.egress = make([]*gpu.Link, replicas)
+		t.ingress = make([]*gpu.Link, replicas)
+		for i := 0; i < replicas; i++ {
+			t.egress[i] = gpu.NewLink(fmt.Sprintf("nic-out-%d", i), bps)
+			t.ingress[i] = gpu.NewLink(fmt.Sprintf("nic-in-%d", i), bps)
+		}
+		if spec.SwitchGBps > 0 {
+			t.sw = gpu.NewLink("switch", spec.SwitchGBps*1e9)
+		}
+	}
+	return t, nil
+}
+
+// Spec reports the topology's resolved layout.
+func (t *Topology) Spec() Spec { return t.spec }
+
+// Replicas reports the replica count the topology was built for.
+func (t *Topology) Replicas() int { return t.n }
+
+// AttachHost creates replica i's host link pair (device-to-host and
+// host-to-device, PCIe full duplex) at the given per-direction bandwidth.
+// Each engine attaches its own, since the bandwidth is a device property.
+// Attaching twice is a wiring bug and panics.
+func (t *Topology) AttachHost(replica int, bytesPerSec float64) {
+	t.checkReplica(replica)
+	if t.hostD2H[replica] != nil {
+		panic(fmt.Sprintf("fabric: replica %d host links already attached", replica))
+	}
+	t.hostD2H[replica] = gpu.NewLink(fmt.Sprintf("host-d2h-%d", replica), bytesPerSec)
+	t.hostH2D[replica] = gpu.NewLink(fmt.Sprintf("host-h2d-%d", replica), bytesPerSec)
+}
+
+// HostD2H returns replica i's device-to-host link (nil until attached).
+func (t *Topology) HostD2H(replica int) *gpu.Link {
+	t.checkReplica(replica)
+	return t.hostD2H[replica]
+}
+
+// HostH2D returns replica i's host-to-device link (nil until attached).
+func (t *Topology) HostH2D(replica int) *gpu.Link {
+	t.checkReplica(replica)
+	return t.hostH2D[replica]
+}
+
+// Path resolves the interconnect link sequence a transfer from one replica
+// to another traverses: the dedicated pair link under FullMesh; egress NIC,
+// optional switch, ingress NIC under SharedNIC.
+func (t *Topology) Path(from, to int) []*gpu.Link {
+	t.checkReplica(from)
+	t.checkReplica(to)
+	if from == to {
+		panic(fmt.Sprintf("fabric: self-transfer on replica %d", from))
+	}
+	if t.spec.Kind == FullMesh {
+		return []*gpu.Link{t.pair[from][to]}
+	}
+	path := []*gpu.Link{t.egress[from]}
+	if t.sw != nil {
+		path = append(path, t.sw)
+	}
+	return append(path, t.ingress[to])
+}
+
+// Links lists every link of the topology (attached host pairs first, then
+// the interconnect), for snapshotting.
+func (t *Topology) Links() []*gpu.Link {
+	var out []*gpu.Link
+	for i := 0; i < t.n; i++ {
+		if t.hostD2H[i] != nil {
+			out = append(out, t.hostD2H[i], t.hostH2D[i])
+		}
+	}
+	for _, row := range t.pair {
+		for _, l := range row {
+			if l != nil {
+				out = append(out, l)
+			}
+		}
+	}
+	for i := range t.egress {
+		out = append(out, t.egress[i], t.ingress[i])
+	}
+	if t.sw != nil {
+		out = append(out, t.sw)
+	}
+	return out
+}
+
+func (t *Topology) checkReplica(i int) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("fabric: replica %d outside topology of %d", i, t.n))
+	}
+}
+
+// Class labels a transfer's purpose for per-class accounting.
+type Class int
+
+// Transfer classes.
+const (
+	// ClassSync: background write-through mirroring (d2h).
+	ClassSync Class = iota
+	// ClassEvict: preemption evictions and pin eviction drains (d2h).
+	ClassEvict
+	// ClassLoad: preempted-request resume loads (h2d).
+	ClassLoad
+	// ClassReload: host-tier prefix cache reloads (h2d).
+	ClassReload
+	// ClassMigrate: routing-driven cross-replica pin migrations.
+	ClassMigrate
+	// ClassPrewarm: pre-warm migrations seeding a warming replica.
+	ClassPrewarm
+	// ClassDrain: drain hand-off migrations off a stopping replica.
+	ClassDrain
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"sync", "evict", "load", "reload", "migrate", "prewarm", "drain",
+}
+
+func (c Class) String() string {
+	if c >= 0 && c < numClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Classes lists every transfer class in accounting order.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// ClassStats totals one transfer class's traffic across the whole fabric.
+type ClassStats struct {
+	Class     Class
+	Transfers int64
+	Bytes     int64
+	// Busy is the summed bottleneck wire time of the class's transfers
+	// (queueing excluded).
+	Busy time.Duration
+}
+
+// TransferScheduler books transfers over a Topology's links with FIFO
+// contention, tallying per-class traffic. All byte movement in the
+// simulation funnels through one scheduler, so contention between transfer
+// classes (a pre-warm delaying a drain hand-off on a shared NIC, a reload
+// queued behind a resume load on the host link) is modelled rather than
+// assumed away.
+type TransferScheduler struct {
+	topo    *Topology
+	classes [numClasses]ClassStats
+}
+
+// NewScheduler wraps a topology in a transfer scheduler.
+func NewScheduler(topo *Topology) *TransferScheduler {
+	s := &TransferScheduler{topo: topo}
+	for i := range s.classes {
+		s.classes[i].Class = Class(i)
+	}
+	return s
+}
+
+// Topology exposes the scheduler's link set.
+func (s *TransferScheduler) Topology() *Topology { return s.topo }
+
+// Endpoint returns replica i's view of the scheduler (the handle the KV
+// cache manager books host transfers through).
+func (s *TransferScheduler) Endpoint(replica int) *Endpoint {
+	s.topo.checkReplica(replica)
+	return &Endpoint{s: s, replica: replica}
+}
+
+// pathPlan resolves when a transfer submitted now could start on the path
+// (after the busiest link's backlog) and which link bottlenecks its wire
+// time. Book and ETABetween share it, so the cost model's estimates can
+// never diverge from what a booking actually charges.
+func pathPlan(path []*gpu.Link, now simclock.Time) (start simclock.Time, bottleneck *gpu.Link) {
+	if len(path) == 0 {
+		panic("fabric: empty transfer path")
+	}
+	start = now
+	bottleneck = path[0]
+	for _, l := range path {
+		if bu := l.BusyUntil(); bu > start {
+			start = bu
+		}
+		if l.BytesPerSec() < bottleneck.BytesPerSec() {
+			bottleneck = l
+		}
+	}
+	return start, bottleneck
+}
+
+// Book books a transfer over an explicit link path: it starts when the last
+// link of the path drains and holds every link for the bottleneck's wire
+// time. For a single-link path this is exactly gpu.Link.Enqueue.
+func (s *TransferScheduler) Book(class Class, path []*gpu.Link, now simclock.Time, bytes int64) (start, done simclock.Time) {
+	start, bottleneck := pathPlan(path, now)
+	wire := bottleneck.TransferTime(bytes)
+	done = start.Add(wire)
+	for _, l := range path {
+		l.Reserve(start, done, bytes)
+	}
+	cs := &s.classes[class]
+	cs.Transfers++
+	cs.Bytes += bytes
+	cs.Busy += wire
+	return start, done
+}
+
+// BookBetween books an interconnect transfer between two replicas over the
+// topology's path for the pair.
+func (s *TransferScheduler) BookBetween(class Class, from, to int, now simclock.Time, bytes int64) (start, done simclock.Time) {
+	return s.Book(class, s.topo.Path(from, to), now, bytes)
+}
+
+// ETABetween predicts, without booking, how long an interconnect transfer
+// between two replicas submitted now would take to complete: path queueing
+// (the backlog of the busiest link on the path) plus bottleneck wire time.
+// The migration cost model weighs this against prefix recompute.
+func (s *TransferScheduler) ETABetween(from, to int, now simclock.Time, bytes int64) time.Duration {
+	start, bottleneck := pathPlan(s.topo.Path(from, to), now)
+	return start.Sub(now) + bottleneck.TransferTime(bytes)
+}
+
+// ClassStats reports the per-class transfer totals in class order.
+func (s *TransferScheduler) ClassStats() []ClassStats {
+	out := make([]ClassStats, numClasses)
+	copy(out, s.classes[:])
+	return out
+}
+
+// LinkSnapshots captures every topology link's counters at now.
+func (s *TransferScheduler) LinkSnapshots(now simclock.Time) []gpu.LinkSnapshot {
+	links := s.topo.Links()
+	out := make([]gpu.LinkSnapshot, 0, len(links))
+	for _, l := range links {
+		out = append(out, l.Snapshot(now))
+	}
+	return out
+}
+
+// Endpoint is one replica's handle on the fabric: the host-link operations
+// the KV cache manager needs, with every booking routed through the
+// scheduler's class accounting.
+type Endpoint struct {
+	s       *TransferScheduler
+	replica int
+}
+
+// Replica reports which replica the endpoint belongs to.
+func (e *Endpoint) Replica() int { return e.replica }
+
+// Scheduler exposes the owning transfer scheduler.
+func (e *Endpoint) Scheduler() *TransferScheduler { return e.s }
+
+// AttachHost creates the replica's host link pair at the given
+// per-direction bandwidth (see Topology.AttachHost).
+func (e *Endpoint) AttachHost(bytesPerSec float64) {
+	e.s.topo.AttachHost(e.replica, bytesPerSec)
+}
+
+// HostAttached reports whether the replica's host links exist yet.
+func (e *Endpoint) HostAttached() bool {
+	return e.s.topo.hostD2H[e.replica] != nil
+}
+
+// D2H returns the replica's device-to-host link for read-only estimation
+// (queue delay, wire time, backlog). Book transfers through EnqueueD2H so
+// they are class-accounted.
+func (e *Endpoint) D2H() *gpu.Link { return e.s.topo.HostD2H(e.replica) }
+
+// H2D returns the replica's host-to-device link for read-only estimation.
+func (e *Endpoint) H2D() *gpu.Link { return e.s.topo.HostH2D(e.replica) }
+
+// EnqueueD2H books a device-to-host transfer submitted at now.
+func (e *Endpoint) EnqueueD2H(class Class, now simclock.Time, bytes int64) (start, done simclock.Time) {
+	return e.s.Book(class, []*gpu.Link{e.D2H()}, now, bytes)
+}
+
+// EnqueueH2D books a host-to-device transfer submitted at now.
+func (e *Endpoint) EnqueueH2D(class Class, now simclock.Time, bytes int64) (start, done simclock.Time) {
+	return e.s.Book(class, []*gpu.Link{e.H2D()}, now, bytes)
+}
+
+// NewSingleHost builds the degenerate fabric of a standalone single-device
+// engine — no interconnect, just one replica's host link pair at the given
+// per-direction bandwidths — and returns its endpoint.
+func NewSingleHost(d2hBytesPerSec, h2dBytesPerSec float64) *Endpoint {
+	topo, err := NewTopology(1, Spec{})
+	if err != nil {
+		panic(err) // the degenerate spec is statically valid
+	}
+	topo.hostD2H[0] = gpu.NewLink("host-d2h-0", d2hBytesPerSec)
+	topo.hostH2D[0] = gpu.NewLink("host-h2d-0", h2dBytesPerSec)
+	return NewScheduler(topo).Endpoint(0)
+}

@@ -1,0 +1,200 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/simclock"
+)
+
+func mustTopo(t *testing.T, replicas int, spec Spec) *Topology {
+	t.Helper()
+	topo, err := NewTopology(replicas, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, bad := range []Spec{
+		{Kind: "ring", LinkGBps: 1},
+		{Kind: FullMesh, LinkGBps: -1},
+		{Kind: SharedNIC, LinkGBps: 1, SwitchGBps: -2},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("spec %+v should fail", bad)
+		}
+	}
+	if _, err := NewTopology(0, Spec{}); err == nil {
+		t.Error("zero replicas should fail")
+	}
+}
+
+// TestSingleLinkPathMatchesEnqueue pins the refactor's equivalence anchor:
+// booking a single-link path through the scheduler produces byte-identical
+// times and counters to calling gpu.Link.Enqueue directly.
+func TestSingleLinkPathMatchesEnqueue(t *testing.T) {
+	raw := gpu.NewLink("raw", 1e9)
+	topo := mustTopo(t, 2, Spec{Kind: FullMesh, LinkGBps: 1})
+	s := NewScheduler(topo)
+
+	sizes := []int64{1 << 20, 3 << 20, 123, 7 << 20}
+	var now simclock.Time
+	for i, n := range sizes {
+		rs, rd := raw.Enqueue(now, n)
+		fs, fd := s.BookBetween(ClassMigrate, 0, 1, now, n)
+		if rs != fs || rd != fd {
+			t.Fatalf("transfer %d: fabric (%v,%v) != raw (%v,%v)", i, fs, fd, rs, rd)
+		}
+		now = now.Add(time.Duration(i) * time.Millisecond)
+	}
+	rb, rbusy, rn := raw.Stats()
+	link := topo.Path(0, 1)[0]
+	fb, fbusy, fn := link.Stats()
+	if rb != fb || rbusy != fbusy || rn != fn {
+		t.Errorf("counters diverge: raw (%d,%v,%d) fabric (%d,%v,%d)", rb, rbusy, rn, fb, fbusy, fn)
+	}
+}
+
+// TestSharedNICSerializes: two simultaneous migrations out of one replica
+// must serialize on its egress NIC — done times strictly ordered, the
+// second starting when the first drains — while a full mesh runs them in
+// parallel.
+func TestSharedNICSerializes(t *testing.T) {
+	shared := NewScheduler(mustTopo(t, 3, Spec{Kind: SharedNIC, LinkGBps: 1}))
+	s1, d1 := shared.BookBetween(ClassMigrate, 0, 1, 0, 1<<30)
+	s2, d2 := shared.BookBetween(ClassMigrate, 0, 2, 0, 1<<30)
+	if s1 != 0 {
+		t.Errorf("first transfer start = %v, want 0", s1)
+	}
+	if s2 != d1 {
+		t.Errorf("second transfer start = %v, want first done %v", s2, d1)
+	}
+	if d2 <= d1 {
+		t.Errorf("done times not strictly ordered: %v <= %v", d2, d1)
+	}
+
+	mesh := NewScheduler(mustTopo(t, 3, Spec{Kind: FullMesh, LinkGBps: 1}))
+	_, m1 := mesh.BookBetween(ClassMigrate, 0, 1, 0, 1<<30)
+	ms2, m2 := mesh.BookBetween(ClassMigrate, 0, 2, 0, 1<<30)
+	if ms2 != 0 || m1 != m2 {
+		t.Errorf("full mesh should run disjoint pairs in parallel: start %v, done %v vs %v", ms2, m1, m2)
+	}
+}
+
+// TestSharedNICIngressContention: transfers from different donors into one
+// receiver serialize on its ingress NIC.
+func TestSharedNICIngressContention(t *testing.T) {
+	s := NewScheduler(mustTopo(t, 3, Spec{Kind: SharedNIC, LinkGBps: 1}))
+	_, d1 := s.BookBetween(ClassPrewarm, 0, 2, 0, 1<<30)
+	s2, _ := s.BookBetween(ClassDrain, 1, 2, 0, 1<<30)
+	if s2 != d1 {
+		t.Errorf("ingress-sharing transfer starts at %v, want %v", s2, d1)
+	}
+}
+
+// TestBlockingSwitchSerializesAll: with a finite switch stage, even
+// transfers between disjoint replica pairs serialize through it.
+func TestBlockingSwitchSerializesAll(t *testing.T) {
+	s := NewScheduler(mustTopo(t, 4, Spec{Kind: SharedNIC, LinkGBps: 10, SwitchGBps: 1}))
+	// The switch is the bottleneck (1 GB/s vs 10 GB/s NICs).
+	_, d1 := s.BookBetween(ClassMigrate, 0, 1, 0, 1<<30)
+	s2, _ := s.BookBetween(ClassMigrate, 2, 3, 0, 1<<30)
+	if s2 != d1 {
+		t.Errorf("disjoint pairs should serialize on the switch: start %v, want %v", s2, d1)
+	}
+	if want := gpu.NewLink("ref", 1e9).TransferTime(1 << 30); d1 != simclock.Time(want) {
+		t.Errorf("bottleneck wire time %v, want switch-rate %v", d1, want)
+	}
+}
+
+// TestETAMatchesBooking: the unbooked estimate equals what a booking would
+// experience, and reflects path backlog.
+func TestETAMatchesBooking(t *testing.T) {
+	s := NewScheduler(mustTopo(t, 3, Spec{Kind: SharedNIC, LinkGBps: 1}))
+	if eta := s.ETABetween(0, 1, 0, 1<<30); eta != gpu.NewLink("ref", 1e9).TransferTime(1<<30) {
+		t.Errorf("idle ETA = %v", eta)
+	}
+	_, d1 := s.BookBetween(ClassMigrate, 0, 1, 0, 1<<30)
+	eta := s.ETABetween(0, 2, 0, 1<<20)
+	want := simclock.Time(0).Add(gpu.NewLink("ref", 1e9).TransferTime(1 << 20))
+	if eta != d1.Sub(0)+want.Sub(0) {
+		t.Errorf("backlogged ETA = %v, want queueing %v + wire %v", eta, d1, want)
+	}
+	// Estimating must not book.
+	s2, _ := s.BookBetween(ClassMigrate, 0, 2, 0, 1<<20)
+	if s2 != d1 {
+		t.Errorf("estimate perturbed the links: start %v, want %v", s2, d1)
+	}
+}
+
+// TestClassAccounting: bookings tally bytes, transfers, and bottleneck
+// busy time under their class only.
+func TestClassAccounting(t *testing.T) {
+	s := NewScheduler(mustTopo(t, 2, Spec{Kind: FullMesh, LinkGBps: 1}))
+	ep := s.Endpoint(0)
+	ep.AttachHost(2e9)
+	ep.EnqueueD2H(ClassSync, 0, 1000)
+	ep.EnqueueD2H(ClassEvict, 0, 500)
+	ep.EnqueueH2D(ClassReload, 0, 250)
+	s.BookBetween(ClassMigrate, 0, 1, 0, 2000)
+
+	got := map[Class]ClassStats{}
+	for _, cs := range s.ClassStats() {
+		got[cs.Class] = cs
+	}
+	if cs := got[ClassSync]; cs.Transfers != 1 || cs.Bytes != 1000 {
+		t.Errorf("sync stats %+v", cs)
+	}
+	if cs := got[ClassEvict]; cs.Bytes != 500 {
+		t.Errorf("evict stats %+v", cs)
+	}
+	if cs := got[ClassReload]; cs.Bytes != 250 {
+		t.Errorf("reload stats %+v", cs)
+	}
+	if cs := got[ClassMigrate]; cs.Bytes != 2000 || cs.Busy <= 0 {
+		t.Errorf("migrate stats %+v", cs)
+	}
+	if cs := got[ClassLoad]; cs.Transfers != 0 {
+		t.Errorf("untouched class has traffic: %+v", cs)
+	}
+	for _, c := range Classes() {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", int(c))
+		}
+	}
+}
+
+// TestLinkSnapshots: every topology link is visible, host pairs included
+// once attached.
+func TestLinkSnapshots(t *testing.T) {
+	s := NewScheduler(mustTopo(t, 2, Spec{Kind: SharedNIC, LinkGBps: 1, SwitchGBps: 5}))
+	s.Endpoint(0).AttachHost(1e9)
+	// 2 host + 2x2 NIC + switch.
+	snaps := s.LinkSnapshots(0)
+	if len(snaps) != 7 {
+		t.Fatalf("snapshot count = %d, want 7", len(snaps))
+	}
+	names := map[string]bool{}
+	for _, sn := range snaps {
+		names[sn.Name] = true
+	}
+	for _, want := range []string{"host-d2h-0", "host-h2d-0", "nic-out-0", "nic-in-1", "switch"} {
+		if !names[want] {
+			t.Errorf("link %q missing from snapshots (have %v)", want, names)
+		}
+	}
+}
+
+func TestAttachHostTwicePanics(t *testing.T) {
+	topo := mustTopo(t, 1, Spec{})
+	topo.AttachHost(0, 1e9)
+	defer func() {
+		if recover() == nil {
+			t.Error("double attach should panic")
+		}
+	}()
+	topo.AttachHost(0, 1e9)
+}

@@ -302,3 +302,73 @@ func BenchmarkDecodeStepTime(b *testing.B) {
 		_ = c.DecodeStepTime(32, 32*1536)
 	}
 }
+
+// TestLinkSnapshotBacklogBoundaries pins the backlog math at transfer tick
+// boundaries: the backlog a snapshot reports shrinks linearly while a
+// transfer is on the wire, is exactly zero at the instant the link drains
+// (busyUntil <= now means a new transfer starts immediately), and stacks
+// across queued transfers.
+func TestLinkSnapshotBacklogBoundaries(t *testing.T) {
+	l := NewLink("pcie", 1e9)
+	start, done := l.Enqueue(0, 1e9) // exactly 1 s of wire
+	if start != 0 || done != simclock.FromSeconds(1) {
+		t.Fatalf("transfer booked [%v, %v]", start, done)
+	}
+
+	if got := l.Snapshot(0).Backlog; got != time.Second {
+		t.Errorf("backlog at submission = %v, want 1s", got)
+	}
+	mid := simclock.FromSeconds(0.25)
+	if got := l.Snapshot(mid).Backlog; got != 750*time.Millisecond {
+		t.Errorf("backlog mid-transfer = %v, want 750ms", got)
+	}
+	// Boundary instant: the transfer completes at exactly t=1s, so a
+	// submission then waits zero — the boundary belongs to "drained".
+	if got := l.Snapshot(done).Backlog; got != 0 {
+		t.Errorf("backlog at completion instant = %v, want 0", got)
+	}
+	if got := l.Snapshot(done + 1).Backlog; got != 0 {
+		t.Errorf("backlog after completion = %v, want 0", got)
+	}
+
+	// A second transfer submitted mid-wire stacks behind the first; the
+	// backlog at the first transfer's boundary is exactly the second's
+	// remaining wire time.
+	l2 := NewLink("pcie", 1e9)
+	l2.Enqueue(0, 1e9)
+	s2, d2 := l2.Enqueue(simclock.FromSeconds(0.5), 5e8)
+	if s2 != simclock.FromSeconds(1) || d2 != simclock.FromSeconds(1.5) {
+		t.Fatalf("queued transfer booked [%v, %v]", s2, d2)
+	}
+	if got := l2.Snapshot(simclock.FromSeconds(1)).Backlog; got != 500*time.Millisecond {
+		t.Errorf("backlog at tick boundary = %v, want 500ms", got)
+	}
+
+	snap := l2.Snapshot(simclock.FromSeconds(1))
+	if snap.Name != "pcie" || snap.Transfers != 2 || snap.Bytes != 15e8 {
+		t.Errorf("snapshot counters = %+v", snap)
+	}
+	if snap.Busy != 1500*time.Millisecond {
+		t.Errorf("snapshot busy = %v, want 1.5s", snap.Busy)
+	}
+}
+
+// TestLinkReserve: the fabric's multi-link booking primitive updates
+// counters like Enqueue and rejects reservations behind the backlog.
+func TestLinkReserve(t *testing.T) {
+	l := NewLink("nic", 1e9)
+	l.Reserve(0, simclock.FromSeconds(2), 1e9) // held 2s by a slower bottleneck
+	if l.BusyUntil() != simclock.FromSeconds(2) {
+		t.Errorf("busyUntil = %v", l.BusyUntil())
+	}
+	b, busy, n := l.Stats()
+	if b != 1e9 || busy != 2*time.Second || n != 1 {
+		t.Errorf("stats = (%d, %v, %d)", b, busy, n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("reserving before the backlog should panic")
+		}
+	}()
+	l.Reserve(simclock.FromSeconds(1), simclock.FromSeconds(3), 1)
+}

@@ -50,22 +50,37 @@ func (l *Link) TransferTime(n int64) time.Duration {
 
 // Enqueue books an n-byte transfer submitted at time now and reports when
 // it starts and completes. Transfers are FIFO: a submission while the link
-// is busy starts when the previous transfer finishes.
+// is busy starts when the previous transfer finishes. It is Reserve with
+// the hold time set by this link's own wire speed.
 func (l *Link) Enqueue(now simclock.Time, n int64) (start, done simclock.Time) {
-	if n < 0 {
-		panic(fmt.Sprintf("gpu: negative transfer size %d", n))
-	}
 	start = now
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	wire := l.TransferTime(n)
-	done = start.Add(wire)
+	done = start.Add(l.TransferTime(n))
+	l.Reserve(start, done, n)
+	return start, done
+}
+
+// Reserve books the link busy for [start, done] moving n bytes — the
+// multi-link transfer path of the fabric, where the hold time is set by the
+// path's bottleneck link rather than this link's own wire time. start must
+// not precede the link's current backlog: the fabric computes it as the
+// max of the path's BusyUntil readings, so regressions are scheduler bugs.
+func (l *Link) Reserve(start, done simclock.Time, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("gpu: negative transfer size %d", n))
+	}
+	if start < l.busyUntil {
+		panic(fmt.Sprintf("gpu: link %s reservation at %v before backlog %v", l.name, start, l.busyUntil))
+	}
+	if done < start {
+		panic(fmt.Sprintf("gpu: link %s reservation ends %v before start %v", l.name, done, start))
+	}
 	l.busyUntil = done
 	l.totalBytes += n
-	l.totalBusy += wire
+	l.totalBusy += done.Sub(start)
 	l.transfers++
-	return start, done
 }
 
 // QueueDelay reports how long a transfer submitted now would wait before
@@ -87,6 +102,32 @@ func (l *Link) Idle(now simclock.Time) bool { return l.busyUntil <= now }
 // and the number of transfers, for profiling.
 func (l *Link) Stats() (bytes int64, busy time.Duration, transfers int64) {
 	return l.totalBytes, l.totalBusy, l.transfers
+}
+
+// LinkSnapshot is a point-in-time view of a link's profiling counters, so
+// consumers (the fabric's accounting, reports) never reach into Link
+// fields.
+type LinkSnapshot struct {
+	// Name is the link's diagnostic name.
+	Name string
+	// Bytes, Busy, and Transfers are the cumulative counters of Stats.
+	Bytes     int64
+	Busy      time.Duration
+	Transfers int64
+	// Backlog is the queueing delay a transfer submitted at the snapshot
+	// instant would see before reaching the wire (zero for a drained link).
+	Backlog time.Duration
+}
+
+// Snapshot captures the link's counters and current backlog at now.
+func (l *Link) Snapshot(now simclock.Time) LinkSnapshot {
+	return LinkSnapshot{
+		Name:      l.name,
+		Bytes:     l.totalBytes,
+		Busy:      l.totalBusy,
+		Transfers: l.transfers,
+		Backlog:   l.QueueDelay(now),
+	}
 }
 
 // Utilization reports the fraction of [0, now] the link spent transferring.

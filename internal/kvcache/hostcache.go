@@ -1,0 +1,154 @@
+package kvcache
+
+// Host-tier prefix cache: the pin lifecycle extended past eviction. Under
+// write-through, an evicted pin's pages already have (or are draining
+// toward) a complete host mirror — before this extension the manager
+// simply forgot that copy, so a returning session turn recomputed its
+// whole prefix. With Config.HostCache the mirror outlives the pin as a
+// hostPin: host memory only, never charged against the GPU pool. When the
+// session's next turn arrives, the engine weighs reloading the mirror over
+// the host-to-device link (queueing plus wire time, measured from the real
+// link backlog) against recomputing the prefix, and books the reload
+// through the fabric when the wire wins. The reload is charged inside the
+// turn's TTFT, exactly like a cross-replica migration.
+//
+// Mirrors are content-addressed by session: a session's prompts only ever
+// extend, so a shorter mirror stays a valid prefix of every later turn. A
+// mirror is replaced when a larger pin for its session is evicted, and
+// persists across pin adoption, supersession, and migration-out (the host
+// copy remains on this replica even after the device copy leaves).
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/simclock"
+)
+
+// hostPin is one session's host-tier prefix mirror.
+type hostPin struct {
+	session int
+	// tokens is the mirrored context length; pages its host footprint.
+	tokens int
+	pages  int
+	// readyAt is when the eviction drain completed the mirror; a reload
+	// cannot start earlier.
+	readyAt simclock.Time
+	// reloading marks a mirror whose h2d transfer is on the wire.
+	reloading bool
+}
+
+// HostCacheEnabled reports whether evicted pins leave reloadable mirrors.
+func (m *Manager) HostCacheEnabled() bool {
+	return m.cfg.HostCache && m.cfg.Offload && m.PrefixEnabled()
+}
+
+// HostMirroredPages reports the host-memory pages currently held by
+// evicted pins' mirrors. These are host pages: they never count toward
+// UsedPages or against GPUPages.
+func (m *Manager) HostMirroredPages() int { return m.hostMirroredPages }
+
+// mirrorEvictedPin records an evicted pin's host mirror, loadable once the
+// eviction drain lands at readyAt. A smaller mirror for the session is
+// replaced (the larger context covers it); a mirror mid-reload, or one at
+// least as large, is kept.
+func (m *Manager) mirrorEvictedPin(p *pin, readyAt simclock.Time) {
+	if !m.HostCacheEnabled() {
+		return
+	}
+	if old, ok := m.hostPins[p.session]; ok {
+		if old.reloading || old.tokens >= p.tokens {
+			return
+		}
+		m.hostMirroredPages -= old.pages
+	}
+	m.hostPins[p.session] = &hostPin{
+		session: p.session, tokens: p.tokens, pages: p.pages, readyAt: readyAt,
+	}
+	m.hostMirroredPages += p.pages
+}
+
+// HostMirrorTokens reports the host-mirrored prefix tokens available for a
+// session: zero when no mirror exists, a reload is already in flight, or a
+// device pin makes the mirror redundant. A mirror still draining counts —
+// the reload estimate folds the remaining wait in.
+func (m *Manager) HostMirrorTokens(session int) int {
+	hp, ok := m.hostPins[session]
+	if !ok || hp.reloading {
+		return 0
+	}
+	if _, pinned := m.pins[session]; pinned {
+		return 0
+	}
+	return hp.tokens
+}
+
+// EstimateHostReload predicts the latency to bring a session's host mirror
+// back onto the device, submitted now: any remaining drain wait, plus h2d
+// queueing, plus wire time — the reload side of the recompute-vs-reload
+// break-even, measured from the real link backlog.
+func (m *Manager) EstimateHostReload(session int, now simclock.Time) time.Duration {
+	hp, ok := m.hostPins[session]
+	if !ok {
+		return 0
+	}
+	var wait time.Duration
+	if hp.readyAt > now {
+		wait = hp.readyAt.Sub(now)
+	}
+	bytes := int64(hp.pages) * m.PageBytes()
+	return wait + m.h2d.QueueDelay(now.Add(wait)) + m.h2d.TransferTime(bytes)
+}
+
+// StartHostReload books the host-to-device transfer that rematerializes a
+// session's mirrored prefix as a device pin. The transfer starts after the
+// mirror's drain completes and lands on the fabric's reload class; at
+// completion the pin is installed (reclaiming colder pins if needed, and
+// dropped — HostReloadDrops — when the pool cannot fit it). It returns the
+// completion time, the mirrored tokens, and whether a reload started.
+func (m *Manager) StartHostReload(session int, now simclock.Time) (done simclock.Time, tokens int, ok bool) {
+	if !m.HostCacheEnabled() {
+		return 0, 0, false
+	}
+	hp, exists := m.hostPins[session]
+	if !exists || hp.reloading {
+		return 0, 0, false
+	}
+	if _, pinned := m.pins[session]; pinned {
+		return 0, 0, false
+	}
+	hp.reloading = true
+	start := now
+	if hp.readyAt > start {
+		start = hp.readyAt
+	}
+	// BytesReloaded counts the booked wire traffic (like the other Bytes*
+	// counters); HostReloads / HostReloadTokens count only at a successful
+	// install — a dropped install recomputes, and must not read as a win.
+	bytes := int64(hp.pages) * m.PageBytes()
+	m.bytesReloaded += bytes
+	_, done = m.ep.EnqueueH2D(fabric.ClassReload, start, bytes)
+	m.clock.At(done, func(t simclock.Time) {
+		hp.reloading = false
+		m.installReloadedPin(hp, t)
+	})
+	return done, hp.tokens, true
+}
+
+// installReloadedPin materializes a landed reload as a device pin, fully
+// synced (the host copy stays valid, so a later eviction is free). The pin
+// is dropped when a pin for the session appeared mid-flight or the pool
+// cannot fit it even after reclaiming every colder pin; the mirror remains
+// either way, and only a successful install counts as a completed reload.
+func (m *Manager) installReloadedPin(hp *hostPin, now simclock.Time) {
+	if _, pinned := m.pins[hp.session]; pinned || hp.pages > m.cfg.PrefixPages {
+		m.hostReloadDrops++
+		return
+	}
+	if !m.placePin(hp.session, hp.tokens, hp.pages, now) {
+		m.hostReloadDrops++
+		return
+	}
+	m.hostReloads++
+	m.hostReloadTokens += int64(hp.tokens)
+}

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/gpu"
 	"repro/internal/request"
 	"repro/internal/simclock"
@@ -62,6 +63,15 @@ type Config struct {
 	// are charged against GPUPages, evicted LRU under pressure, and
 	// reclaimed before any admission stall. Zero disables prefix pinning.
 	PrefixPages int
+
+	// HostCache extends the pin lifecycle past eviction (see hostcache.go):
+	// an evicted pin whose dirty pages finished draining stays behind as a
+	// host-mirrored prefix that a later session turn can reload over the
+	// host-to-device link instead of recomputing. Host-mirrored pages live
+	// in host memory only — they are never charged against GPUPages.
+	// Requires Offload (without a host tier there is nothing to mirror
+	// into; the flag is then inert).
+	HostCache bool
 }
 
 // Validate reports an error for non-positive geometry.
@@ -145,9 +155,15 @@ type Callbacks struct {
 type Manager struct {
 	cfg   Config
 	clock *simclock.Clock
-	d2h   *gpu.Link // eviction / write-through direction
-	h2d   *gpu.Link // load direction
-	cb    Callbacks
+
+	// ep is the replica's handle on the transfer fabric: every booking —
+	// sync, evict, load, reload — goes through it so the fabric's per-class
+	// accounting sees all traffic. d2h and h2d cache the endpoint's host
+	// links for read-only estimation (queue delay, wire time).
+	ep  *fabric.Endpoint
+	d2h *gpu.Link // eviction / write-through direction
+	h2d *gpu.Link // load direction
+	cb  Callbacks
 
 	free    int
 	entries map[int]*entry
@@ -161,6 +177,10 @@ type Manager struct {
 	pinnedPages     int
 	peakPinnedPages int
 
+	// Host-tier prefix mirrors (see hostcache.go).
+	hostPins          map[int]*hostPin
+	hostMirroredPages int
+
 	// stats
 	evictions, loads, discards, syncChunks    int64
 	bytesEvicted, bytesLoaded, bytesSynced    int64
@@ -168,27 +188,35 @@ type Manager struct {
 	prefixBytesDrained                        int64
 	migratedInTokens, migratedOutTokens       int64
 	migrationDrops                            int64
+	hostReloads, hostReloadTokens             int64
+	hostReloadDrops, bytesReloaded            int64
 }
 
-// New constructs a manager. The two links model the full-duplex host
-// connection; pass distinct links for device-to-host and host-to-device.
-func New(cfg Config, clock *simclock.Clock, d2h, h2d *gpu.Link, cb Callbacks) (*Manager, error) {
+// New constructs a manager on the replica's fabric endpoint, whose host
+// link pair (device-to-host and host-to-device; PCIe is full duplex) must
+// already be attached.
+func New(cfg Config, clock *simclock.Clock, ep *fabric.Endpoint, cb Callbacks) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if clock == nil || d2h == nil || h2d == nil {
-		return nil, fmt.Errorf("kvcache: nil clock or links")
+	if clock == nil || ep == nil {
+		return nil, fmt.Errorf("kvcache: nil clock or fabric endpoint")
+	}
+	if !ep.HostAttached() {
+		return nil, fmt.Errorf("kvcache: fabric endpoint %d has no host links", ep.Replica())
 	}
 	return &Manager{
 		cfg:      cfg,
 		clock:    clock,
-		d2h:      d2h,
-		h2d:      h2d,
+		ep:       ep,
+		d2h:      ep.D2H(),
+		h2d:      ep.H2D(),
 		cb:       cb,
 		free:     cfg.GPUPages,
 		entries:  make(map[int]*entry),
 		pins:     make(map[int]*pin),
 		pinOrder: list.New(),
+		hostPins: make(map[int]*hostPin),
 	}, nil
 }
 

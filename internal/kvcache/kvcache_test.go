@@ -6,15 +6,17 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/gpu"
 	"repro/internal/request"
 	"repro/internal/simclock"
 )
 
-// testRig bundles a manager with its clock and links at 1 GB/s each
-// direction and 16-token pages of 64 KiB (4 KiB/token).
+// testRig bundles a manager with its clock and a single-host fabric at
+// 1 GB/s each direction and 16-token pages of 64 KiB (4 KiB/token).
 type testRig struct {
 	clock      *simclock.Clock
+	ep         *fabric.Endpoint
 	d2h, h2d   *gpu.Link
 	m          *Manager
 	evictDone  []int
@@ -25,10 +27,12 @@ type testRig struct {
 
 func newRig(t testing.TB, cfg Config) *testRig {
 	t.Helper()
+	ep := fabric.NewSingleHost(1e9, 1e9)
 	rig := &testRig{
 		clock:      simclock.New(),
-		d2h:        gpu.NewLink("d2h", 1e9),
-		h2d:        gpu.NewLink("h2d", 1e9),
+		ep:         ep,
+		d2h:        ep.D2H(),
+		h2d:        ep.H2D(),
 		evictTimes: make(map[int]simclock.Time),
 		loadTimes:  make(map[int]simclock.Time),
 	}
@@ -41,7 +45,7 @@ func newRig(t testing.TB, cfg Config) *testRig {
 	if cfg.GPUPages == 0 {
 		cfg.GPUPages = 64
 	}
-	m, err := New(cfg, rig.clock, rig.d2h, rig.h2d, Callbacks{
+	m, err := New(cfg, rig.clock, rig.ep, Callbacks{
 		EvictDone: func(r *request.Request, now simclock.Time) {
 			rig.evictDone = append(rig.evictDone, r.ID)
 			rig.evictTimes[r.ID] = now
@@ -85,8 +89,17 @@ func TestConfigValidate(t *testing.T) {
 
 func TestNewRejectsNils(t *testing.T) {
 	cfg := Config{PageTokens: 16, GPUPages: 8, BytesPerToken: 1024}
-	if _, err := New(cfg, nil, nil, nil, Callbacks{}); err == nil {
+	if _, err := New(cfg, nil, nil, Callbacks{}); err == nil {
 		t.Error("nil deps should error")
+	}
+	// An endpoint without attached host links is a wiring error too.
+	topo, err := fabric.NewTopology(2, fabric.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := fabric.NewScheduler(topo).Endpoint(0)
+	if _, err := New(cfg, simclock.New(), bare, Callbacks{}); err == nil {
+		t.Error("host-less endpoint should error")
 	}
 }
 

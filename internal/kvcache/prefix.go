@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/request"
 	"repro/internal/simclock"
 )
@@ -162,6 +163,8 @@ func (m *Manager) evictLRUPin(now simclock.Time, exclude int) *pin {
 // the host-mirror invariant of write-through) and free when the transfer
 // completes; without offload there is no host tier to mirror into, so the
 // pages discard instantly — the same rule request preemption follows.
+// Under HostCache the completed mirror outlives the pin: a later turn can
+// reload it over h2d instead of recomputing (see hostcache.go).
 func (m *Manager) evictPin(p *pin, now simclock.Time) {
 	m.removePin(p)
 	m.prefixEvictions++
@@ -172,11 +175,13 @@ func (m *Manager) evictPin(p *pin, now simclock.Time) {
 	}
 	m.free += p.synced
 	if dirty <= 0 {
+		m.mirrorEvictedPin(p, now)
 		return
 	}
 	bytes := int64(dirty) * m.PageBytes()
 	m.prefixBytesDrained += bytes
-	_, done := m.d2h.Enqueue(now, bytes)
+	_, done := m.ep.EnqueueD2H(fabric.ClassEvict, now, bytes)
+	m.mirrorEvictedPin(p, done)
 	m.clock.At(done, func(t simclock.Time) {
 		m.free += dirty
 		if m.cb.PinDrained != nil {
@@ -311,6 +316,18 @@ func (m *Manager) DropPrefix(session int, now simclock.Time) bool {
 	return true
 }
 
+// PrefixFootprint reports a session pin's cached tokens and wire size
+// without perturbing the LRU order (the migration cost model sizes the
+// transfer before deciding whether to commit it). A migrating pin reports
+// zero.
+func (m *Manager) PrefixFootprint(session int) (tokens int, bytes int64) {
+	p, ok := m.pins[session]
+	if !ok || p.migrating {
+		return 0, 0
+	}
+	return p.tokens, int64(p.pages) * m.PageBytes()
+}
+
 // BeginMigrateOut stakes a pin for cross-replica migration: the pin's
 // pages stay charged (they are being read over the wire) but it no longer
 // hits, adopts, or evicts. It reports the pinned tokens and the transfer
@@ -361,17 +378,30 @@ func (m *Manager) InstallPrefix(session, tokens int, now simclock.Time) bool {
 		m.removePin(old)
 		m.free += old.pages
 	}
+	if !m.placePin(session, tokens, pages, now) {
+		m.migrationDrops++
+		return false
+	}
+	m.migratedInTokens += int64(tokens)
+	return true
+}
+
+// placePin claims pool pages for a fully synced incoming pin (migrated in
+// or reloaded from the host tier), reclaiming colder pins to make room and
+// enforcing the prefix budget afterward. It reports false — with nothing
+// charged — when the pool cannot fit the pin even after reclaiming every
+// other pin. InstallPrefix and installReloadedPin share it so reloaded and
+// migrated-in pins always obey identical pool-admission rules.
+func (m *Manager) placePin(session, tokens, pages int, now simclock.Time) bool {
 	if pages > m.free {
 		m.ReclaimPrefixPages(pages-m.free, now, session)
 	}
 	if pages > m.free {
-		m.migrationDrops++
 		return false
 	}
 	m.free -= pages
 	m.insertPin(&pin{session: session, tokens: tokens, pages: pages, synced: pages})
 	m.prefixPins++
-	m.migratedInTokens += int64(tokens)
 	for m.pinnedPages > m.cfg.PrefixPages {
 		if m.evictLRUPin(now, session) == nil {
 			break

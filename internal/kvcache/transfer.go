@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/request"
 	"repro/internal/simclock"
 )
@@ -56,7 +57,7 @@ func (m *Manager) BackgroundSync(now simclock.Time, iterDur time.Duration) {
 		e.inFlight += chunk
 		epoch := e.epoch
 		ent := e
-		_, done := m.d2h.Enqueue(now, bytes)
+		_, done := m.ep.EnqueueD2H(fabric.ClassSync, now, bytes)
 		m.syncChunks++
 		m.bytesSynced += bytes
 		m.clock.At(done, func(t simclock.Time) {
@@ -140,7 +141,7 @@ func (m *Manager) Preempt(r *request.Request, now simclock.Time) (simclock.Time,
 	}
 	bytes := int64(dirty) * m.PageBytes()
 	m.bytesEvicted += bytes
-	_, done := m.d2h.Enqueue(now, bytes)
+	_, done := m.ep.EnqueueD2H(fabric.ClassEvict, now, bytes)
 	epoch := e.epoch
 	m.clock.At(done, func(t simclock.Time) {
 		if e.epoch != epoch {
@@ -186,7 +187,7 @@ func (m *Manager) StartLoad(r *request.Request, now simclock.Time) (simclock.Tim
 	}
 	bytes := int64(e.pages) * m.PageBytes()
 	m.bytesLoaded += bytes
-	_, done := m.h2d.Enqueue(start, bytes)
+	_, done := m.ep.EnqueueH2D(fabric.ClassLoad, start, bytes)
 	epoch := e.epoch
 	m.clock.At(done, func(t simclock.Time) {
 		if e.epoch != epoch {
@@ -261,6 +262,18 @@ type Stats struct {
 	MigratedInTokens, MigratedOutTokens          int64
 	MigrationDrops                               int64
 	PinnedPages, PeakPinnedPages                 int
+
+	// Host-tier prefix cache counters (see hostcache.go). HostMirroredPages
+	// is the current host-memory footprint of evicted pins' mirrors — host
+	// pages only, never part of the GPU pool accounting. HostReloads /
+	// HostReloadTokens count mirrors that actually landed as pins (reloaded
+	// instead of recomputed); HostReloadDrops counts reloads whose pin
+	// could not be installed when the transfer completed (those turns
+	// recompute after all); BytesReloaded totals the booked reload wire
+	// traffic, dropped installs included.
+	HostMirroredPages              int
+	HostReloads, HostReloadTokens  int64
+	HostReloadDrops, BytesReloaded int64
 }
 
 // Stats returns cumulative counters.
@@ -274,5 +287,8 @@ func (m *Manager) Stats() Stats {
 		MigratedInTokens: m.migratedInTokens, MigratedOutTokens: m.migratedOutTokens,
 		MigrationDrops: m.migrationDrops,
 		PinnedPages:    m.pinnedPages, PeakPinnedPages: m.peakPinnedPages,
+		HostMirroredPages: m.hostMirroredPages,
+		HostReloads:       m.hostReloads, HostReloadTokens: m.hostReloadTokens,
+		HostReloadDrops: m.hostReloadDrops, BytesReloaded: m.bytesReloaded,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/router"
 	"repro/internal/simclock"
 )
@@ -77,15 +78,106 @@ type ClusterConfig struct {
 	// recomputed, with the transfer time on the virtual clock.
 	Migrate bool
 
-	// InterconnectGBps is the replica interconnect bandwidth per directed
-	// pair (default 25, RDMA-class). Used with Migrate and with
-	// autoscaling (pre-warm and drain hand-off travel the same mesh).
+	// MigrationPolicy selects how migrations commit: "always" (default)
+	// ships on every divert that finds a better donor; "cost" prices the
+	// queued transfer on the real topology against the target's estimated
+	// prefix recompute time and skips the migration when the wire loses.
+	MigrationPolicy MigrationPolicy
+
+	// InterconnectGBps is the interconnect link bandwidth in GB/s (default
+	// 25, RDMA-class): per directed pair under the default full mesh, per
+	// NIC direction under a shared-NIC Topology. Used with Migrate and
+	// with autoscaling (pre-warm and drain hand-off travel the same
+	// fabric).
 	InterconnectGBps float64
+
+	// Topology selects the interconnect layout of the transfer fabric.
+	// Nil keeps the full mesh of dedicated per-pair links at
+	// InterconnectGBps, under which transfers between different replica
+	// pairs never contend — the configuration earlier revisions
+	// hard-coded.
+	Topology *TopologySpec
 
 	// Autoscale enables SLO-driven replica autoscaling: a control loop on
 	// the virtual clock grows and shrinks the active replica set between
 	// MinReplicas and MaxReplicas. Nil keeps the static pool.
 	Autoscale *AutoscaleSpec
+}
+
+// MigrationPolicy selects how cross-replica KV migrations are committed.
+type MigrationPolicy string
+
+// Migration policies.
+const (
+	// MigrateAlways ships a pinned prefix on every divert that finds a
+	// better donor, regardless of interconnect backlog.
+	MigrateAlways MigrationPolicy = "always"
+	// MigrateCost prices the queued transfer on the real topology against
+	// the target replica's estimated prefix recompute time and declines
+	// migrations the wire would lose.
+	MigrateCost MigrationPolicy = "cost"
+)
+
+// MigrationPolicies lists the migration policies.
+func MigrationPolicies() []MigrationPolicy {
+	return []MigrationPolicy{MigrateAlways, MigrateCost}
+}
+
+// TopologyKind selects the interconnect layout of the transfer fabric.
+type TopologyKind string
+
+// Interconnect layouts.
+const (
+	// TopologyFullMesh: a dedicated link per directed replica pair — no
+	// contention between different pairs (the degenerate default).
+	TopologyFullMesh TopologyKind = "full-mesh"
+	// TopologySharedNIC: one egress and one ingress NIC link per replica,
+	// behind an optional shared switch. Concurrent migrations, pre-warms,
+	// and drain hand-offs that share an endpoint serialize.
+	TopologySharedNIC TopologyKind = "shared-nic"
+)
+
+// TopologyKinds lists the interconnect layouts.
+func TopologyKinds() []TopologyKind {
+	return []TopologyKind{TopologyFullMesh, TopologySharedNIC}
+}
+
+// TopologySpec describes the interconnect layout of the cluster's
+// transfer fabric. Every KV byte the cluster moves between replicas —
+// routing migrations, pre-warm, drain hand-off — is booked on this
+// topology's links with FIFO contention, so a shared NIC makes concurrent
+// transfers honest about queueing.
+type TopologySpec struct {
+	// Kind selects the layout (default TopologyFullMesh).
+	Kind TopologyKind
+
+	// LinkGBps is the bandwidth of one interconnect link in GB/s: per
+	// directed pair under full-mesh, per NIC direction under shared-nic.
+	// Zero inherits InterconnectGBps.
+	LinkGBps float64
+
+	// SwitchGBps bounds the aggregate switch bandwidth under shared-nic:
+	// all transfers additionally serialize through one switch stage of
+	// this bandwidth. Zero models a non-blocking switch.
+	SwitchGBps float64
+}
+
+// fabricSpec maps the public topology spec onto the internal fabric spec.
+func (s *TopologySpec) fabricSpec() (*fabric.Spec, error) {
+	if s == nil {
+		return nil, nil
+	}
+	switch s.Kind {
+	case "", TopologyFullMesh, TopologySharedNIC:
+	default:
+		return nil, fmt.Errorf("tokenflow: unknown topology kind %q (have %v)",
+			s.Kind, TopologyKinds())
+	}
+	return &fabric.Spec{
+		Kind:       fabric.Kind(s.Kind),
+		LinkGBps:   s.LinkGBps,
+		SwitchGBps: s.SwitchGBps,
+	}, nil
 }
 
 // AutoscalePolicy selects how the autoscaler decides scale actions.
@@ -186,6 +278,11 @@ type ReplicaResult struct {
 	// PrefixEvictions counts pinned prefixes this replica evicted under
 	// memory pressure.
 	PrefixEvictions int64
+	// HostReloads counts evicted prefixes this replica reloaded from its
+	// host tier instead of recomputing; HostMirroredPages is the host
+	// memory its evicted pins' mirrors still occupy at the end of the run.
+	HostReloads       int64
+	HostMirroredPages int
 	// State is the replica's lifecycle state at the end of the run:
 	// "off", "warming", "active", or "draining" ("active" always, in a
 	// static cluster).
@@ -258,9 +355,30 @@ type ClusterResult struct {
 	// Migrations counts cross-replica KV migrations; MigratedTokens the
 	// prefix tokens shipped over the interconnect; MigrationDrops installs
 	// the target replica rejected for lack of memory.
-	Migrations     int64
-	MigratedTokens int64
-	MigrationDrops int64
+	// MigrationsDeclined counts diverts where the "cost" policy judged the
+	// queued wire slower than recomputing and skipped the transfer.
+	Migrations         int64
+	MigratedTokens     int64
+	MigrationDrops     int64
+	MigrationsDeclined int64
+
+	// HostReloads / HostReloadTokens total the host-tier prefix cache
+	// reloads across replicas (evicted pins brought back over the
+	// host-to-device link instead of recomputed, charged inside TTFT);
+	// HostReloadFallbacks the arrivals whose recompute-vs-reload
+	// break-even declined the reload on a backlogged link;
+	// HostReloadDrops the reloads that paid the wire but could not
+	// install their pin when the transfer landed (memory pressure) and
+	// recomputed anyway.
+	HostReloads         int64
+	HostReloadTokens    int64
+	HostReloadFallbacks int64
+	HostReloadDrops     int64
+
+	// Transfers is the fabric's per-class traffic ledger: every byte the
+	// run moved, split by purpose (sync, evict, load, reload, migrate,
+	// prewarm, drain).
+	Transfers []TransferClassStats
 
 	// Autoscaling outcome (zero / empty in a static cluster).
 	//
@@ -281,6 +399,19 @@ type ClusterResult struct {
 	PrewarmedTokens      int64
 	DrainMigrations      int64
 	DrainDroppedPins     int64
+}
+
+// TransferClassStats totals one transfer class's traffic across the
+// cluster's fabric.
+type TransferClassStats struct {
+	// Class labels the traffic's purpose: "sync", "evict", "load",
+	// "reload", "migrate", "prewarm", or "drain".
+	Class string
+	// Transfers and Bytes count the class's bookings; BusySeconds its
+	// summed bottleneck wire time (queueing excluded).
+	Transfers   int64
+	Bytes       int64
+	BusySeconds float64
 }
 
 // expandReplicaSpecs resolves the cluster layout into one (GPU,
@@ -386,15 +517,27 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch cfg.MigrationPolicy {
+	case "", MigrateAlways, MigrateCost:
+	default:
+		return nil, fmt.Errorf("tokenflow: unknown migration policy %q (have %v)",
+			cfg.MigrationPolicy, MigrationPolicies())
+	}
+	topoSpec, err := cfg.Topology.fabricSpec()
+	if err != nil {
+		return nil, err
+	}
 	cl, err := cluster.New(cluster.Config{
 		Replicas:         len(reps),
 		Policy:           pol,
 		SampleEvery:      simclock.Duration(cfg.SampleEverySeconds),
 		MaxSimTime:       simclock.Duration(cfg.MaxSimTimeSeconds),
 		Migrate:          cfg.Migrate,
+		MigrationPolicy:  cluster.MigrationPolicy(cfg.MigrationPolicy),
 		InterconnectGBps: cfg.InterconnectGBps,
+		Topology:         topoSpec,
 		Autoscale:        asCfg,
-	}, func(i int, clock *simclock.Clock) (*engine.Engine, error) {
+	}, func(i int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		rcfg := cfg.Config
 		rcfg.GPU = reps[i].GPU
 		rcfg.MemFraction = reps[i].MemFraction
@@ -404,6 +547,7 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		}
 		ecfg.Clock = clock
 		ecfg.SampleEvery = 0 // the cluster drives sampling
+		ecfg.Fabric = ep
 		return engine.New(ecfg)
 	})
 	if err != nil {
@@ -425,6 +569,12 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		MigratedTokens:  res.MigratedTokens,
 		MigrationDrops:  res.MigrationDrops,
 
+		MigrationsDeclined:  res.MigrationsDeclined,
+		HostReloads:         res.HostReloads,
+		HostReloadTokens:    res.HostReloadTokens,
+		HostReloadFallbacks: res.HostReloadFallbacks,
+		HostReloadDrops:     res.HostReloadDrops,
+
 		GPUSeconds:       res.GPUSeconds,
 		WarmupStalls:     res.WarmupStalls,
 		Prewarms:         res.Prewarms,
@@ -435,6 +585,14 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 	for _, p := range res.ImbalanceSeries {
 		out.ImbalanceSeries = append(out.ImbalanceSeries, ImbalanceSample{
 			AtSeconds: p.At.Seconds(), Imbalance: p.Value,
+		})
+	}
+	for _, cs := range res.TransferClasses {
+		out.Transfers = append(out.Transfers, TransferClassStats{
+			Class:       cs.Class.String(),
+			Transfers:   cs.Transfers,
+			Bytes:       cs.Bytes,
+			BusySeconds: cs.Busy.Seconds(),
 		})
 	}
 	for _, ev := range res.ScaleEvents {
@@ -467,6 +625,8 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 			PinnedPrefixPages: kv.PinnedPages,
 			PeakPinnedPages:   kv.PeakPinnedPages,
 			PrefixEvictions:   kv.PrefixEvictions,
+			HostReloads:       kv.HostReloads,
+			HostMirroredPages: kv.HostMirroredPages,
 			State:             rs.State.String(),
 			GPUSeconds:        rs.GPUSeconds,
 			Result:            convert(cfg.System, rs.Result),

@@ -96,6 +96,13 @@ type Config struct {
 	// The zero value selects the paper's defaults.
 	TokenFlow TokenFlowOptions
 
+	// HostPrefixCache extends session prefix pins past eviction: an
+	// evicted pin's host mirror stays reloadable, and a returning turn
+	// reloads it over the host-to-device link (inside its TTFT) whenever
+	// the measured link backlog beats recomputing the prefix. Only
+	// effective for systems with host offload (SystemTokenFlow).
+	HostPrefixCache bool
+
 	// SampleEverySeconds enables queued/running time-series sampling.
 	SampleEverySeconds float64
 
@@ -248,6 +255,7 @@ func buildEngineConfig(cfg Config) (engine.Config, error) {
 			kv.ChunkedWriting = !o.KV.DisableChunkedWriting
 			kv.LoadEvictOverlap = !o.KV.DisableLoadEvictOverlap
 		}
+		kv.HostCache = cfg.HostPrefixCache
 		ecfg.KV = kv
 	default:
 		return engine.Config{}, fmt.Errorf("tokenflow: unknown system %q", cfg.System)
