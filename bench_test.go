@@ -9,9 +9,11 @@
 package repro
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gpu"
@@ -68,6 +70,34 @@ func BenchmarkClusterScaling(b *testing.B)              { runExperiment(b, "clus
 func BenchmarkHeteroPools(b *testing.B)                 { runExperiment(b, "hetero") }
 func BenchmarkAutoscale(b *testing.B)                   { runExperiment(b, "autoscale") }
 func BenchmarkFabric(b *testing.B)                      { runExperiment(b, "fabric") }
+func BenchmarkSLOPolicies(b *testing.B)                 { runExperiment(b, "slo") }
+
+// BenchmarkRandomSpecInvariants drives seeded random cluster scenarios
+// (autoscale × topology × migration × gateway space) through the
+// cross-subsystem invariant checker. One iteration runs a handful of
+// scenarios, so the CI bench smoke step exercises random specs — and the
+// conservation laws — on every push.
+func BenchmarkRandomSpecInvariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for seed := int64(0); seed < 6; seed++ {
+			sc := cluster.RandomScenario(rand.New(rand.NewSource(1000 + seed)))
+			cl, err := cluster.New(sc.Config, sc.Build)
+			if err != nil {
+				b.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := cl.Run(sc.Workload)
+			if err != nil {
+				b.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.TimedOut {
+				b.Fatalf("seed %d: timed out", seed)
+			}
+			if err := cluster.CheckInvariants(res, sc.Workload.Len()); err != nil {
+				b.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
 
 // BenchmarkAutoscaledSpikes measures one full autoscaled cluster run
 // (1..4 replicas, queue-pressure policy, KV pre-warming) on the multi-turn

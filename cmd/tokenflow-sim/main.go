@@ -24,6 +24,16 @@
 //	    -warmup 8 -prewarm -router session-affinity \
 //	    -workload session-spikes -n 300 -duration 240
 //
+// -autoscale slo-target drives the windowed P99 TTFT toward -slo-p99;
+// -autoscale predictive pre-scales a warm-up ahead of the forecast
+// arrival rate; -min-replicas 0 enables scale-to-zero with a
+// -gateway-depth-bounded buffer that holds cold arrivals while the first
+// replica warms:
+//
+//	tokenflow-sim -autoscale slo-target -slo-p99 2.5 -min-replicas 0 \
+//	    -max-replicas 4 -warmup 8 -router session-affinity \
+//	    -workload sessions -n 200 -duration 240
+//
 // -topology selects the transfer-fabric interconnect (shared per-replica
 // NICs contend; the default full mesh does not), -migration-policy cost
 // declines migrations the wire would lose, and -host-cache lets evicted
@@ -40,6 +50,7 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/tokenflow"
 )
@@ -55,7 +66,8 @@ var flagGroups = []struct {
 		"prompt", "output", "rate", "seed"}},
 	{"Cluster", []string{"replicas", "router", "hetero", "migrate", "migration-policy"}},
 	{"Transfer fabric / KV movement", []string{"topology", "link-gbps", "switch-gbps", "host-cache"}},
-	{"Autoscaling", []string{"autoscale", "min-replicas", "max-replicas", "warmup", "prewarm"}},
+	{"Autoscaling", []string{"autoscale", "min-replicas", "max-replicas", "warmup", "prewarm",
+		"slo-p99", "forecast-rate", "gateway-depth"}},
 }
 
 // groupedUsage prints the flag sections of flagGroups, then any flag the
@@ -152,11 +164,14 @@ func main() {
 		linkBW   = flag.Float64("link-gbps", 25, "interconnect link bandwidth (GB/s): per pair (full-mesh) or per NIC direction (shared-nic)")
 		switchBW = flag.Float64("switch-gbps", 0, "shared-nic switch stage bandwidth (GB/s); 0 = non-blocking")
 		hostCach = flag.Bool("host-cache", false, "host-tier prefix cache: evicted session pins reload over h2d instead of recomputing")
-		scaler   = flag.String("autoscale", "", "autoscaling policy: queue-pressure | kv-utilization (empty = static pool)")
-		minReps  = flag.Int("min-replicas", 1, "autoscaling lower bound on in-service replicas")
+		scaler   = flag.String("autoscale", "", "autoscaling policy: queue-pressure | kv-utilization | slo-target | predictive (empty = static pool)")
+		minReps  = flag.Int("min-replicas", 1, "autoscaling lower bound on in-service replicas; 0 enables scale-to-zero with the gateway queue")
 		maxReps  = flag.Int("max-replicas", 0, "autoscaling upper bound (default: the replica layout size)")
 		warmup   = flag.Float64("warmup", 8, "autoscaling scale-up warm-up latency (s); 0 = instant")
 		prewarm  = flag.Bool("prewarm", false, "pre-warm scaling-up replicas with hot KV prefixes over the interconnect")
+		sloP99   = flag.Float64("slo-p99", 2, "slo-target policy: windowed P99 TTFT goal (s)")
+		fcRate   = flag.Float64("forecast-rate", 0, "predictive policy: arrival rate (req/s) one replica absorbs (0 = default 0.6)")
+		gwDepth  = flag.Int("gateway-depth", 0, "scale-to-zero gateway buffer bound (0 = default 512; negative = zero capacity, cold arrivals shed)")
 	)
 	flag.Usage = groupedUsage
 	flag.Parse()
@@ -223,6 +238,12 @@ func main() {
 				MaxReplicas:   *maxReps,
 				WarmupSeconds: ws,
 				Prewarm:       *prewarm,
+				ScaleToZero:   *minReps == 0,
+				GatewayDepth:  *gwDepth,
+				TargetP99TTFT: time.Duration(*sloP99 * float64(time.Second)),
+			}
+			if *fcRate > 0 {
+				ccfg.Autoscale.Forecast = &tokenflow.ForecastSpec{RatePerReplica: *fcRate}
 			}
 		}
 		cres, err := tokenflow.RunCluster(ccfg, w)
@@ -261,6 +282,14 @@ func main() {
 			if *prewarm {
 				fmt.Printf("KV pre-warm         %d pins shipped (%d tokens)\n",
 					cres.Prewarms, cres.PrewarmedTokens)
+			}
+			if *minReps == 0 {
+				fmt.Printf("scale-to-zero       %d arrivals buffered in the gateway, %d shed\n",
+					cres.GatewayBuffered, cres.GatewayShed)
+			}
+			if cres.ForecastSamples > 0 {
+				fmt.Printf("forecast            MAE %.2f req/s over %d scored forecasts\n",
+					cres.ForecastError, cres.ForecastSamples)
 			}
 			for _, ev := range cres.ScaleEvents {
 				fmt.Printf("  t=%7.2fs  replica %d  %s\n", ev.AtSeconds, ev.Replica, ev.Kind)

@@ -1,14 +1,18 @@
-// Autoscale: SLO-driven replica autoscaling with KV pre-warming. A
-// multi-turn session workload with periodic flash crowds is served three
-// ways: a fixed 1-replica pool (cheap but the spikes bury it), a fixed
-// 4-replica pool (fast but burns GPU-seconds all run long), and a
-// 1..4-replica autoscaled pool that grows on queue pressure and shrinks
-// when the crowd passes — paying a warm-up latency per scale-up,
-// optionally shortened in effect by pre-warming the new replica with the
-// hottest pinned session prefixes over the interconnect. The autoscaled
-// pool lands between the fixed pools on both axes: near-fixed-4 tail
-// latency at near-fixed-1 GPU cost, and pre-warming lifts the prefix hit
-// rate on the replicas that scaled in.
+// Autoscale: SLO-driven replica autoscaling with KV pre-warming, across
+// two policy generations. A multi-turn session workload with periodic
+// flash crowds is served by fixed pools (1 replica: cheap but buried;
+// 4 replicas: fast but burning GPU-seconds all run long) and by 1..4
+// autoscaled pools under four policies — reactive queue pressure,
+// kv-utilization, a PID-style slo-target controller on the windowed P99
+// TTFT, and a Holt-forecast predictive policy that pre-scales a warm-up
+// ahead of predicted demand. The autoscaled pools land between the fixed
+// pools on both axes, and pre-warming lifts the prefix hit rate on the
+// replicas that scaled in.
+//
+// The second half demonstrates scale-to-zero: with MinReplicas 0 the pool
+// goes fully dark between bursts, a gateway queue buffers the next
+// burst's arrivals while the first replica cold-starts, and the buffered
+// wait lands inside their TTFT.
 //
 //	go run ./examples/autoscale
 package main
@@ -16,6 +20,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/tokenflow"
 )
@@ -66,6 +71,22 @@ func main() {
 	row("autoscaled 1..4 cold", cold)
 	warm := run(4, auto(true))
 	row("autoscaled 1..4 warm", warm)
+	row("slo-target 2.5s", run(4, &tokenflow.AutoscaleSpec{
+		Policy:      tokenflow.AutoscaleSLOTarget,
+		MinReplicas: 1, MaxReplicas: 4,
+		WarmupSeconds: 5,
+		TargetP99TTFT: 2500 * time.Millisecond,
+		Prewarm:       true,
+	}))
+	pred := run(4, &tokenflow.AutoscaleSpec{
+		Policy:      tokenflow.AutoscalePredictive,
+		MinReplicas: 1, MaxReplicas: 4,
+		WarmupSeconds: 5,
+		Prewarm:       true,
+	})
+	row("predictive", pred)
+	fmt.Printf("\npredictive forecast: MAE %.2f req/s over %d scored forecasts\n",
+		pred.ForecastError, pred.ForecastSamples)
 
 	// The replica lifecycle the control loop drove: warm-ups when the
 	// flash crowds land, drains when they pass.
@@ -89,4 +110,39 @@ func main() {
 	}
 	fmt.Printf("\npost-scale-up prefix hit rate: %.1f%% cold vs %.1f%% pre-warmed\n",
 		100*hitRate(cold), 100*hitRate(warm))
+
+	// Scale-to-zero: two widely separated bursts; between them the pool
+	// goes fully dark and burns nothing. The second burst buffers in the
+	// gateway while replica 0 cold-starts — its queue time is inside TTFT.
+	var bursts tokenflow.Workload
+	for _, at := range []float64{0, 180} {
+		for i := 0; i < 12; i++ {
+			bursts = append(bursts, tokenflow.Request{
+				ArrivalSeconds: at, PromptTokens: 512, OutputTokens: 128, RatePerSec: 20,
+			})
+		}
+	}
+	zero, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+		Config:   cfg,
+		Replicas: 2,
+		Router:   tokenflow.RouterLeastQueue,
+		Autoscale: &tokenflow.AutoscaleSpec{
+			Policy:        tokenflow.AutoscaleSLOTarget,
+			ScaleToZero:   true,
+			WarmupSeconds: 5,
+		},
+	}, bursts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscale-to-zero, two bursts 180s apart (5s cold start):\n")
+	fmt.Printf("  %d/%d finished, %d buffered in the gateway, %d shed\n",
+		zero.Cluster.Finished, len(bursts), zero.GatewayBuffered, zero.GatewayShed)
+	fmt.Printf("  GPU-seconds %.0f vs %.0f for an always-on single replica\n",
+		zero.GPUSeconds, zero.Cluster.MakespanSec)
+	fmt.Printf("  p99 TTFT %.2fs (the ~5s cold start is inside it)\n",
+		zero.Cluster.P99TTFT.Seconds())
+	for _, ev := range zero.ScaleEvents {
+		fmt.Printf("  t=%7.2fs  replica %d  %s\n", ev.AtSeconds, ev.Replica, ev.Kind)
+	}
 }

@@ -23,7 +23,10 @@
 // flapping the replica set.
 package autoscale
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // State is a replica's position in the autoscaler lifecycle.
 type State int
@@ -70,6 +73,27 @@ type Signals struct {
 	// KVUtil is the used-page fraction pooled over active replicas
 	// (0 when none are active).
 	KVUtil float64
+
+	// P99TTFT is the windowed observed P99 time-to-first-token across the
+	// cluster at this tick (0 when no first token landed inside the
+	// observation window) — the feedback signal of the slo-target policy.
+	P99TTFT time.Duration
+
+	// Arrivals counts the requests that arrived since the previous control
+	// tick, gateway-buffered and shed arrivals included — the demand signal
+	// the predictive policy forecasts from.
+	Arrivals int
+
+	// Gateway is the number of arrivals currently buffered in the
+	// scale-to-zero gateway (0 unless the pool is at zero active replicas
+	// with requests waiting on a cold start).
+	Gateway int
+
+	// TickSeconds is the control-loop period and WarmupSeconds the
+	// scale-up latency — the lead time a predictive policy must forecast
+	// past so capacity lands when the demand does.
+	TickSeconds   float64
+	WarmupSeconds float64
 }
 
 // Provisioned counts the replicas that are, or are about to be, serving
@@ -121,10 +145,14 @@ type Policy interface {
 const (
 	NameQueuePressure = "queue-pressure"
 	NameKVUtilization = "kv-utilization"
+	NameSLOTarget     = "slo-target"
+	NamePredictive    = "predictive"
 )
 
 // Names lists the built-in policy names.
-func Names() []string { return []string{NameQueuePressure, NameKVUtilization} }
+func Names() []string {
+	return []string{NameQueuePressure, NameKVUtilization, NameSLOTarget, NamePredictive}
+}
 
 // ByName constructs a fresh policy instance by name with default tuning.
 func ByName(name string) (Policy, error) {
@@ -133,9 +161,36 @@ func ByName(name string) (Policy, error) {
 		return NewQueuePressure(QueuePressureConfig{}), nil
 	case NameKVUtilization:
 		return NewKVUtilization(KVUtilizationConfig{}), nil
+	case NameSLOTarget:
+		return NewSLOTarget(SLOTargetConfig{}), nil
+	case NamePredictive:
+		return NewPredictive(PredictiveConfig{}), nil
 	default:
 		return nil, fmt.Errorf("autoscale: unknown policy %q (have %v)", name, Names())
 	}
+}
+
+// Forecaster is implemented by policies that forecast demand; the cluster
+// surfaces the forecast error in its result so a study can tell whether a
+// predictive policy was actually predicting or just reacting late.
+type Forecaster interface {
+	// ForecastError reports the mean absolute error between the policy's
+	// arrival-rate forecasts and the rates actually observed (req/s), and
+	// the number of forecasts scored.
+	ForecastError() (mae float64, samples int)
+}
+
+// TTFTObserver marks policies that consume Signals.P99TTFT. The cluster
+// only maintains the windowed estimator (observer hooks plus a per-tick
+// sort) when the policy actually reads it.
+type TTFTObserver interface {
+	ObservesTTFT() bool
+}
+
+// ObservesTTFT reports whether the policy consumes the windowed P99 TTFT.
+func ObservesTTFT(p Policy) bool {
+	o, ok := p.(TTFTObserver)
+	return ok && o.ObservesTTFT()
 }
 
 // hysteresis is the shared flap damper: an action fires only after its
@@ -244,11 +299,17 @@ func (p *QueuePressure) Decide(s Signals) Decision {
 	wantUp := s.Pressure() >= p.cfg.UpPressure && s.Provisioned() < s.Max
 	// Shrinking is judged against the post-shrink pool: the remaining
 	// replicas must still sit below the scale-up band, or the pool would
-	// flap straight back up.
+	// flap straight back up. Shrinking to zero replicas (Min = 0) is only
+	// sane when nothing is outstanding — the gateway would buffer new
+	// arrivals, but in-band work must not be orphaned into a cold start.
 	wantDown := false
 	if s.Active > s.Min && s.Warming == 0 {
-		after := float64(s.Outstanding) / float64(s.Provisioned()-1)
-		wantDown = s.Pressure() <= p.cfg.DownPressure && after < p.cfg.UpPressure
+		if rest := s.Provisioned() - 1; rest > 0 {
+			after := float64(s.Outstanding) / float64(rest)
+			wantDown = s.Pressure() <= p.cfg.DownPressure && after < p.cfg.UpPressure
+		} else {
+			wantDown = s.Outstanding == 0
+		}
 	}
 	return p.h.decide(wantUp, wantDown)
 }
@@ -316,5 +377,19 @@ func (p *KVUtilization) Decide(s Signals) Decision {
 	wantUp := s.KVUtil >= p.cfg.HighUtil && s.Provisioned() < s.Max && s.Warming == 0
 	wantDown := s.Active > s.Min && s.Warming == 0 &&
 		s.KVUtil <= p.cfg.LowUtil && float64(s.Outstanding) <= float64(s.Active)
+	if s.Min == 0 && s.Warming == 0 && s.Active > 0 &&
+		s.Outstanding == 0 && s.Arrivals == 0 && s.Gateway == 0 {
+		// Scale-to-zero: a pool with no work anywhere is idle no matter
+		// what its pinned prefixes hold the utilization at — without this
+		// override warm pins (often > LowUtil) would keep an empty pool
+		// alive forever.
+		wantDown = true
+	}
+	if wantDown && s.Provisioned() == 1 && s.Outstanding > 0 {
+		// The last replica never drains with work in flight — in-band
+		// requests must not be orphaned into a cold start (Min = 0 only;
+		// with Min >= 1 Active > Min already implies a survivor).
+		wantDown = false
+	}
 	return p.h.decide(wantUp, wantDown)
 }

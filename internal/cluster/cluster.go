@@ -114,6 +114,22 @@ type AutoscaleConfig struct {
 	// Min).
 	Min, Max, Initial int
 
+	// ScaleToZero forces Min to 0 and fronts the cluster with a gateway
+	// queue: arrivals while no replica is active are buffered (bounded by
+	// GatewayDepth, excess shed), trigger a cold-start scale-up, and drain
+	// FIFO into the first replica that warms — with the whole buffered
+	// wait inside their TTFT.
+	ScaleToZero bool
+
+	// GatewayDepth bounds the scale-to-zero gateway buffer (default 512).
+	// Negative means zero capacity: every arrival at zero active replicas
+	// sheds, though each still triggers the cold start.
+	GatewayDepth int
+
+	// P99Window is the observation horizon of the windowed P99 TTFT fed
+	// to latency-driven policies (default metrics.DefaultTTFTWindow).
+	P99Window time.Duration
+
 	// Warmup is the latency a scale-up pays before the new replica
 	// accepts traffic — model load plus allocator init (default 8s).
 	Warmup time.Duration
@@ -133,7 +149,9 @@ type AutoscaleConfig struct {
 
 func (a *AutoscaleConfig) withDefaults(replicas int) *AutoscaleConfig {
 	out := *a
-	if out.Min == 0 {
+	if out.ScaleToZero {
+		out.Min = 0
+	} else if out.Min == 0 {
 		out.Min = 1
 	}
 	if out.Max == 0 {
@@ -142,8 +160,14 @@ func (a *AutoscaleConfig) withDefaults(replicas int) *AutoscaleConfig {
 	if out.Max < out.Min {
 		out.Max = out.Min
 	}
+	if out.Max < 1 {
+		out.Max = 1
+	}
 	if out.Initial == 0 {
 		out.Initial = out.Min
+	}
+	if out.GatewayDepth == 0 {
+		out.GatewayDepth = 512
 	}
 	if out.Warmup == 0 {
 		out.Warmup = 8 * time.Second
@@ -349,11 +373,40 @@ type Result struct {
 	DrainMigrations  int64
 	DrainDroppedPins int64
 
+	// Scale-to-zero gateway outcome (zero / empty unless ScaleToZero).
+	//
+	// GatewayBuffered counts arrivals held in the gateway while no replica
+	// was active; GatewayShed the arrivals dropped because the gateway was
+	// full (they never enter Requests). GatewaySeries samples the gateway
+	// depth at every control tick.
+	GatewayBuffered int64
+	GatewayShed     int64
+	GatewaySeries   []GatewayPoint
+
+	// ForecastError is the predictive policy's mean absolute arrival-rate
+	// forecast error in req/s over ForecastSamples scored forecasts (zero
+	// for non-forecasting policies).
+	ForecastError   float64
+	ForecastSamples int
+
+	// SimEnd is the final virtual-clock reading and InitialInService the
+	// replicas in service at t=0 — together with ScaleEvents they let the
+	// invariant suite integrate the replica-count trajectory exactly and
+	// compare it against GPUSeconds.
+	SimEnd           time.Duration
+	InitialInService int
+
 	// PerReplica lists each replica's stats in replica order.
 	PerReplica []ReplicaStats
 
 	// Requests holds every request across replicas, ordered by ID.
 	Requests []*request.Request
+}
+
+// GatewayPoint samples the scale-to-zero gateway depth at one control tick.
+type GatewayPoint struct {
+	At    simclock.Time
+	Depth int
 }
 
 // ScaleKind labels a lifecycle transition in the scale-event log.
@@ -426,6 +479,17 @@ type Cluster struct {
 	drainMigrations  int64
 	drainDroppedPins int64
 
+	// Scale-to-zero gateway (see gateway.go) and the windowed TTFT
+	// estimator feeding latency-driven policies. arrivalsThisTick counts
+	// arrivals between control ticks — the predictive policy's rate
+	// sample.
+	gateway          []*request.Request
+	gatewayBuffered  int64
+	gatewayShed      int64
+	gatewaySeries    []GatewayPoint
+	ttftWin          *metrics.TTFTWindow
+	arrivalsThisTick int
+
 	// svcMask records, per sampling tick, which replicas could hold load
 	// at that instant (active or draining) — the denominator of the
 	// per-tick imbalance series.
@@ -450,8 +514,8 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		switch {
 		case a.Policy == nil:
 			return nil, fmt.Errorf("cluster: autoscaling enabled with nil policy")
-		case a.Min < 1:
-			return nil, fmt.Errorf("cluster: autoscale min %d must be >= 1", a.Min)
+		case !a.ScaleToZero && a.Min < 1:
+			return nil, fmt.Errorf("cluster: autoscale min %d must be >= 1 (set ScaleToZero for min 0)", a.Min)
 		case a.Initial < a.Min || a.Initial > a.Max:
 			return nil, fmt.Errorf("cluster: autoscale initial %d outside [%d, %d]",
 				a.Initial, a.Min, a.Max)
@@ -480,6 +544,19 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		c.replicas = append(c.replicas, rep)
 		c.views = append(c.views, rep)
 	}
+	if cfg.Autoscale != nil && autoscale.ObservesTTFT(cfg.Autoscale.Policy) {
+		// The windowed TTFT estimator feeds latency-driven policies
+		// (slo-target); every replica's first tokens land in one window.
+		// Observation only — it adds no clock events, so the simulation
+		// itself is byte-unaffected. Policies that never read the signal
+		// skip the estimator (and its per-tick sort) entirely.
+		c.ttftWin = metrics.NewTTFTWindow(cfg.Autoscale.P99Window)
+		for _, rep := range c.replicas {
+			rep.eng.SetFirstTokenObserver(func(r *request.Request, t simclock.Time) {
+				c.ttftWin.Observe(t, t.Sub(r.Arrival))
+			})
+		}
+	}
 	return c, nil
 }
 
@@ -498,21 +575,33 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 	}
 
 	// Arrivals: the routing decision happens at the arrival instant, when
-	// the policy sees live replica state.
+	// the policy sees live replica state. Under scale-to-zero an arrival
+	// that finds no active replica goes through the gateway instead
+	// (gateway.go): buffered or shed, and always a cold-start trigger.
 	for i, it := range w.Items {
 		it := it
 		id := i
 		c.clock.At(it.Arrival, func(now simclock.Time) {
-			rep := c.route(id, it)
-			rep.routed++
-			r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
-			r.Session, r.Turn = it.Session, it.Turn
+			c.arrivalsThisTick++
 			if id == w.Len()-1 {
 				c.arrivalsDone = true
 				for _, rp := range c.replicas {
 					rp.eng.SetArrivalsDone()
 				}
 			}
+			if c.gatewayEnabled() && c.activeCount() == 0 {
+				// A draining replica is still warm; reactivating it beats
+				// buffering behind a cold start.
+				c.ensureColdStart(now)
+			}
+			if c.gatewayEnabled() && c.activeCount() == 0 {
+				c.gatewayAdmit(id, it, now)
+				return
+			}
+			rep := c.route(id, it)
+			rep.routed++
+			r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
+			r.Session, r.Turn = it.Session, it.Turn
 			if c.maybeMigrate(r, it, rep, now) {
 				return // Inject happens when the KV arrives.
 			}
@@ -540,7 +629,11 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 		var control func(now simclock.Time)
 		control = func(now simclock.Time) {
 			c.controlTick(now)
-			if !c.done() {
+			// A scale-to-zero pool keeps ticking until the policy has
+			// walked every replica back to Off: the run's cost accounting
+			// should include the idle tail the policy takes to decide the
+			// pool is dead, not stop at the last token.
+			if !c.done() || c.scaleToZeroPending() {
 				c.clock.After(c.cfg.Autoscale.ControlEvery, control)
 			}
 		}
@@ -582,8 +675,9 @@ func (c *Cluster) routable() []router.Replica {
 func (c *Cluster) route(id int, it trace.Item) *replica {
 	views := c.routable()
 	if len(views) == 0 {
-		// Min >= 1 and scale-down stops at Min, so an empty active set is
-		// a lifecycle bug, not a policy bug.
+		// Without scale-to-zero, Min >= 1 and scale-down stops at Min; with
+		// it, the gateway intercepts zero-active arrivals before routing.
+		// An empty active set here is a lifecycle bug, not a policy bug.
 		panic("cluster: no active replicas to route to")
 	}
 	if c.cfg.Autoscale != nil && len(views) < len(c.replicas) {
@@ -660,10 +754,11 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 }
 
 // done reports whether all arrivals were injected (including requests
-// waiting on an in-flight KV migration) and every replica drained its
-// share (a replica routed zero requests counts as drained).
+// waiting on an in-flight KV migration or buffered in the gateway) and
+// every replica drained its share (a replica routed zero requests counts
+// as drained).
 func (c *Cluster) done() bool {
-	if !c.arrivalsDone || c.migrationsInFlight > 0 {
+	if !c.arrivalsDone || c.migrationsInFlight > 0 || len(c.gateway) > 0 {
 		return false
 	}
 	for _, rep := range c.replicas {
@@ -749,6 +844,17 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.PrewarmedTokens = c.prewarmedTokens
 	res.DrainMigrations = c.drainMigrations
 	res.DrainDroppedPins = c.drainDroppedPins
+	res.GatewayBuffered = c.gatewayBuffered
+	res.GatewayShed = c.gatewayShed
+	res.GatewaySeries = c.gatewaySeries
+	res.SimEnd = time.Duration(c.clock.Now())
+	res.InitialInService = len(c.replicas)
+	if a := c.cfg.Autoscale; a != nil {
+		res.InitialInService = a.Initial
+		if f, ok := a.Policy.(autoscale.Forecaster); ok {
+			res.ForecastError, res.ForecastSamples = f.ForecastError()
+		}
+	}
 	return res
 }
 

@@ -1,0 +1,150 @@
+package cluster_test
+
+// Determinism regression: same seed + same spec must produce a deeply
+// identical Result across two runs, for a grid of specs covering
+// autoscale × topology × migration-policy. reflect.DeepEqual descends
+// every field — reports, per-request token timelines, fabric ledgers,
+// scale events — so any map-iteration or clock-ordering nondeterminism
+// anywhere in the stack shows up as a diff. CI additionally runs this
+// test under -race, which catches ordering bugs the single run hides.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// determinismGrid spans the policy generations, topologies, and migration
+// policies; each row is a fresh-config factory because policies and
+// clusters are stateful one-run objects.
+func determinismGrid() []struct {
+	name string
+	make func() (cluster.Config, cluster.BuildEngine)
+} {
+	topoFor := func(kind fabric.Kind, link, sw float64) *fabric.Spec {
+		return &fabric.Spec{Kind: kind, LinkGBps: link, SwitchGBps: sw}
+	}
+	return []struct {
+		name string
+		make func() (cluster.Config, cluster.BuildEngine)
+	}{
+		{"static-mesh-always", func() (cluster.Config, cluster.BuildEngine) {
+			return cluster.Config{
+				Replicas: 3, Policy: router.NewSessionAffinity(), Migrate: true,
+			}, buildTokenFlow()
+		}},
+		{"static-shared-nic-cost", func() (cluster.Config, cluster.BuildEngine) {
+			return cluster.Config{
+				Replicas: 3, Policy: router.NewSessionAffinity(), Migrate: true,
+				MigrationPolicy: cluster.MigrateCost,
+				Topology:        topoFor(fabric.SharedNIC, 1, 2),
+			}, buildHetero()
+		}},
+		{"queue-pressure-prewarm-mesh", func() (cluster.Config, cluster.BuildEngine) {
+			return cluster.Config{
+				Replicas: 3, Policy: router.NewSessionAffinity(), Migrate: true,
+				Autoscale: &cluster.AutoscaleConfig{
+					Policy:  autoscale.NewQueuePressure(autoscale.QueuePressureConfig{}),
+					Max:     3,
+					Warmup:  2 * time.Second,
+					Prewarm: true,
+				},
+			}, buildTokenFlow()
+		}},
+		{"slo-target-zero-shared-nic", func() (cluster.Config, cluster.BuildEngine) {
+			return cluster.Config{
+				Replicas: 3, Policy: router.NewLeastQueue(),
+				Topology: topoFor(fabric.SharedNIC, 2, 0),
+				Autoscale: &cluster.AutoscaleConfig{
+					Policy:      autoscale.NewSLOTarget(autoscale.SLOTargetConfig{}),
+					Max:         3,
+					Warmup:      2 * time.Second,
+					ScaleToZero: true,
+				},
+			}, buildTokenFlow()
+		}},
+		{"predictive-zero-cost-mesh", func() (cluster.Config, cluster.BuildEngine) {
+			return cluster.Config{
+				Replicas: 3, Policy: router.NewSessionAffinity(), Migrate: true,
+				MigrationPolicy: cluster.MigrateCost,
+				Autoscale: &cluster.AutoscaleConfig{
+					Policy:      autoscale.NewPredictive(autoscale.PredictiveConfig{}),
+					Max:         3,
+					Warmup:      3 * time.Second,
+					Prewarm:     true,
+					ScaleToZero: true,
+				},
+			}, buildTokenFlow()
+		}},
+	}
+}
+
+// TestDeterminismGrid runs every grid row twice and requires byte-level
+// equality of the full Result.
+func TestDeterminismGrid(t *testing.T) {
+	w := sessionWorkload(t)
+	for _, row := range determinismGrid() {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			run := func() *cluster.Result {
+				cfg, build := row.make()
+				cl, err := cluster.New(cfg, build)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := cl.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				// Narrow the diff for the report before failing.
+				switch {
+				case !reflect.DeepEqual(a.Report, b.Report):
+					t.Fatalf("reports differ:\n%+v\n%+v", a.Report, b.Report)
+				case !reflect.DeepEqual(a.ScaleEvents, b.ScaleEvents):
+					t.Fatalf("scale events differ:\n%+v\n%+v", a.ScaleEvents, b.ScaleEvents)
+				case !reflect.DeepEqual(a.TransferClasses, b.TransferClasses):
+					t.Fatalf("transfer ledgers differ:\n%+v\n%+v", a.TransferClasses, b.TransferClasses)
+				default:
+					t.Fatal("cluster results differ between identical runs")
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismRandomScenario re-runs one random scenario from an
+// identically seeded generator: generator and simulator must both be
+// deterministic for resume-from-seed debugging to work.
+func TestDeterminismRandomScenario(t *testing.T) {
+	run := func() (*cluster.Result, trace.Workload) {
+		sc := cluster.RandomScenario(rand.New(rand.NewSource(42)))
+		cl, err := cluster.New(sc.Config, sc.Build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(sc.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sc.Workload
+	}
+	a, wa := run()
+	b, wb := run()
+	if !reflect.DeepEqual(wa, wb) {
+		t.Fatal("random scenario generator is not deterministic per seed")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("random scenario runs differ between identical seeds")
+	}
+}

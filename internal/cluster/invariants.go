@@ -1,0 +1,167 @@
+package cluster
+
+// Cross-subsystem conservation laws. Four PRs of subsystems — cluster,
+// kvcache, autoscale, fabric — interact through shared ledgers on one
+// virtual clock; CheckInvariants cross-checks their joint accounting after
+// any run. It lives in the package proper (not a _test file) so both the
+// invariant test suite and the root benchmark smoke pass can call it on
+// arbitrary (including randomized) specs.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// CheckInvariants verifies the conservation laws that tie the subsystems
+// together on a finished run of a workload with wLen requests:
+//
+//  1. Fabric ledger ↔ kvcache accounting: per transfer class, the bytes
+//     the fabric booked equal the bytes the KV managers moved (sync,
+//     evict+pin drains, load, reload, and migrate+prewarm+drain against
+//     the staked migration bytes).
+//  2. Residency: no replica's pinned prefix pages ever exceeded its pool.
+//  3. GPU-seconds equal the exact integral of the in-service replica
+//     count reconstructed from the scale-event log.
+//  4. Every admitted request appears exactly once in the merged results;
+//     admitted plus shed covers the workload.
+//
+// It returns the first violated law as an error, nil when all hold.
+func CheckInvariants(res *Result, wLen int) error {
+	if err := checkTransferConservation(res); err != nil {
+		return err
+	}
+	if err := checkResidency(res); err != nil {
+		return err
+	}
+	if err := checkGPUSeconds(res); err != nil {
+		return err
+	}
+	return checkRequestConservation(res, wLen)
+}
+
+// checkTransferConservation ties the fabric's per-class byte ledger to the
+// KV managers' own byte counters.
+func checkTransferConservation(res *Result) error {
+	classes := map[fabric.Class]int64{}
+	for _, cs := range res.TransferClasses {
+		classes[cs.Class] = cs.Bytes
+	}
+	var synced, evicted, drained, loaded, reloaded, migratedOut int64
+	for _, rs := range res.PerReplica {
+		kv := rs.Result.KV
+		synced += kv.BytesSynced
+		evicted += kv.BytesEvicted
+		drained += kv.PrefixBytesDrained
+		loaded += kv.BytesLoaded
+		reloaded += kv.BytesReloaded
+		migratedOut += kv.MigratedOutBytes
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"sync", classes[fabric.ClassSync], synced},
+		{"evict", classes[fabric.ClassEvict], evicted + drained},
+		{"load", classes[fabric.ClassLoad], loaded},
+		{"reload", classes[fabric.ClassReload], reloaded},
+		{"migrate+prewarm+drain",
+			classes[fabric.ClassMigrate] + classes[fabric.ClassPrewarm] + classes[fabric.ClassDrain],
+			migratedOut},
+	}
+	for _, ck := range checks {
+		if ck.got != ck.want {
+			return fmt.Errorf("invariant: fabric %s class booked %d bytes, kvcache accounts %d",
+				ck.name, ck.got, ck.want)
+		}
+	}
+	return nil
+}
+
+// checkResidency verifies pinned prefixes never outgrew any pool.
+func checkResidency(res *Result) error {
+	for _, rs := range res.PerReplica {
+		kv := rs.Result.KV
+		if kv.PeakPinnedPages > kv.PoolPages {
+			return fmt.Errorf("invariant: replica %d peak pinned pages %d exceed pool %d",
+				rs.ID, kv.PeakPinnedPages, kv.PoolPages)
+		}
+		if kv.PinnedPages < 0 || kv.PinnedPages > kv.PeakPinnedPages {
+			return fmt.Errorf("invariant: replica %d pinned pages %d outside [0, peak %d]",
+				rs.ID, kv.PinnedPages, kv.PeakPinnedPages)
+		}
+	}
+	return nil
+}
+
+// checkGPUSeconds integrates the in-service replica count from the
+// scale-event log (off→warming is +1, draining→off is −1; activate,
+// reactivate, and drain do not change in-service membership) across
+// [0, SimEnd] and compares the integral against the reported GPU-seconds.
+// The integral is computed in exact virtual-time arithmetic; the float
+// comparison allows only conversion-level error.
+func checkGPUSeconds(res *Result) error {
+	inService := res.InitialInService
+	var last time.Duration
+	var integral time.Duration
+	for _, ev := range res.ScaleEvents {
+		at := time.Duration(ev.At)
+		if at < last {
+			return fmt.Errorf("invariant: scale event log out of order at %v after %v", at, last)
+		}
+		integral += time.Duration(inService) * (at - last)
+		last = at
+		switch ev.Kind {
+		case ScaleWarmup:
+			inService++
+		case ScaleOff:
+			inService--
+		}
+		if inService < 0 {
+			return fmt.Errorf("invariant: in-service replica count went negative at %v", at)
+		}
+	}
+	if res.SimEnd < last {
+		return fmt.Errorf("invariant: run ended at %v before last scale event %v", res.SimEnd, last)
+	}
+	integral += time.Duration(inService) * (res.SimEnd - last)
+	want := integral.Seconds()
+	if diff := res.GPUSeconds - want; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("invariant: GPU-seconds %.9f != replica-count integral %.9f",
+			res.GPUSeconds, want)
+	}
+	return nil
+}
+
+// checkRequestConservation verifies every admitted request appears exactly
+// once in the merged results and that admitted plus shed covers the
+// workload.
+func checkRequestConservation(res *Result, wLen int) error {
+	admitted := int64(wLen) - res.GatewayShed
+	if got := int64(len(res.Requests)); got != admitted {
+		return fmt.Errorf("invariant: %d requests in results, %d admitted (%d workload - %d shed)",
+			got, admitted, wLen, res.GatewayShed)
+	}
+	seen := make(map[int]bool, len(res.Requests))
+	for _, r := range res.Requests {
+		if seen[r.ID] {
+			return fmt.Errorf("invariant: request %d appears more than once in results", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	var perReplica int
+	for _, rs := range res.PerReplica {
+		perReplica += rs.Result.Report.N
+	}
+	if perReplica != len(res.Requests) {
+		return fmt.Errorf("invariant: per-replica request sum %d != merged %d",
+			perReplica, len(res.Requests))
+	}
+	if res.Report.N != len(res.Requests) {
+		return fmt.Errorf("invariant: cluster report covers %d requests, merged %d",
+			res.Report.N, len(res.Requests))
+	}
+	return nil
+}

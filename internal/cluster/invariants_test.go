@@ -1,0 +1,147 @@
+package cluster_test
+
+// The cross-subsystem invariant suite: after any run — every
+// experiment-shaped spec plus a seeded random sweep — the conservation
+// laws of CheckInvariants must hold: fabric bytes match kvcache bytes per
+// class, pins never outgrow pools, GPU-seconds equal the replica-count
+// integral, and every admitted request appears exactly once.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/router"
+)
+
+// experimentSpecs mirrors the shapes the experiment suite runs — static
+// scaling, heterogeneous migration, autoscaling with pre-warm, shared-NIC
+// fabric, cost-model migration, scale-to-zero with every policy
+// generation — as (name, Config, BuildEngine) rows over the shared
+// session workload.
+func experimentSpecs() []struct {
+	name  string
+	cfg   cluster.Config
+	build cluster.BuildEngine
+} {
+	asCfg := func(pol autoscale.Policy, scaleToZero, prewarm bool) *cluster.AutoscaleConfig {
+		return &cluster.AutoscaleConfig{
+			Policy:      pol,
+			Max:         3,
+			Warmup:      2 * time.Second,
+			Prewarm:     prewarm,
+			ScaleToZero: scaleToZero,
+		}
+	}
+	return []struct {
+		name  string
+		cfg   cluster.Config
+		build cluster.BuildEngine
+	}{
+		{"static-4x-affinity", cluster.Config{
+			Replicas: 4, Policy: router.NewSessionAffinity(),
+		}, buildTokenFlow()},
+		{"hetero-migrate", cluster.Config{
+			Replicas: 3, Policy: router.NewSessionAffinity(), Migrate: true,
+		}, buildHetero()},
+		{"hetero-migrate-cost-shared-nic", cluster.Config{
+			Replicas: 3, Policy: router.NewSessionAffinity(), Migrate: true,
+			MigrationPolicy: cluster.MigrateCost,
+			Topology:        &fabric.Spec{Kind: fabric.SharedNIC, LinkGBps: 1},
+		}, buildHetero()},
+		{"autoscale-queue-pressure-prewarm", cluster.Config{
+			Replicas: 3, Policy: router.NewSessionAffinity(),
+			Autoscale: asCfg(autoscale.NewQueuePressure(autoscale.QueuePressureConfig{}), false, true),
+		}, buildTokenFlow()},
+		{"autoscale-kv-utilization", cluster.Config{
+			Replicas: 3, Policy: router.NewLeastQueue(),
+			Autoscale: asCfg(autoscale.NewKVUtilization(autoscale.KVUtilizationConfig{}), false, false),
+		}, buildTokenFlow()},
+		{"autoscale-slo-target-scale-to-zero", cluster.Config{
+			Replicas: 3, Policy: router.NewSessionAffinity(),
+			Autoscale: asCfg(autoscale.NewSLOTarget(autoscale.SLOTargetConfig{}), true, true),
+		}, buildTokenFlow()},
+		{"autoscale-predictive-scale-to-zero", cluster.Config{
+			Replicas: 3, Policy: router.NewLeastQueue(),
+			Autoscale: asCfg(autoscale.NewPredictive(autoscale.PredictiveConfig{}), true, false),
+		}, buildTokenFlow()},
+		{"migrate-shared-nic-switch", cluster.Config{
+			Replicas: 4, Policy: router.NewSessionAffinity(), Migrate: true,
+			Topology: &fabric.Spec{Kind: fabric.SharedNIC, LinkGBps: 2, SwitchGBps: 4},
+		}, buildTokenFlow()},
+	}
+}
+
+// TestInvariantsOnExperimentSpecs runs the conservation laws over every
+// experiment-shaped spec.
+func TestInvariantsOnExperimentSpecs(t *testing.T) {
+	w := sessionWorkload(t)
+	for _, spec := range experimentSpecs() {
+		spec := spec
+		t.Run(spec.name, func(t *testing.T) {
+			cl, err := cluster.New(spec.cfg, spec.build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cl.Run(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TimedOut {
+				t.Fatal("run timed out")
+			}
+			if err := cluster.CheckInvariants(res, w.Len()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestInvariantsOnRandomSpecs sweeps seeded random scenarios through the
+// same laws — the testing/quick-style net under the whole configuration
+// space. A failure reproduces from the printed seed alone.
+func TestInvariantsOnRandomSpecs(t *testing.T) {
+	const scenarios = 24
+	for seed := int64(0); seed < scenarios; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			sc := cluster.RandomScenario(rand.New(rand.NewSource(seed)))
+			cl, err := cluster.New(sc.Config, sc.Build)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := cl.Run(sc.Workload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.TimedOut {
+				t.Fatalf("seed %d: run timed out", seed)
+			}
+			if err := cluster.CheckInvariants(res, sc.Workload.Len()); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestInvariantCatchesViolation sanity-checks the checker itself: a
+// corrupted result must fail, or the whole suite is vacuous.
+func TestInvariantCatchesViolation(t *testing.T) {
+	w := sessionWorkload(t)
+	res := runPolicy(t, 2, router.NewSessionAffinity(), w)
+	if err := cluster.CheckInvariants(res, w.Len()); err != nil {
+		t.Fatalf("clean run violates invariants: %v", err)
+	}
+	res.GPUSeconds += 1
+	if err := cluster.CheckInvariants(res, w.Len()); err == nil {
+		t.Error("corrupted GPU-seconds passed the invariant check")
+	}
+	res.GPUSeconds -= 1
+	res.Requests = res.Requests[1:]
+	if err := cluster.CheckInvariants(res, w.Len()); err == nil {
+		t.Error("dropped request passed the invariant check")
+	}
+}

@@ -34,6 +34,14 @@ func (c *Cluster) event(at simclock.Time, kind ScaleKind, replica int) {
 func (c *Cluster) controlTick(now simclock.Time) {
 	c.sweepDrained(now)
 	s := c.signals()
+	s.Arrivals = c.arrivalsThisTick
+	c.arrivalsThisTick = 0
+	s.Gateway = len(c.gateway)
+	s.TickSeconds = c.cfg.Autoscale.ControlEvery.Seconds()
+	s.WarmupSeconds = c.cfg.Autoscale.Warmup.Seconds()
+	if c.ttftWin != nil {
+		s.P99TTFT = c.ttftWin.Quantile(now, 0.99)
+	}
 	switch c.cfg.Autoscale.Policy.Decide(s) {
 	case autoscale.ScaleUp:
 		c.scaleUp(now)
@@ -52,6 +60,9 @@ func (c *Cluster) controlTick(now simclock.Time) {
 		}
 	}
 	c.replicaSeries = append(c.replicaSeries, point)
+	if c.gatewayEnabled() {
+		c.gatewaySeries = append(c.gatewaySeries, GatewayPoint{At: now, Depth: len(c.gateway)})
+	}
 }
 
 // signals assembles the per-tick cluster view the policy decides from.
@@ -87,6 +98,7 @@ func (c *Cluster) scaleUp(now simclock.Time) {
 		if rep.state == autoscale.Draining {
 			rep.state = autoscale.Active
 			c.event(now, ScaleReactivate, rep.id)
+			c.drainGateway(rep, now)
 			return
 		}
 	}
@@ -110,6 +122,7 @@ func (c *Cluster) scaleUp(now simclock.Time) {
 		if target.state == autoscale.Warming {
 			target.state = autoscale.Active
 			c.event(t, ScaleActivate, target.id)
+			c.drainGateway(target, t)
 		}
 	})
 }

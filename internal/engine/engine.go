@@ -235,6 +235,11 @@ type Engine struct {
 	inKick    bool
 	retryTick *simclock.Event
 
+	// onFirstToken, when set, observes every fresh request's first output
+	// token (the cluster feeds its windowed TTFT estimator from it). Pure
+	// observation: it must not schedule events or mutate engine state.
+	onFirstToken func(r *request.Request, now simclock.Time)
+
 	// Profiled estimates exposed to schedulers.
 	avgIter       time.Duration
 	avgPrefillTok time.Duration
@@ -470,6 +475,13 @@ func (e *Engine) tryHostReload(r *request.Request, now simclock.Time) bool {
 // SetArrivalsDone marks that no further arrivals will be injected, letting
 // the sampling loop terminate once all registered requests finish.
 func (e *Engine) SetArrivalsDone() { e.arrivalsDone = true }
+
+// SetFirstTokenObserver installs a callback fired when a request generates
+// its first output token (TTFT is measurable at that instant). The
+// autoscaling control loop uses it to maintain a windowed P99 TTFT.
+func (e *Engine) SetFirstTokenObserver(fn func(r *request.Request, now simclock.Time)) {
+	e.onFirstToken = fn
+}
 
 // MarkTimedOut records that the owning driver aborted the run at its
 // simulation-time deadline.

@@ -343,7 +343,11 @@ func (e *Engine) completePrefill(j *prefillJob, now simclock.Time) {
 	e.running = append(e.running, r)
 	e.track.Transition(r, request.StateRunning)
 	if !r.GenerationDone() {
+		first := r.Generated == 0
 		r.DeliverTokens(e.clock, now, 1)
+		if first && e.onFirstToken != nil {
+			e.onFirstToken(r, now)
+		}
 	}
 	if r.GenerationDone() {
 		e.finish(r, now)

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"hetero", ExpHetero},
 		{"autoscale", ExpAutoscale},
 		{"fabric", ExpFabric},
+		{"slo", ExpSLO},
 	}
 }
 

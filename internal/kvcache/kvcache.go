@@ -187,6 +187,7 @@ type Manager struct {
 	prefixPins, prefixEvictions, prefixAdopts int64
 	prefixBytesDrained                        int64
 	migratedInTokens, migratedOutTokens       int64
+	migratedOutBytes                          int64
 	migrationDrops                            int64
 	hostReloads, hostReloadTokens             int64
 	hostReloadDrops, bytesReloaded            int64

@@ -339,7 +339,12 @@ func (m *Manager) BeginMigrateOut(session int) (tokens int, bytes int64, ok bool
 		return 0, 0, false
 	}
 	p.migrating = true
-	return p.tokens, int64(p.pages) * m.PageBytes(), true
+	bytes = int64(p.pages) * m.PageBytes()
+	// The caller books exactly these bytes on the interconnect, so this
+	// counter is the kvcache-side mirror of the fabric's migrate, prewarm,
+	// and drain classes combined (the invariant suite cross-checks them).
+	m.migratedOutBytes += bytes
+	return p.tokens, bytes, true
 }
 
 // CompleteMigrateOut releases a migrated-out pin: its pages free (the

@@ -260,8 +260,17 @@ type Stats struct {
 	PrefixPins, PrefixEvictions, PrefixAdoptions int64
 	PrefixBytesDrained                           int64
 	MigratedInTokens, MigratedOutTokens          int64
-	MigrationDrops                               int64
-	PinnedPages, PeakPinnedPages                 int
+	// MigratedOutBytes is the wire size of every pin staked for migration
+	// out of this replica (routing migrations, pre-warm, drain hand-off) —
+	// the kvcache-side mirror of the fabric's interconnect classes.
+	MigratedOutBytes             int64
+	MigrationDrops               int64
+	PinnedPages, PeakPinnedPages int
+
+	// PoolPages is the device pool capacity — the ceiling no residency
+	// counter may ever cross (the invariant suite checks PeakPinnedPages
+	// against it).
+	PoolPages int
 
 	// Host-tier prefix cache counters (see hostcache.go). HostMirroredPages
 	// is the current host-memory footprint of evicted pins' mirrors — host
@@ -285,8 +294,10 @@ func (m *Manager) Stats() Stats {
 		PrefixPins: m.prefixPins, PrefixEvictions: m.prefixEvictions,
 		PrefixAdoptions: m.prefixAdopts, PrefixBytesDrained: m.prefixBytesDrained,
 		MigratedInTokens: m.migratedInTokens, MigratedOutTokens: m.migratedOutTokens,
-		MigrationDrops: m.migrationDrops,
-		PinnedPages:    m.pinnedPages, PeakPinnedPages: m.peakPinnedPages,
+		MigratedOutBytes: m.migratedOutBytes,
+		MigrationDrops:   m.migrationDrops,
+		PinnedPages:      m.pinnedPages, PeakPinnedPages: m.peakPinnedPages,
+		PoolPages:         m.cfg.GPUPages,
 		HostMirroredPages: m.hostMirroredPages,
 		HostReloads:       m.hostReloads, HostReloadTokens: m.hostReloadTokens,
 		HostReloadDrops: m.hostReloadDrops, BytesReloaded: m.bytesReloaded,

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/simclock"
@@ -27,6 +28,12 @@ type SessionConfig struct {
 	// spikes and spreads all starts uniformly.
 	SpikeEvery    simclock.Time
 	SpikeFraction float64
+
+	// RampUp draws non-spike session starts with density growing linearly
+	// over the window (few conversations early, many late) instead of
+	// uniformly — the warm-up-stalled regime predictive autoscaling
+	// targets: a forecastable trend rather than a level shift.
+	RampUp bool
 
 	// MinTurns and MaxTurns bound the uniform turns-per-session draw
 	// (defaults 3 and 8).
@@ -118,7 +125,13 @@ func Sessions(name string, cfg SessionConfig) Workload {
 		if i < nSpike {
 			starts[i] = spikeTimes[i%len(spikeTimes)]
 		} else {
-			starts[i] = rng.Float64() * cfg.Duration.Seconds()
+			u := rng.Float64()
+			if cfg.RampUp {
+				// Inverse-CDF of a linearly growing density: start times
+				// concentrate toward the end of the window.
+				u = math.Sqrt(u)
+			}
+			starts[i] = u * cfg.Duration.Seconds()
 		}
 	}
 

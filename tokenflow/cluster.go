@@ -2,6 +2,7 @@ package tokenflow
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
@@ -191,11 +192,34 @@ const (
 	// AutoscaleKVUtilization scales on pooled KV-page utilization — the
 	// earlier congestion signal for long-context session workloads.
 	AutoscaleKVUtilization AutoscalePolicy = "kv-utilization"
+	// AutoscaleSLOTarget closes a PID-style feedback loop on the windowed
+	// observed P99 TTFT, driving it toward TargetP99TTFT.
+	AutoscaleSLOTarget AutoscalePolicy = "slo-target"
+	// AutoscalePredictive forecasts the arrival rate (Holt level + trend)
+	// and pre-scales one warm-up latency ahead of predicted demand, hiding
+	// the warm-up stall a reactive policy pays after the queue has built.
+	AutoscalePredictive AutoscalePolicy = "predictive"
 )
 
 // AutoscalePolicies lists the autoscaling policies.
 func AutoscalePolicies() []AutoscalePolicy {
-	return []AutoscalePolicy{AutoscaleQueuePressure, AutoscaleKVUtilization}
+	return []AutoscalePolicy{AutoscaleQueuePressure, AutoscaleKVUtilization,
+		AutoscaleSLOTarget, AutoscalePredictive}
+}
+
+// ForecastSpec tunes the predictive policy's arrival-rate model. The zero
+// value selects the defaults noted per field.
+type ForecastSpec struct {
+	// Alpha and Beta are the Holt double-exponential smoothing gains for
+	// the rate level and trend (defaults 0.35 and 0.15).
+	Alpha, Beta float64
+	// RatePerReplica is the steady arrival rate in req/s one replica
+	// absorbs without queue growth (default 0.6, roughly one RTX-4090
+	// Llama3-8B replica on the session workloads) — the capacity model
+	// the forecast is divided by to size the pool.
+	RatePerReplica float64
+	// Headroom scales the forecast before sizing the pool (default 1.0).
+	Headroom float64
 }
 
 // AutoscaleSpec parameterizes SLO-driven replica autoscaling. The replica
@@ -211,6 +235,25 @@ type AutoscaleSpec struct {
 	// (defaults: 1 and the replica layout size). InitialReplicas is the
 	// active count at t=0 (default MinReplicas).
 	MinReplicas, MaxReplicas, InitialReplicas int
+
+	// ScaleToZero forces MinReplicas to 0 and fronts the cluster with a
+	// gateway queue: arrivals while no replica is active are buffered
+	// (bounded by GatewayDepth, excess shed and counted), trigger a
+	// cold-start scale-up at their own instant, and drain FIFO into the
+	// first replica that warms — queue time charged inside their TTFT.
+	ScaleToZero bool
+
+	// GatewayDepth bounds the scale-to-zero gateway buffer (default 512;
+	// negative means zero capacity — every zero-replica arrival sheds,
+	// though each still triggers the cold start).
+	GatewayDepth int
+
+	// TargetP99TTFT is the slo-target policy's latency goal (default 2s).
+	TargetP99TTFT time.Duration
+
+	// Forecast tunes the predictive policy's arrival-rate model; nil
+	// selects the defaults.
+	Forecast *ForecastSpec
 
 	// WarmupSeconds is the latency a scale-up pays before the new replica
 	// accepts traffic — model load plus allocator init (default 8;
@@ -252,6 +295,21 @@ func (s AutoscaleSpec) policy() (autoscale.Policy, error) {
 		return autoscale.NewKVUtilization(autoscale.KVUtilizationConfig{
 			HighUtil: s.KVUtilHigh,
 			LowUtil:  s.KVUtilLow,
+		}), nil
+	case AutoscaleSLOTarget:
+		return autoscale.NewSLOTarget(autoscale.SLOTargetConfig{
+			TargetP99: s.TargetP99TTFT,
+		}), nil
+	case AutoscalePredictive:
+		var f ForecastSpec
+		if s.Forecast != nil {
+			f = *s.Forecast
+		}
+		return autoscale.NewPredictive(autoscale.PredictiveConfig{
+			Alpha:          f.Alpha,
+			Beta:           f.Beta,
+			RatePerReplica: f.RatePerReplica,
+			Headroom:       f.Headroom,
 		}), nil
 	default:
 		return nil, fmt.Errorf("tokenflow: unknown autoscale policy %q (have %v)",
@@ -399,6 +457,29 @@ type ClusterResult struct {
 	PrewarmedTokens      int64
 	DrainMigrations      int64
 	DrainDroppedPins     int64
+
+	// Scale-to-zero gateway outcome (zero / empty without ScaleToZero).
+	//
+	// GatewayBuffered counts arrivals held while no replica was active;
+	// GatewayShed those dropped on a full gateway (they appear in no
+	// replica's results). GatewayDepthSeries samples the buffer depth per
+	// control tick.
+	GatewayBuffered    int64
+	GatewayShed        int64
+	GatewayDepthSeries []GatewaySample
+
+	// ForecastError is the predictive policy's mean absolute arrival-rate
+	// forecast error (req/s) over ForecastSamples scored forecasts; both
+	// zero for non-forecasting policies.
+	ForecastError   float64
+	ForecastSamples int
+}
+
+// GatewaySample is one control-tick sample of the scale-to-zero gateway
+// buffer depth.
+type GatewaySample struct {
+	AtSeconds float64
+	Depth     int
 }
 
 // TransferClassStats totals one transfer class's traffic across the
@@ -511,6 +592,8 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 			ControlEvery: simclock.Duration(spec.ControlEverySeconds),
 			Prewarm:      spec.Prewarm,
 			PrewarmTopK:  spec.PrewarmTopK,
+			ScaleToZero:  spec.ScaleToZero,
+			GatewayDepth: spec.GatewayDepth,
 		}
 	}
 	pol, err := router.ByName(string(cfg.Router))
@@ -581,6 +664,16 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		PrewarmedTokens:  res.PrewarmedTokens,
 		DrainMigrations:  res.DrainMigrations,
 		DrainDroppedPins: res.DrainDroppedPins,
+
+		GatewayBuffered: res.GatewayBuffered,
+		GatewayShed:     res.GatewayShed,
+		ForecastError:   res.ForecastError,
+		ForecastSamples: res.ForecastSamples,
+	}
+	for _, p := range res.GatewaySeries {
+		out.GatewayDepthSeries = append(out.GatewayDepthSeries, GatewaySample{
+			AtSeconds: p.At.Seconds(), Depth: p.Depth,
+		})
 	}
 	for _, p := range res.ImbalanceSeries {
 		out.ImbalanceSeries = append(out.ImbalanceSeries, ImbalanceSample{

@@ -401,6 +401,20 @@ func SessionSpikesWorkload(sessions int, durationSec, spikeEverySec float64, rat
 	return fromTrace(w)
 }
 
+// SessionRampWorkload is SessionWorkload with session-start density
+// growing linearly over the window — a forecastable demand trend (instead
+// of a level shift) that predictive autoscaling can pre-scale ahead of.
+func SessionRampWorkload(sessions int, durationSec, rate float64, seed int64) Workload {
+	w := trace.Sessions("session-ramp", trace.SessionConfig{
+		Sessions: sessions,
+		Duration: simclock.FromSeconds(durationSec),
+		RampUp:   true,
+		Rates:    trace.FixedRate(rate),
+		Seed:     seed,
+	})
+	return fromTrace(w)
+}
+
 func fromTrace(w trace.Workload) Workload {
 	out := make(Workload, 0, w.Len())
 	for _, it := range w.Items {
