@@ -6,18 +6,115 @@
 //	tokenflow-bench            # run everything, paper order
 //	tokenflow-bench fig16 tab02
 //	TOKENFLOW_SCALE=0.25 tokenflow-bench fig14
+//
+// -obs-profile runs the fixed observability reference scenario (an
+// autoscaling, migrating, host-cached cluster with the full flight
+// recorder on) and writes the simulator's self-profile as BENCH_obs.json
+// instead of the experiment tables; -obs-baseline compares it against a
+// committed baseline and exits non-zero when any phase's per-call average
+// regressed by more than 2x:
+//
+//	tokenflow-bench -obs-profile BENCH_obs.json -obs-baseline old.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/tokenflow"
 )
 
+// obsRegressionFactor is the CI gate: a phase whose per-call average
+// exceeds this multiple of the committed baseline fails the run.
+const obsRegressionFactor = 2.0
+
+// runObsProfile runs the observability reference scenario, writes its
+// BENCH_obs.json to path, and gates it against baseline when given.
+func runObsProfile(path, baseline string) error {
+	// A fixed, deterministic scenario that exercises every profiled phase:
+	// autoscaling (control ticks), serving (engine steps), and migration +
+	// pre-warm + host-cache traffic on a contended NIC (fabric settles).
+	w := tokenflow.SessionSpikesWorkload(200, 180, 60, 20, 7)
+	cfg := tokenflow.ClusterConfig{
+		Config: tokenflow.Config{
+			System:             tokenflow.SystemTokenFlow,
+			HostPrefixCache:    true,
+			SampleEverySeconds: 0.25,
+			Obs:                tokenflow.ObsSpec{Events: true, Series: true, Profile: true},
+		},
+		Replicas:        3,
+		Router:          tokenflow.RouterSessionAffinity,
+		Migrate:         true,
+		MigrationPolicy: tokenflow.MigrateCost,
+		Topology:        &tokenflow.TopologySpec{Kind: tokenflow.TopologySharedNIC, LinkGBps: 2},
+		Autoscale: &tokenflow.AutoscaleSpec{
+			Policy:        tokenflow.AutoscaleSLOTarget,
+			MaxReplicas:   3,
+			WarmupSeconds: 4,
+			Prewarm:       true,
+		},
+	}
+	res, err := tokenflow.RunCluster(cfg, w)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Obs.WriteProfileJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("obs profile: %d events, %d finished requests -> %s\n",
+		res.Obs.EventCount(), res.Cluster.Finished, path)
+	if baseline == "" {
+		return nil
+	}
+	curData, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cur, err := obs.ReadBenchReport(curData)
+	if err != nil {
+		return err
+	}
+	baseData, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	base, err := obs.ReadBenchReport(baseData)
+	if err != nil {
+		return err
+	}
+	if err := obs.CompareBench(cur, base, obsRegressionFactor); err != nil {
+		return err
+	}
+	fmt.Printf("obs profile: within %.1fx of baseline %s\n", obsRegressionFactor, baseline)
+	return nil
+}
+
 func main() {
-	ids := os.Args[1:]
+	obsProfile := flag.String("obs-profile", "",
+		"run the observability reference scenario and write BENCH_obs.json to `file` (skips the experiment tables)")
+	obsBaseline := flag.String("obs-baseline", "",
+		"compare -obs-profile output against this committed BENCH_obs.json; exit non-zero on >2x per-phase regression")
+	flag.Parse()
+	if *obsProfile != "" {
+		if err := runObsProfile(*obsProfile, *obsBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "obs profile: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	ids := flag.Args()
 	var exps []experiments.Experiment
 	if len(ids) == 0 {
 		exps = experiments.All()

@@ -42,12 +42,23 @@
 //	tokenflow-sim -replicas 4 -router session-affinity -migrate \
 //	    -topology shared-nic -link-gbps 1 -migration-policy cost -host-cache \
 //	    -workload session-spikes -n 300 -duration 240
+//
+// -trace-out records the request lifecycle and writes Chrome trace_event
+// JSON (open in Perfetto at ui.perfetto.dev), -series-out dumps per-tick
+// telemetry series as CSV, and -obs-profile writes the simulator's
+// self-profile in the BENCH_obs.json shape:
+//
+//	tokenflow-sim -replicas 3 -router session-affinity -migrate \
+//	    -trace-out trace.json -series-out series.csv -obs-profile bench.json \
+//	    -workload session-spikes -n 300 -duration 240
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -68,6 +79,7 @@ var flagGroups = []struct {
 	{"Transfer fabric / KV movement", []string{"topology", "link-gbps", "switch-gbps", "host-cache"}},
 	{"Autoscaling", []string{"autoscale", "min-replicas", "max-replicas", "warmup", "prewarm",
 		"slo-p99", "forecast-rate", "gateway-depth"}},
+	{"Observability", []string{"trace-out", "series-out", "obs-profile"}},
 }
 
 // groupedUsage prints the flag sections of flagGroups, then any flag the
@@ -172,6 +184,9 @@ func main() {
 		sloP99   = flag.Float64("slo-p99", 2, "slo-target policy: windowed P99 TTFT goal (s)")
 		fcRate   = flag.Float64("forecast-rate", 0, "predictive policy: arrival rate (req/s) one replica absorbs (0 = default 0.6)")
 		gwDepth  = flag.Int("gateway-depth", 0, "scale-to-zero gateway buffer bound (0 = default 512; negative = zero capacity, cold arrivals shed)")
+		traceOut = flag.String("trace-out", "", "record lifecycle events and write a Chrome trace_event JSON `file` (open in Perfetto); a .jsonl suffix writes the raw event log instead")
+		seriesOu = flag.String("series-out", "", "record per-tick telemetry series and write them as CSV to `file` (cluster mode)")
+		obsProf  = flag.String("obs-profile", "", "self-profile the simulator's phases and write BENCH_obs.json to `file`")
 	)
 	flag.Usage = groupedUsage
 	flag.Parse()
@@ -198,9 +213,20 @@ func main() {
 		Model:           *modelID,
 		MemFraction:     *memFrac,
 		HostPrefixCache: *hostCach,
+		Obs: tokenflow.ObsSpec{
+			Events:  *traceOut != "",
+			Series:  *seriesOu != "",
+			Profile: *obsProf != "",
+		},
+	}
+	if cfg.Obs.Series && cfg.SampleEverySeconds == 0 {
+		// Series ride the sampling loop; give it a tick when the user
+		// asked for series but never enabled sampling.
+		cfg.SampleEverySeconds = 0.25
 	}
 
 	var res *tokenflow.Result
+	var ocap *tokenflow.ObsCapture
 	// -host-cache routes through cluster mode even for one replica (a
 	// 1-replica round-robin cluster reproduces Run exactly) so the host
 	// prefix cache's reload/fallback stats are reported.
@@ -251,6 +277,7 @@ func main() {
 			log.Fatal(err)
 		}
 		res = cres.Cluster
+		ocap = cres.Obs
 		fmt.Printf("replicas            %d (router: %s)\n", len(cres.Replicas), cres.Router)
 		fmt.Printf("load imbalance      %.2fx peak/mean\n", cres.Imbalance)
 		fmt.Printf("prefix-cache hits   %d (%d tokens of prefill skipped)\n",
@@ -306,6 +333,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		ocap = res.Obs
 	}
 
 	fmt.Printf("system              %s\n", res.System)
@@ -318,4 +346,40 @@ func main() {
 		res.MeanTTFT.Seconds(), res.P50TTFT.Seconds(), res.P99TTFT.Seconds())
 	fmt.Printf("total rebuffer      %.2fs across %d requests\n", res.TotalRebuffer.Seconds(), res.Total)
 	fmt.Printf("preemptions         %d\n", res.Preemptions)
+
+	writeObs(ocap, *traceOut, *seriesOu, *obsProf)
+}
+
+// writeObs writes the observability exports the flags requested. All the
+// writers are nil-safe, so an export requested on a path that recorded
+// nothing (series on a single-device run) writes an empty document rather
+// than failing.
+func writeObs(ocap *tokenflow.ObsCapture, traceOut, seriesOut, profOut string) {
+	write := func(path string, fn func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if traceOut != "" {
+		fmt.Printf("events recorded     %d\n", ocap.EventCount())
+	}
+	if strings.HasSuffix(traceOut, ".jsonl") {
+		write(traceOut, ocap.WriteEventsJSONL)
+	} else {
+		write(traceOut, ocap.WriteTraceJSON)
+	}
+	write(seriesOut, ocap.WriteSeriesCSV)
+	write(profOut, ocap.WriteProfileJSON)
 }

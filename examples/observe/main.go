@@ -1,0 +1,177 @@
+// Observe: the flight recorder end to end. A session workload runs on a
+// heterogeneous pool behind session-affinity routing with cost-modelled
+// migration on a starved shared NIC — the configuration where the cost
+// model earns its keep by declining migrations the wire would lose. The
+// run records everything the observability layer offers: the lifecycle
+// event bus, the per-tick telemetry series, and the simulator's
+// self-profile, then exports all of it into ./observe-out/:
+//
+//	events.jsonl   one lifecycle event per line (machine-readable log)
+//	trace.json     Chrome trace_event JSON — open at ui.perfetto.dev
+//	series.csv     named telemetry series (queue depth, KV util, links)
+//	BENCH_obs.json the simulator's own per-phase wall-clock profile
+//
+// The example then replays the exported event log to walk one declined
+// migration end to end: the arrival that triggered the divert, the route
+// decision that steered the session off its pin holder, the cost model's
+// verdict (wire ETA vs recompute estimate), and how the request fared
+// afterwards — the exact workflow the JSONL export exists for.
+//
+//	go run ./examples/observe
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/tokenflow"
+)
+
+// event mirrors one line of events.jsonl.
+type event struct {
+	Seq     uint64  `json:"seq"`
+	TNs     int64   `json:"t_ns"`
+	Kind    string  `json:"kind"`
+	Replica int     `json:"replica"`
+	Request int     `json:"request"`
+	Session int     `json:"session"`
+	A       int64   `json:"a"`
+	B       int64   `json:"b"`
+	C       int64   `json:"c"`
+	F       float64 `json:"f"`
+	Label   string  `json:"label"`
+}
+
+func main() {
+	// 200 multi-turn conversations over 3 minutes with 60s flash crowds.
+	w := tokenflow.SessionSpikesWorkload(200, 180, 60, 20, 7)
+
+	res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+		Config: tokenflow.Config{
+			System: tokenflow.SystemTokenFlow,
+			Model:  "Llama3-8B",
+			// The full flight recorder, exported after the run.
+			Obs: tokenflow.ObsSpec{
+				Events:  true,
+				Series:  true,
+				Profile: true,
+				Out:     "observe-out",
+			},
+			SampleEverySeconds: 0.25,
+		},
+		// 1 big + 2 small replicas: affinity routing overflows the small
+		// ones under the spikes, so sessions get diverted off their pins.
+		ReplicaSpecs: []tokenflow.ReplicaSpec{
+			{GPU: "H200", Count: 1, MemFraction: 0.3},
+			{GPU: "RTX-4090", Count: 2, MemFraction: 0.75},
+		},
+		Router:          tokenflow.RouterSessionAffinity,
+		Migrate:         true,
+		MigrationPolicy: tokenflow.MigrateCost,
+		// One 1 GB/s NIC per replica: a queued prefix transfer often loses
+		// to recomputing the prefix on the target, so the cost model
+		// declines — those declines are what we trace below.
+		Topology: &tokenflow.TopologySpec{
+			Kind:     tokenflow.TopologySharedNIC,
+			LinkGBps: 1,
+		},
+	}, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run: %d requests, p99 TTFT %.2fs, %d migrations, %d declined by the cost model\n",
+		res.Cluster.Total, res.Cluster.P99TTFT.Seconds(),
+		res.Migrations, res.MigrationsDeclined)
+	fmt.Printf("recorded %d lifecycle events -> observe-out/ "+
+		"(open trace.json at ui.perfetto.dev)\n\n", res.Obs.EventCount())
+
+	// Replay the export: find the first declined migration and walk its
+	// session's lifecycle around the verdict.
+	events, err := readEvents(filepath.Join("observe-out", "events.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var decline *event
+	for i := range events {
+		if events[i].Kind == "migrate-decline" {
+			decline = &events[i]
+			break
+		}
+	}
+	if decline == nil {
+		fmt.Println("no migration was declined on this run")
+		return
+	}
+
+	fmt.Printf("one declined migration, end to end (session %d):\n", decline.Session)
+	shown := 0
+	for _, e := range events {
+		if e.Session != decline.Session || e.Kind == "decode" {
+			continue
+		}
+		t := float64(e.TNs) / 1e9
+		switch e.Kind {
+		case "arrival":
+			fmt.Printf("  t=%7.3fs  request %d arrives (%d prompt, %d output tokens)\n",
+				t, e.Request, e.A, e.B)
+		case "route":
+			fmt.Printf("  t=%7.3fs  %s routes request %d -> replica %d (score %.1f)\n",
+				t, e.Label, e.Request, e.Replica, e.F)
+		case "queue":
+			hit := "cold"
+			if e.A > 0 {
+				hit = fmt.Sprintf("%d cached prefix tokens", e.A)
+			}
+			fmt.Printf("  t=%7.3fs  request %d queued on replica %d (%s)\n",
+				t, e.Request, e.Replica, hit)
+		case "migrate-decline":
+			fmt.Printf("  t=%7.3fs  cost model DECLINES migrating %.0f prefix tokens "+
+				"replica %d -> %d: wire ETA %.3fs vs recompute %.3fs\n",
+				t, e.F, e.Replica, e.A, float64(e.B)/1e9, float64(e.C)/1e9)
+		case "migrate-accept":
+			fmt.Printf("  t=%7.3fs  migration committed: replica %d -> %d (%d tokens, %d bytes)\n",
+				t, e.Replica, e.A, e.B, e.C)
+		case "kv-pin":
+			fmt.Printf("  t=%7.3fs  replica %d pins the session prefix (%d tokens, %d pages)\n",
+				t, e.Replica, e.A, e.B)
+		case "first-token":
+			fmt.Printf("  t=%7.3fs  request %d first token on replica %d\n",
+				t, e.Request, e.Replica)
+		case "complete":
+			fmt.Printf("  t=%7.3fs  request %d completes (%d tokens generated)\n",
+				t, e.Request, e.A)
+		default:
+			fmt.Printf("  t=%7.3fs  %s (replica %d, request %d)\n",
+				t, e.Kind, e.Replica, e.Request)
+		}
+		if shown++; shown >= 24 {
+			fmt.Println("  ... (session continues; see observe-out/events.jsonl)")
+			break
+		}
+	}
+}
+
+// readEvents parses an events.jsonl export.
+func readEvents(path string) ([]event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

@@ -96,6 +96,25 @@ type Signals struct {
 	WarmupSeconds float64
 }
 
+// SignalNames lists the telemetry-series names for the signal vector, in
+// the order Vector emits them. The flight recorder charts one series per
+// name under "autoscale/" every control tick, so a scale decision in the
+// event log can be read against the exact signals that caused it.
+var SignalNames = [...]string{
+	"active", "warming", "draining", "outstanding",
+	"kv_util", "p99_ttft_s", "arrivals", "gateway",
+}
+
+// Vector flattens the signals into the SignalNames order for telemetry
+// recording. Durations convert to seconds.
+func (s Signals) Vector() [len(SignalNames)]float64 {
+	return [...]float64{
+		float64(s.Active), float64(s.Warming), float64(s.Draining),
+		float64(s.Outstanding), s.KVUtil, s.P99TTFT.Seconds(),
+		float64(s.Arrivals), float64(s.Gateway),
+	}
+}
+
 // Provisioned counts the replicas that are, or are about to be, serving
 // capacity: active plus warming. Policies normalize pressure by it so a
 // warm-up in flight already counts as an answer to the current load.

@@ -49,6 +49,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/request"
 	"repro/internal/router"
 	"repro/internal/simclock"
@@ -101,6 +102,14 @@ type Config struct {
 	// interconnect mesh is always built under autoscaling (pre-warm and
 	// drain hand-off use it) even when Migrate is off.
 	Autoscale *AutoscaleConfig
+
+	// Obs selects the flight-recorder layers (internal/obs): lifecycle
+	// events, per-tick telemetry series, phase self-profiling. The zero
+	// value disables everything and the run is byte-identical to a cluster
+	// without the recorder. Series sampling rides the SampleEvery loop (per
+	// replica) and the control loop (autoscale signals), so series stay
+	// empty unless those loops run.
+	Obs obs.Options
 }
 
 // AutoscaleConfig parameterizes the cluster's dynamic replica lifecycle.
@@ -389,6 +398,12 @@ type Result struct {
 	ForecastError   float64
 	ForecastSamples int
 
+	// Obs is the run's flight-recorder capture: lifecycle events, telemetry
+	// series, and phase timings, per Config.Obs. Nil when every layer was
+	// off. The capture is observation only — nilling this field yields a
+	// Result deep-equal to the same run without the recorder.
+	Obs *obs.Capture
+
 	// SimEnd is the final virtual-clock reading and InitialInService the
 	// replicas in service at t=0 — together with ScaleEvents they let the
 	// invariant suite integrate the replica-count trajectory exactly and
@@ -494,6 +509,19 @@ type Cluster struct {
 	// at that instant (active or draining) — the denominator of the
 	// per-tick imbalance series.
 	svcMask [][]bool
+
+	// Flight recorder (see observe.go). obsCap is nil when Config.Obs is
+	// all-off; rec/reg/prof are its nil-safe layers, cached so every
+	// emission site is one nil-guarded call. The name slices precompute
+	// per-replica and per-link series names, so per-tick recording builds
+	// no strings.
+	obsCap      *obs.Capture
+	rec         *obs.Recorder
+	reg         *obs.Registry
+	prof        *obs.Profiler
+	repSeries   []replicaSeriesNames
+	linkBusy    []string
+	linkBacklog []string
 }
 
 // New builds a cluster of cfg.Replicas engines on one shared clock (with
@@ -532,11 +560,17 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, clock: simclock.New(), fab: fabric.NewScheduler(topo)}
+	c.obsCap = obs.NewCapture(cfg.Obs)
+	c.rec, c.reg, c.prof = c.obsCap.Recorder(), c.obsCap.Reg(), c.obsCap.Prof()
+	c.fab.SetObs(c.rec, c.prof)
 	for i := 0; i < cfg.Replicas; i++ {
 		eng, err := build(i, c.clock, c.fab.Endpoint(i))
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
+		// Installed after build so every builder — experiments, tests,
+		// random scenarios — records without opting in.
+		eng.SetObs(c.rec, c.prof, i)
 		rep := &replica{id: i, eng: eng, state: autoscale.Active}
 		if cfg.Autoscale != nil && i >= cfg.Autoscale.Initial {
 			rep.state = autoscale.Off
@@ -557,6 +591,7 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 			})
 		}
 	}
+	c.initObsSeries()
 	return c, nil
 }
 
@@ -583,6 +618,8 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 		id := i
 		c.clock.At(it.Arrival, func(now simclock.Time) {
 			c.arrivalsThisTick++
+			c.rec.Emit(now, obs.KindArrival, -1, id, it.Session,
+				int64(it.PromptLen), int64(it.OutputLen), int64(it.Turn), 0, "")
 			if id == w.Len()-1 {
 				c.arrivalsDone = true
 				for _, rp := range c.replicas {
@@ -618,6 +655,9 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 				mask[i] = rep.state == autoscale.Active || rep.state == autoscale.Draining
 			}
 			c.svcMask = append(c.svcMask, mask)
+			if c.reg != nil && c.reg.Tick() {
+				c.recordSampleSeries(now)
+			}
 			if !c.done() {
 				c.clock.After(c.cfg.SampleEvery, sample)
 			}
@@ -689,18 +729,31 @@ func (c *Cluster) route(id int, it trace.Item) *replica {
 			}
 		}
 	}
-	pick := c.cfg.Policy.Pick(router.Request{
+	rr := router.Request{
 		ID:        id,
 		Session:   it.Session,
 		Turn:      it.Turn,
 		PromptLen: it.PromptLen,
 		OutputLen: it.OutputLen,
-	}, views)
+	}
+	pick := c.cfg.Policy.Pick(rr, views)
 	if pick < 0 || pick >= len(views) {
 		panic(fmt.Sprintf("cluster: policy %s picked replica %d of %d",
 			c.cfg.Policy.Name(), pick, len(views)))
 	}
-	return views[pick].(*replica)
+	rep := views[pick].(*replica)
+	if c.rec != nil {
+		// The policy's figure of merit for the winner rides the event, so a
+		// trace explains the pick. Scoring is read-only (router.Scorer
+		// contract), so recording cannot change the route.
+		score := 0.0
+		if sc, ok := c.cfg.Policy.(router.Scorer); ok {
+			score = sc.Score(rr, views[pick])
+		}
+		c.rec.Emit(c.clock.Now(), obs.KindRouteDecision, rep.id, id, it.Session,
+			int64(len(views)), 0, 0, score, c.cfg.Policy.Name())
+	}
+	return rep
 }
 
 // maybeMigrate ships a session's pinned prefix KV to the routed replica
@@ -740,8 +793,12 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 		eta := c.fab.ETABetween(donor, target.id, now, bytes)
 		// Migrating saves the target from prefilling the donor's prefix
 		// beyond what it already caches.
-		if eta >= target.eng.EstimatePrefill(best-targetOwn) {
+		recompute := target.eng.EstimatePrefill(best - targetOwn)
+		if eta >= recompute {
 			c.migrationsDeclined++
+			c.rec.Emit(now, obs.KindMigrateDecline, donor, r.ID, it.Session,
+				int64(target.id), int64(eta), int64(recompute),
+				float64(best-targetOwn), "")
 			return false
 		}
 	}
@@ -847,6 +904,7 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.GatewayBuffered = c.gatewayBuffered
 	res.GatewayShed = c.gatewayShed
 	res.GatewaySeries = c.gatewaySeries
+	res.Obs = c.obsCap
 	res.SimEnd = time.Duration(c.clock.Now())
 	res.InitialInService = len(c.replicas)
 	if a := c.cfg.Autoscale; a != nil {

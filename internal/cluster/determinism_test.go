@@ -9,6 +9,7 @@ package cluster_test
 // test under -race, which catches ordering bugs the single run hides.
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/trace"
 )
@@ -118,6 +120,66 @@ func TestDeterminismGrid(t *testing.T) {
 				default:
 					t.Fatal("cluster results differ between identical runs")
 				}
+			}
+		})
+	}
+}
+
+// TestObsPurityGrid proves the flight recorder is pure observation across
+// the same autoscale × topology × migration grid: a fully instrumented run
+// (events + series + profiling) must yield a Result deep-equal to the
+// uninstrumented run once the capture itself is set aside, and the
+// recorded event log must export byte-identically across repeated runs
+// (the same-instant tie-break of the event ordering). CI also runs this
+// under -race.
+func TestObsPurityGrid(t *testing.T) {
+	w := sessionWorkload(t)
+	for _, row := range determinismGrid() {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			run := func(o obs.Options) *cluster.Result {
+				cfg, build := row.make()
+				// Sampling on for both runs so the series layer records;
+				// identical across runs, so it cannot mask an obs effect.
+				cfg.SampleEvery = 250 * time.Millisecond
+				cfg.Obs = o
+				cl, err := cluster.New(cfg, build)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := cl.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			full := obs.Options{Events: true, Series: true, Profile: true, SampleEvery: 2}
+			off, on, on2 := run(obs.Options{}), run(full), run(full)
+			if off.Obs != nil {
+				t.Fatal("obs-off run produced a capture")
+			}
+			if on.Obs == nil || on.Obs.Events.Len() == 0 {
+				t.Fatal("instrumented run recorded no events")
+			}
+			if len(on.Obs.Series.All()) == 0 {
+				t.Fatal("instrumented run recorded no series")
+			}
+			var j1, j2 bytes.Buffer
+			if err := on.Obs.Events.WriteJSONL(&j1); err != nil {
+				t.Fatal(err)
+			}
+			if err := on2.Obs.Events.WriteJSONL(&j2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Fatal("event JSONL is not byte-stable across identical runs")
+			}
+			on.Obs, on2.Obs = nil, nil
+			if !reflect.DeepEqual(off, on) {
+				t.Fatal("instrumented run diverged from uninstrumented run")
+			}
+			if !reflect.DeepEqual(on, on2) {
+				t.Fatal("repeated instrumented runs diverged")
 			}
 		})
 	}

@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"repro/internal/autoscale"
+	"repro/internal/obs"
 	"repro/internal/request"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -78,12 +79,16 @@ func (c *Cluster) ensureColdStart(now simclock.Time) {
 func (c *Cluster) gatewayAdmit(id int, it trace.Item, now simclock.Time) {
 	if len(c.gateway) >= c.gatewayCap() {
 		c.gatewayShed++
+		c.rec.Emit(now, obs.KindGatewayShed, -1, id, it.Session,
+			int64(it.PromptLen), int64(it.OutputLen), 0, 0, "")
 		return
 	}
 	r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
 	r.Session, r.Turn = it.Session, it.Turn
 	c.gateway = append(c.gateway, r)
 	c.gatewayBuffered++
+	c.rec.Emit(now, obs.KindGatewayBuffer, -1, id, it.Session,
+		int64(len(c.gateway)), 0, 0, 0, "")
 	for _, rep := range c.replicas {
 		if rep.state == autoscale.Warming {
 			// Demand the cold start has answered but cannot serve yet.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 )
 
 // CheckInvariants verifies the conservation laws that tie the subsystems
@@ -26,6 +27,12 @@ import (
 //     count reconstructed from the scale-event log.
 //  4. Every admitted request appears exactly once in the merged results;
 //     admitted plus shed covers the workload.
+//  5. When the run recorded lifecycle events (Config.Obs.Events), the
+//     summed event counts reconcile with the aggregate counters: arrivals
+//     cover the workload, completions match the finished population,
+//     sheds/migrations/declines/pre-warms/drain hand-offs match their
+//     Result counters. A flight recorder that disagreed with the ledgers
+//     it observes would be worse than none.
 //
 // It returns the first violated law as an error, nil when all hold.
 func CheckInvariants(res *Result, wLen int) error {
@@ -38,7 +45,55 @@ func CheckInvariants(res *Result, wLen int) error {
 	if err := checkGPUSeconds(res); err != nil {
 		return err
 	}
-	return checkRequestConservation(res, wLen)
+	if err := checkRequestConservation(res, wLen); err != nil {
+		return err
+	}
+	return checkEventReconciliation(res, wLen)
+}
+
+// checkEventReconciliation sums the recorded lifecycle events and compares
+// them against the Result's aggregate counters. A no-op when the run kept
+// no event recorder.
+func checkEventReconciliation(res *Result, wLen int) error {
+	if res.Obs == nil || res.Obs.Events == nil {
+		return nil
+	}
+	rec := res.Obs.Events
+	checks := []struct {
+		name string
+		kind obs.Kind
+		want int64
+	}{
+		{"arrival", obs.KindArrival, int64(wLen)},
+		{"gateway-shed", obs.KindGatewayShed, res.GatewayShed},
+		{"gateway-buffer", obs.KindGatewayBuffer, res.GatewayBuffered},
+		{"migrate-accept", obs.KindMigrateAccept, res.Migrations},
+		{"migrate-decline", obs.KindMigrateDecline, res.MigrationsDeclined},
+		{"prewarm", obs.KindPrewarm, res.Prewarms},
+		{"drain", obs.KindDrain, res.DrainMigrations},
+	}
+	for _, ck := range checks {
+		if got := int64(rec.CountKind(ck.kind)); got != ck.want {
+			return fmt.Errorf("invariant: %d %s events recorded, aggregates say %d",
+				got, ck.name, ck.want)
+		}
+	}
+	// Every admitted request must have been routed (directly or out of the
+	// gateway) and, on a run that finished, completed exactly once. A timed-
+	// out run legitimately leaves requests mid-flight.
+	admitted := int64(wLen) - res.GatewayShed
+	routed := int64(rec.CountKind(obs.KindRouteDecision)) + res.GatewayBuffered
+	if routed != admitted {
+		return fmt.Errorf("invariant: %d route events + %d gateway-buffered != %d admitted",
+			routed-res.GatewayBuffered, res.GatewayBuffered, admitted)
+	}
+	if !res.TimedOut {
+		if got := int64(rec.CountKind(obs.KindComplete)); got != admitted {
+			return fmt.Errorf("invariant: %d complete events recorded, %d requests admitted",
+				got, admitted)
+		}
+	}
+	return nil
 }
 
 // checkTransferConservation ties the fabric's per-class byte ledger to the

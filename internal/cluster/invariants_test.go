@@ -14,6 +14,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -82,6 +83,8 @@ func TestInvariantsOnExperimentSpecs(t *testing.T) {
 	for _, spec := range experimentSpecs() {
 		spec := spec
 		t.Run(spec.name, func(t *testing.T) {
+			// Events on: the suite also checks law 5, event reconciliation.
+			spec.cfg.Obs = obs.Options{Events: true}
 			cl, err := cluster.New(spec.cfg, spec.build)
 			if err != nil {
 				t.Fatal(err)
@@ -109,6 +112,7 @@ func TestInvariantsOnRandomSpecs(t *testing.T) {
 		seed := seed
 		t.Run("", func(t *testing.T) {
 			sc := cluster.RandomScenario(rand.New(rand.NewSource(seed)))
+			sc.Config.Obs = obs.Options{Events: true}
 			cl, err := cluster.New(sc.Config, sc.Build)
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)

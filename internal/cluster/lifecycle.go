@@ -22,6 +22,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/fabric"
 	"repro/internal/kvcache"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -32,6 +33,8 @@ func (c *Cluster) event(at simclock.Time, kind ScaleKind, replica int) {
 
 // controlTick is one pass of the autoscaler control loop.
 func (c *Cluster) controlTick(now simclock.Time) {
+	t0 := c.prof.Begin()
+	defer c.prof.End(obs.PhaseControlTick, t0)
 	c.sweepDrained(now)
 	s := c.signals()
 	s.Arrivals = c.arrivalsThisTick
@@ -42,7 +45,16 @@ func (c *Cluster) controlTick(now simclock.Time) {
 	if c.ttftWin != nil {
 		s.P99TTFT = c.ttftWin.Quantile(now, 0.99)
 	}
-	switch c.cfg.Autoscale.Policy.Decide(s) {
+	c.recordControlSeries(now, s)
+	d := c.cfg.Autoscale.Policy.Decide(s)
+	if d != autoscale.Hold {
+		// The decision event carries the headline signals that caused it
+		// (the full vector is in the control series at the same instant).
+		c.rec.Emit(now, obs.KindScaleDecision, -1, -1, 0,
+			int64(s.Outstanding), int64(s.Gateway), int64(s.P99TTFT),
+			s.KVUtil, d.String())
+	}
+	switch d {
 	case autoscale.ScaleUp:
 		c.scaleUp(now)
 	case autoscale.ScaleDown:
@@ -243,6 +255,15 @@ func (c *Cluster) migratePin(donor, target *replica, session int, class fabric.C
 	if !ok {
 		return false
 	}
+	kind := obs.KindMigrateAccept
+	switch class {
+	case fabric.ClassPrewarm:
+		kind = obs.KindPrewarm
+	case fabric.ClassDrain:
+		kind = obs.KindDrain
+	}
+	c.rec.Emit(now, kind, donor.id, -1, session,
+		int64(target.id), int64(tokens), bytes, 0, "")
 	*count++
 	if tokenCount != nil {
 		*tokenCount += int64(tokens)

@@ -1,0 +1,104 @@
+package cluster
+
+// Flight-recorder telemetry series (the registry half of Config.Obs; the
+// event half is emitted inline at each lifecycle site). Per-replica series
+// sample on the SampleEvery loop, thinned by the registry's stride;
+// autoscale-signal series sample on the control loop, one point per tick.
+// Everything here is pure observation: recording reads engine and fabric
+// state through the same accessors routing uses and never schedules clock
+// events, so an instrumented run's Result is deep-equal to an
+// uninstrumented one.
+
+import (
+	"strconv"
+
+	"repro/internal/autoscale"
+	"repro/internal/simclock"
+)
+
+// replicaSeriesNames holds one replica's precomputed series names, so
+// per-tick recording does no string building.
+type replicaSeriesNames struct {
+	queue  string // replica<i>/queue_depth: outstanding (queued+running)
+	kvUtil string // replica<i>/kv_util: used device-pool page fraction
+	mirror string // replica<i>/host_mirror_bytes: host-tier mirror footprint
+}
+
+// Series names that are not per-replica or per-link.
+const (
+	seriesActiveReplicas = "cluster/active_replicas"
+	seriesGatewayDepth   = "gateway/depth"
+)
+
+// autoscaleSeriesNames maps the autoscale signal vector onto registry
+// names, in autoscale.SignalNames order.
+var autoscaleSeriesNames = func() [len(autoscale.SignalNames)]string {
+	var out [len(autoscale.SignalNames)]string
+	for i, n := range autoscale.SignalNames {
+		out[i] = "autoscale/" + n
+	}
+	return out
+}()
+
+// initObsSeries precomputes series names. Link names come from the
+// topology the fabric already built, so the series track exactly the links
+// the run books on.
+func (c *Cluster) initObsSeries() {
+	if c.reg == nil {
+		return
+	}
+	for _, rep := range c.replicas {
+		id := strconv.Itoa(rep.id)
+		c.repSeries = append(c.repSeries, replicaSeriesNames{
+			queue:  "replica" + id + "/queue_depth",
+			kvUtil: "replica" + id + "/kv_util",
+			mirror: "replica" + id + "/host_mirror_bytes",
+		})
+	}
+	for _, snap := range c.fab.LinkSnapshots(0) {
+		c.linkBusy = append(c.linkBusy, "link/"+snap.Name+"/busy_s")
+		c.linkBacklog = append(c.linkBacklog, "link/"+snap.Name+"/backlog_s")
+	}
+}
+
+// recordSampleSeries records one point of every sampling-loop series: per
+// replica the queue depth, device KV utilization, and host-mirror bytes;
+// per fabric link the cumulative busy seconds and instantaneous backlog;
+// and the active-replica count.
+func (c *Cluster) recordSampleSeries(now simclock.Time) {
+	for i, rep := range c.replicas {
+		n := &c.repSeries[i]
+		c.reg.Observe(n.queue, now, float64(rep.eng.OutstandingRequests()))
+		util := 0.0
+		if total := rep.eng.TotalKVPages(); total > 0 {
+			util = float64(total-rep.eng.FreeKVPages()) / float64(total)
+		}
+		c.reg.Observe(n.kvUtil, now, util)
+		c.reg.Observe(n.mirror, now, float64(rep.eng.HostMirrorBytes()))
+	}
+	for i, snap := range c.fab.LinkSnapshots(now) {
+		if i >= len(c.linkBusy) {
+			break
+		}
+		c.reg.Observe(c.linkBusy[i], now, snap.Busy.Seconds())
+		c.reg.Observe(c.linkBacklog[i], now, snap.Backlog.Seconds())
+	}
+	c.reg.Observe(seriesActiveReplicas, now, float64(c.activeCount()))
+}
+
+// recordControlSeries records one point per control tick: the full signal
+// vector the policy decided from, and the gateway depth under
+// scale-to-zero. Unstrided — control ticks are already sparse, and a scale
+// decision in the event log should always line up with a recorded vector.
+func (c *Cluster) recordControlSeries(now simclock.Time, s autoscale.Signals) {
+	if c.reg == nil {
+		return
+	}
+	v := s.Vector()
+	for i, name := range autoscaleSeriesNames {
+		c.reg.Observe(name, now, v[i])
+	}
+	if c.gatewayEnabled() {
+		c.reg.Observe(seriesGatewayDepth, now, float64(len(c.gateway)))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/request"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -240,6 +241,13 @@ type Engine struct {
 	// observation: it must not schedule events or mutate engine state.
 	onFirstToken func(r *request.Request, now simclock.Time)
 
+	// obs/prof are the optional flight-recorder sinks (nil = off, free);
+	// obsReplica is the replica id stamped on emitted events. Pure
+	// observation, like onFirstToken.
+	obs        *obs.Recorder
+	prof       *obs.Profiler
+	obsReplica int
+
 	// Profiled estimates exposed to schedulers.
 	avgIter       time.Duration
 	avgPrefillTok time.Duration
@@ -319,6 +327,21 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// HostMirrorBytes reports the host-tier prefix-mirror footprint the
+// engine's KV manager currently holds — the quantity the host-memory
+// budget bounds and the cluster's telemetry series chart.
+func (e *Engine) HostMirrorBytes() int64 { return e.mem.HostMirrorBytes() }
+
+// SetObs installs the flight-recorder sinks on the engine and its KV
+// manager, stamping events with the given replica id. Pure observation:
+// it must not change any scheduling or memory decision.
+func (e *Engine) SetObs(rec *obs.Recorder, prof *obs.Profiler, replica int) {
+	e.obs = rec
+	e.prof = prof
+	e.obsReplica = replica
+	e.mem.SetObs(rec, replica)
 }
 
 // Clock exposes the engine's virtual clock (for tests and harnesses).
@@ -432,6 +455,8 @@ func (e *Engine) injectNow(r *request.Request, now simclock.Time) {
 	}
 	e.track.Register(r)
 	e.waiting = append(e.waiting, r)
+	e.obs.Emit(now, obs.KindQueue, e.obsReplica, r.ID, r.Session,
+		int64(r.CachedPrompt), 0, 0, 0, "")
 	e.kick(now)
 }
 

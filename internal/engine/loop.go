@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/kvcache"
+	"repro/internal/obs"
 	"repro/internal/request"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -12,6 +13,11 @@ import (
 // retryInterval bounds how long the engine idles while schedulable work
 // exists (e.g. a quantum-gated scheduler declined everything).
 const retryInterval = 50 * time.Millisecond
+
+// decodeStride thins decode-progress events: one every this many generated
+// tokens (plus the completion event), keeping long generations from
+// dominating the event log.
+const decodeStride = 32
 
 // kick runs one scheduling step if the device is free: consult the
 // scheduler, apply its decision, and launch the next iteration.
@@ -24,6 +30,8 @@ func (e *Engine) kick(now simclock.Time) {
 	}
 	e.inKick = true
 	defer func() { e.inKick = false }()
+	t0 := e.prof.Begin()
+	defer e.prof.End(obs.PhaseEngineStep, t0)
 	// Scheduling dependency of unchunked write-through (§5.2): the
 	// boundary waits for outstanding writes.
 	if stall := e.mem.IterBoundaryStall(now); stall > 0 {
@@ -85,6 +93,8 @@ func (e *Engine) preemptRunning(r *request.Request, now simclock.Time) {
 	e.running = removeReq(e.running, r)
 	e.preempted = append(e.preempted, r)
 	e.track.Transition(r, request.StatePreempted)
+	e.obs.Emit(now, obs.KindPreempt, e.obsReplica, r.ID, r.Session,
+		int64(r.PromptLen), int64(r.Generated), 0, 0, "")
 }
 
 // admitFresh moves a waiting request into the prefill backlog. A prefix-
@@ -98,6 +108,8 @@ func (e *Engine) admitFresh(r *request.Request) {
 		target: r.PromptLen - r.CachedPrompt,
 		alloc:  r.PromptLen,
 	})
+	e.obs.Emit(e.clock.Now(), obs.KindAdmit, e.obsReplica, r.ID, r.Session,
+		int64(r.PromptLen-r.CachedPrompt), int64(r.PromptLen), 0, 0, "")
 }
 
 // resume re-admits a preempted request, via host-copy load or recompute.
@@ -122,6 +134,8 @@ func (e *Engine) resume(r *request.Request, mode sched.ResumeMode, now simclock.
 			e.preempted = removeReq(e.preempted, r)
 			e.loading = append(e.loading, r)
 			e.track.Transition(r, request.StateLoading)
+			e.obs.Emit(now, obs.KindResume, e.obsReplica, r.ID, r.Session,
+				int64(r.PromptLen), int64(r.Generated), 0, 0, "load")
 			return
 		}
 		// Recompute chosen although a host copy exists: drop the copy.
@@ -140,6 +154,8 @@ func (e *Engine) resume(r *request.Request, mode sched.ResumeMode, now simclock.
 		resume: true,
 	})
 	e.track.Transition(r, request.StateQueued)
+	e.obs.Emit(now, obs.KindResume, e.obsReplica, r.ID, r.Session,
+		int64(r.PromptLen), int64(r.Generated), 0, 0, "recompute")
 }
 
 // onLoadDone is the KV manager's load-completion callback.
@@ -345,8 +361,12 @@ func (e *Engine) completePrefill(j *prefillJob, now simclock.Time) {
 	if !r.GenerationDone() {
 		first := r.Generated == 0
 		r.DeliverTokens(e.clock, now, 1)
-		if first && e.onFirstToken != nil {
-			e.onFirstToken(r, now)
+		if first {
+			e.obs.Emit(now, obs.KindFirstToken, e.obsReplica, r.ID, r.Session,
+				int64(r.PromptLen), int64(r.CachedPrompt), 0, 0, "")
+			if e.onFirstToken != nil {
+				e.onFirstToken(r, now)
+			}
 		}
 	}
 	if r.GenerationDone() {
@@ -387,6 +407,9 @@ func (e *Engine) advanceDecode(batch []*request.Request, now simclock.Time) {
 		r.DeliverTokens(e.clock, now, 1)
 		if r.GenerationDone() {
 			e.finish(r, now)
+		} else if r.Generated%decodeStride == 0 {
+			e.obs.Emit(now, obs.KindDecodeProgress, e.obsReplica, r.ID, r.Session,
+				int64(r.Generated), int64(r.ContextLen()), 0, 0, "")
 		}
 	}
 }
@@ -422,6 +445,8 @@ func (e *Engine) finish(r *request.Request, now simclock.Time) {
 	}
 	e.running = removeReq(e.running, r)
 	e.track.Transition(r, request.StateFinished)
+	e.obs.Emit(now, obs.KindComplete, e.obsReplica, r.ID, r.Session,
+		int64(r.Generated), int64(r.PromptLen), 0, 0, "")
 }
 
 // observeDecode updates the profiled decode iteration latency (EWMA).

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -296,6 +297,12 @@ type ClassStats struct {
 type TransferScheduler struct {
 	topo    *Topology
 	classes [numClasses]ClassStats
+
+	// obs/prof are the optional flight-recorder sinks; both default nil
+	// (free). Booking emits one KindTransfer event per transfer and
+	// charges the settle scan to PhaseFabricSettle.
+	obs  *obs.Recorder
+	prof *obs.Profiler
 }
 
 // NewScheduler wraps a topology in a transfer scheduler.
@@ -309,6 +316,13 @@ func NewScheduler(topo *Topology) *TransferScheduler {
 
 // Topology exposes the scheduler's link set.
 func (s *TransferScheduler) Topology() *Topology { return s.topo }
+
+// SetObs installs the flight-recorder sinks. Pure observation: booking
+// behavior is identical with or without them.
+func (s *TransferScheduler) SetObs(rec *obs.Recorder, prof *obs.Profiler) {
+	s.obs = rec
+	s.prof = prof
+}
 
 // Endpoint returns replica i's view of the scheduler (the handle the KV
 // cache manager books host transfers through).
@@ -342,6 +356,13 @@ func pathPlan(path []*gpu.Link, now simclock.Time) (start simclock.Time, bottlen
 // link of the path drains and holds every link for the bottleneck's wire
 // time. For a single-link path this is exactly gpu.Link.Enqueue.
 func (s *TransferScheduler) Book(class Class, path []*gpu.Link, now simclock.Time, bytes int64) (start, done simclock.Time) {
+	return s.book(class, path, now, bytes, -1)
+}
+
+// book is Book with the booking side's replica attached for event
+// attribution (-1 when the caller books an explicit path directly).
+func (s *TransferScheduler) book(class Class, path []*gpu.Link, now simclock.Time, bytes int64, replica int) (start, done simclock.Time) {
+	t0 := s.prof.Begin()
 	start, bottleneck := pathPlan(path, now)
 	wire := bottleneck.TransferTime(bytes)
 	done = start.Add(wire)
@@ -352,13 +373,16 @@ func (s *TransferScheduler) Book(class Class, path []*gpu.Link, now simclock.Tim
 	cs.Transfers++
 	cs.Bytes += bytes
 	cs.Busy += wire
+	s.prof.End(obs.PhaseFabricSettle, t0)
+	s.obs.Emit(now, obs.KindTransfer, replica, -1, -1,
+		int64(start), int64(done), bytes, 0, classNames[class])
 	return start, done
 }
 
 // BookBetween books an interconnect transfer between two replicas over the
 // topology's path for the pair.
 func (s *TransferScheduler) BookBetween(class Class, from, to int, now simclock.Time, bytes int64) (start, done simclock.Time) {
-	return s.Book(class, s.topo.Path(from, to), now, bytes)
+	return s.book(class, s.topo.Path(from, to), now, bytes, from)
 }
 
 // ETABetween predicts, without booking, how long an interconnect transfer
@@ -422,12 +446,12 @@ func (e *Endpoint) H2D() *gpu.Link { return e.s.topo.HostH2D(e.replica) }
 
 // EnqueueD2H books a device-to-host transfer submitted at now.
 func (e *Endpoint) EnqueueD2H(class Class, now simclock.Time, bytes int64) (start, done simclock.Time) {
-	return e.s.Book(class, []*gpu.Link{e.D2H()}, now, bytes)
+	return e.s.book(class, []*gpu.Link{e.D2H()}, now, bytes, e.replica)
 }
 
 // EnqueueH2D books a host-to-device transfer submitted at now.
 func (e *Endpoint) EnqueueH2D(class Class, now simclock.Time, bytes int64) (start, done simclock.Time) {
-	return e.s.Book(class, []*gpu.Link{e.H2D()}, now, bytes)
+	return e.s.book(class, []*gpu.Link{e.H2D()}, now, bytes, e.replica)
 }
 
 // NewSingleHost builds the degenerate fabric of a standalone single-device

@@ -19,9 +19,11 @@ package kvcache
 // copy remains on this replica even after the device copy leaves).
 
 import (
+	"container/list"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -36,6 +38,9 @@ type hostPin struct {
 	readyAt simclock.Time
 	// reloading marks a mirror whose h2d transfer is on the wire.
 	reloading bool
+	// elem is the mirror's node in the manager's recency order (budget
+	// drop order under Config.HostCachePages).
+	elem *list.Element
 }
 
 // HostCacheEnabled reports whether evicted pins leave reloadable mirrors.
@@ -47,6 +52,40 @@ func (m *Manager) HostCacheEnabled() bool {
 // evicted pins' mirrors. These are host pages: they never count toward
 // UsedPages or against GPUPages.
 func (m *Manager) HostMirroredPages() int { return m.hostMirroredPages }
+
+// HostMirrorBytes reports the host-memory bytes the mirror tier holds —
+// the byte accounting the host-memory budget manages and telemetry
+// charts.
+func (m *Manager) HostMirrorBytes() int64 {
+	return int64(m.hostMirroredPages) * m.PageBytes()
+}
+
+// dropHostMirror releases one mirror's host pages (budget eviction,
+// replacement by a larger mirror, or consumption by a reload).
+func (m *Manager) dropHostMirror(hp *hostPin) {
+	delete(m.hostPins, hp.session)
+	m.hostPinOrder.Remove(hp.elem)
+	hp.elem = nil
+	m.hostMirroredPages -= hp.pages
+	m.obs.Emit(m.clock.Now(), obs.KindKVMirrorDrop, m.obsReplica, -1, hp.session,
+		int64(hp.tokens), int64(hp.pages), 0, 0, "")
+}
+
+// enforceHostBudget drops the oldest non-reloading mirrors until the
+// host tier fits Config.HostCachePages. A zero budget is unlimited.
+func (m *Manager) enforceHostBudget() {
+	if m.cfg.HostCachePages <= 0 {
+		return
+	}
+	for el := m.hostPinOrder.Back(); el != nil && m.hostMirroredPages > m.cfg.HostCachePages; {
+		hp := el.Value.(*hostPin)
+		el = el.Prev()
+		if hp.reloading {
+			continue
+		}
+		m.dropHostMirror(hp)
+	}
+}
 
 // mirrorEvictedPin records an evicted pin's host mirror, loadable once the
 // eviction drain lands at readyAt. A smaller mirror for the session is
@@ -60,12 +99,17 @@ func (m *Manager) mirrorEvictedPin(p *pin, readyAt simclock.Time) {
 		if old.reloading || old.tokens >= p.tokens {
 			return
 		}
-		m.hostMirroredPages -= old.pages
+		m.dropHostMirror(old)
 	}
-	m.hostPins[p.session] = &hostPin{
+	hp := &hostPin{
 		session: p.session, tokens: p.tokens, pages: p.pages, readyAt: readyAt,
 	}
+	hp.elem = m.hostPinOrder.PushFront(hp)
+	m.hostPins[p.session] = hp
 	m.hostMirroredPages += p.pages
+	m.obs.Emit(m.clock.Now(), obs.KindKVMirror, m.obsReplica, -1, p.session,
+		int64(p.tokens), int64(p.pages), 0, 0, "")
+	m.enforceHostBudget()
 }
 
 // HostMirrorTokens reports the host-mirrored prefix tokens available for a
@@ -127,6 +171,8 @@ func (m *Manager) StartHostReload(session int, now simclock.Time) (done simclock
 	// install — a dropped install recomputes, and must not read as a win.
 	bytes := int64(hp.pages) * m.PageBytes()
 	m.bytesReloaded += bytes
+	m.obs.Emit(now, obs.KindKVReload, m.obsReplica, -1, session,
+		int64(hp.tokens), bytes, 0, 0, "")
 	_, done = m.ep.EnqueueH2D(fabric.ClassReload, start, bytes)
 	m.clock.At(done, func(t simclock.Time) {
 		hp.reloading = false
@@ -151,4 +197,11 @@ func (m *Manager) installReloadedPin(hp *hostPin, now simclock.Time) {
 	}
 	m.hostReloads++
 	m.hostReloadTokens += int64(hp.tokens)
+	// Under a host-memory budget the reload consumes the mirror: the KV is
+	// back on the device, and a later eviction re-mirrors it for free
+	// (installed pins are fully synced). Unbudgeted tiers keep the
+	// historical keep-forever behavior.
+	if m.cfg.HostCachePages > 0 {
+		m.dropHostMirror(hp)
+	}
 }

@@ -3,6 +3,8 @@ package kvcache
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // hostRig is a prefix rig with the host-tier cache enabled.
@@ -205,6 +207,119 @@ func TestNoMirrorWithoutHostCacheOrOffload(t *testing.T) {
 	rig.m.ReclaimPrefixPages(10, 0, 0)
 	if rig.m.HostMirroredPages() != 0 {
 		t.Error("no-offload eviction must not mirror")
+	}
+}
+
+// budgetRig is a host rig with a HostCachePages budget: mirrors become a
+// bounded spill buffer instead of the keep-forever tier.
+func budgetRig(t testing.TB, pages int) *testRig {
+	cfg := fullConfig()
+	cfg.PrefixPages = 32
+	cfg.HostCache = true
+	cfg.HostCachePages = pages
+	return newRig(t, cfg)
+}
+
+// TestHostMirrorBytesRiseAndFall: HostMirrorBytes — the quantity the
+// telemetry series charts and the budget bounds — rises when an eviction
+// mirrors a pin and falls back to zero when a budgeted reload consumes the
+// mirror.
+func TestHostMirrorBytesRiseAndFall(t *testing.T) {
+	rig := budgetRig(t, 32)
+	if got := rig.m.HostMirrorBytes(); got != 0 {
+		t.Fatalf("fresh manager mirrors %d bytes", got)
+	}
+	finishAs(t, rig, 1, 7, 160, 0) // 10 pages
+	rig.m.ReclaimPrefixPages(10, 0, 0)
+	rig.clock.Run()
+	want := 10 * rig.m.PageBytes()
+	if got := rig.m.HostMirrorBytes(); got != want {
+		t.Fatalf("post-eviction mirror bytes = %d, want %d", got, want)
+	}
+	if s := rig.m.Stats(); s.HostMirrorBytes != want {
+		t.Errorf("stats mirror bytes = %d, want %d", s.HostMirrorBytes, want)
+	}
+	if _, _, ok := rig.m.StartHostReload(7, rig.clock.Now()); !ok {
+		t.Fatal("reload should book")
+	}
+	rig.clock.Run()
+	if got := rig.m.TakePrefix(7); got != 160 {
+		t.Fatalf("post-reload hit = %d, want 160", got)
+	}
+	if got := rig.m.HostMirrorBytes(); got != 0 {
+		t.Errorf("budgeted reload must consume the mirror; %d bytes remain", got)
+	}
+}
+
+// TestHostBudgetDropsOldestMirror: overflowing the budget drops the
+// oldest mirror, keeping the newest within bounds.
+func TestHostBudgetDropsOldestMirror(t *testing.T) {
+	rig := budgetRig(t, 25)
+	finishAs(t, rig, 1, 7, 160, 0) // 10 pages
+	rig.m.ReclaimPrefixPages(10, 0, 0)
+	rig.clock.Run()
+	finishAs(t, rig, 2, 8, 320, rig.clock.Now()) // 20 pages: 30 > 25
+	rig.m.ReclaimPrefixPages(20, rig.clock.Now(), 0)
+	rig.clock.Run()
+	if got := rig.m.HostMirrorTokens(7); got != 0 {
+		t.Errorf("oldest mirror survived the budget: %d tokens", got)
+	}
+	if got := rig.m.HostMirrorTokens(8); got != 320 {
+		t.Errorf("newest mirror = %d tokens, want 320", got)
+	}
+	if got := rig.m.HostMirroredPages(); got != 20 {
+		t.Errorf("mirrored pages = %d, want 20", got)
+	}
+}
+
+// TestUnbudgetedReloadKeepsMirror pins the historical semantics: with
+// HostCachePages zero the mirror tier is unlimited and a successful reload
+// leaves the mirror in place.
+func TestUnbudgetedReloadKeepsMirror(t *testing.T) {
+	rig := hostRig(t)
+	finishAs(t, rig, 1, 7, 160, 0)
+	rig.m.ReclaimPrefixPages(10, 0, 0)
+	rig.clock.Run()
+	if _, _, ok := rig.m.StartHostReload(7, rig.clock.Now()); !ok {
+		t.Fatal("reload should book")
+	}
+	rig.clock.Run()
+	if got := rig.m.HostMirroredPages(); got != 10 {
+		t.Errorf("unbudgeted reload must keep the mirror; %d pages remain", got)
+	}
+}
+
+// TestHostMirrorObsEvents: the mirror lifecycle emits kv-mirror on
+// eviction, kv-reload when the wire is booked, and kv-mirror-drop when the
+// budgeted reload consumes the mirror.
+func TestHostMirrorObsEvents(t *testing.T) {
+	rig := budgetRig(t, 32)
+	rec := obs.NewRecorder()
+	rig.m.SetObs(rec, 3)
+	finishAs(t, rig, 1, 7, 160, 0)
+	rig.m.ReclaimPrefixPages(10, 0, 0)
+	rig.clock.Run()
+	if _, _, ok := rig.m.StartHostReload(7, rig.clock.Now()); !ok {
+		t.Fatal("reload should book")
+	}
+	rig.clock.Run()
+	for _, ck := range []struct {
+		kind obs.Kind
+		want int
+	}{
+		{obs.KindKVMirror, 1},
+		{obs.KindKVReload, 1},
+		{obs.KindKVMirrorDrop, 1},
+		{obs.KindKVEvict, 1},
+	} {
+		if got := rec.CountKind(ck.kind); got != ck.want {
+			t.Errorf("%d events of kind %v, want %d", got, ck.kind, ck.want)
+		}
+	}
+	for _, ev := range rec.Events() {
+		if ev.Replica != 3 {
+			t.Fatalf("event stamped replica %d, want 3", ev.Replica)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/request"
 	"repro/internal/simclock"
 )
@@ -72,6 +73,14 @@ type Config struct {
 	// Requires Offload (without a host tier there is nothing to mirror
 	// into; the flag is then inert).
 	HostCache bool
+
+	// HostCachePages budgets the host memory the mirror tier may hold, in
+	// pages. Zero keeps the historical unlimited behavior: mirrors persist
+	// until replaced by a larger one. A positive budget turns the tier
+	// into a bounded spill buffer: the oldest mirrors drop when the budget
+	// overflows, and a mirror is consumed (its host pages freed) once a
+	// reload successfully re-pins it on the device.
+	HostCachePages int
 }
 
 // Validate reports an error for non-positive geometry.
@@ -87,6 +96,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kvcache: negative prefix page budget %d", c.PrefixPages)
 	case c.PrefixPages > c.GPUPages:
 		return fmt.Errorf("kvcache: prefix budget %d exceeds pool %d", c.PrefixPages, c.GPUPages)
+	case c.HostCachePages < 0:
+		return fmt.Errorf("kvcache: negative host cache budget %d", c.HostCachePages)
 	}
 	return nil
 }
@@ -177,9 +188,17 @@ type Manager struct {
 	pinnedPages     int
 	peakPinnedPages int
 
-	// Host-tier prefix mirrors (see hostcache.go).
+	// Host-tier prefix mirrors (see hostcache.go). hostPinOrder keeps
+	// mirror recency (Front = most recently created or refreshed) for the
+	// HostCachePages budget's drop order.
 	hostPins          map[int]*hostPin
+	hostPinOrder      *list.List
 	hostMirroredPages int
+
+	// obs is the optional flight recorder (nil = off, free); obsReplica
+	// is the replica id stamped on emitted events.
+	obs        *obs.Recorder
+	obsReplica int
 
 	// stats
 	evictions, loads, discards, syncChunks    int64
@@ -207,18 +226,28 @@ func New(cfg Config, clock *simclock.Clock, ep *fabric.Endpoint, cb Callbacks) (
 		return nil, fmt.Errorf("kvcache: fabric endpoint %d has no host links", ep.Replica())
 	}
 	return &Manager{
-		cfg:      cfg,
-		clock:    clock,
-		ep:       ep,
-		d2h:      ep.D2H(),
-		h2d:      ep.H2D(),
-		cb:       cb,
-		free:     cfg.GPUPages,
-		entries:  make(map[int]*entry),
-		pins:     make(map[int]*pin),
-		pinOrder: list.New(),
-		hostPins: make(map[int]*hostPin),
+		cfg:          cfg,
+		clock:        clock,
+		ep:           ep,
+		d2h:          ep.D2H(),
+		h2d:          ep.H2D(),
+		cb:           cb,
+		free:         cfg.GPUPages,
+		entries:      make(map[int]*entry),
+		pins:         make(map[int]*pin),
+		pinOrder:     list.New(),
+		hostPins:     make(map[int]*hostPin),
+		hostPinOrder: list.New(),
+		obsReplica:   -1,
 	}, nil
+}
+
+// SetObs installs the flight recorder, stamping events with the given
+// replica id. Pure observation: cache behavior is identical with or
+// without it.
+func (m *Manager) SetObs(rec *obs.Recorder, replica int) {
+	m.obs = rec
+	m.obsReplica = replica
 }
 
 // Config returns the manager's configuration.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/request"
 	"repro/internal/simclock"
 )
@@ -82,6 +83,8 @@ func (m *Manager) insertPin(p *pin) {
 	if m.pinnedPages > m.peakPinnedPages {
 		m.peakPinnedPages = m.pinnedPages
 	}
+	m.obs.Emit(m.clock.Now(), obs.KindKVPin, m.obsReplica, -1, p.session,
+		int64(p.tokens), int64(p.pages), 0, 0, "")
 }
 
 // removePin unregisters a pin without releasing its pool pages.
@@ -168,6 +171,8 @@ func (m *Manager) evictLRUPin(now simclock.Time, exclude int) *pin {
 func (m *Manager) evictPin(p *pin, now simclock.Time) {
 	m.removePin(p)
 	m.prefixEvictions++
+	m.obs.Emit(now, obs.KindKVEvict, m.obsReplica, -1, p.session,
+		int64(p.tokens), int64(p.pages), 0, 0, "")
 	dirty := p.pages - p.synced
 	if !m.cfg.Offload {
 		m.free += p.pages

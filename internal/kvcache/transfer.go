@@ -280,7 +280,10 @@ type Stats struct {
 	// could not be installed when the transfer completed (those turns
 	// recompute after all); BytesReloaded totals the booked reload wire
 	// traffic, dropped installs included.
-	HostMirroredPages              int
+	HostMirroredPages int
+	// HostMirrorBytes is HostMirroredPages in bytes — the quantity the
+	// HostCachePages budget bounds and the telemetry series charts.
+	HostMirrorBytes                int64
 	HostReloads, HostReloadTokens  int64
 	HostReloadDrops, BytesReloaded int64
 }
@@ -299,6 +302,7 @@ func (m *Manager) Stats() Stats {
 		PinnedPages:      m.pinnedPages, PeakPinnedPages: m.peakPinnedPages,
 		PoolPages:         m.cfg.GPUPages,
 		HostMirroredPages: m.hostMirroredPages,
+		HostMirrorBytes:   m.HostMirrorBytes(),
 		HostReloads:       m.hostReloads, HostReloadTokens: m.hostReloadTokens,
 		HostReloadDrops: m.hostReloadDrops, BytesReloaded: m.bytesReloaded,
 	}

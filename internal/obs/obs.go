@@ -1,0 +1,307 @@
+// Package obs is the simulator's flight recorder: a virtual-clock event
+// bus with typed, pooled lifecycle events, a named-series telemetry
+// registry, exporters (JSONL, CSV, Chrome trace_event JSON), and a wall-
+// clock self-profiler for the simulator's own phases.
+//
+// The package is built around one invariant: a nil recorder is free. Every
+// subsystem holds a *Recorder that defaults to nil, every emit site is
+// nil-guarded, and emission never schedules events or mutates simulation
+// state — observability off is byte-identical to a build without the
+// package. With observability on, events live in chunked arenas (one
+// allocation per eventChunk events, no per-event heap escape), guarded by
+// BenchmarkEventEmit.
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// Kind labels one lifecycle event. The numeric order groups the request
+// path first, then KV, migration, scaling, and fabric events.
+type Kind uint8
+
+const (
+	// KindArrival: a request entered the cluster. Request/Session set;
+	// A=prompt tokens, B=output tokens.
+	KindArrival Kind = iota
+	// KindGatewayBuffer: the scale-to-zero gateway buffered an arrival.
+	// A=gateway depth after buffering.
+	KindGatewayBuffer
+	// KindGatewayShed: the gateway refused an arrival at capacity.
+	// A=gateway depth at refusal.
+	KindGatewayShed
+	// KindRouteDecision: the router picked a replica. Replica=picked;
+	// F=the policy's score for the pick; Label=policy name.
+	KindRouteDecision
+	// KindQueue: a request was injected into a replica's queue.
+	// A=cached prefix tokens credited at injection (prefix hit when >0).
+	KindQueue
+	// KindAdmit: the scheduler admitted a request toward prefill.
+	// A=tokens to prefill (prompt minus cached), B=tokens allocated.
+	KindAdmit
+	// KindPreempt: a running request was preempted for memory.
+	KindPreempt
+	// KindResume: a preempted request resumed. Label="load" (KV restored
+	// over the wire) or "recompute".
+	KindResume
+	// KindFirstToken: prefill completed and the first token was delivered.
+	KindFirstToken
+	// KindDecodeProgress: decode heartbeat, every decodeStride tokens.
+	// A=tokens generated so far.
+	KindDecodeProgress
+	// KindComplete: the request finished. A=tokens generated.
+	KindComplete
+	// KindKVPin: a session prefix was pinned. Session set; A=tokens,
+	// B=pages.
+	KindKVPin
+	// KindKVEvict: a session pin was evicted. A=tokens, B=pages.
+	KindKVEvict
+	// KindKVMirror: an evicted pin left a host-tier mirror. A=tokens,
+	// B=pages.
+	KindKVMirror
+	// KindKVMirrorDrop: a host mirror was released (budget eviction,
+	// replacement, or consumed by a reload). A=tokens, B=pages.
+	KindKVMirrorDrop
+	// KindKVReload: a host mirror's h2d reload was booked. A=tokens,
+	// B=bytes.
+	KindKVReload
+	// KindMigrateAccept: a prefix migration was committed. Replica=donor,
+	// A=target replica, B=tokens, C=bytes.
+	KindMigrateAccept
+	// KindMigrateDecline: the cost model declined a migration.
+	// Replica=donor, A=target replica, B=transfer ETA (ns),
+	// C=recompute estimate (ns), F=prefix tokens weighed.
+	KindMigrateDecline
+	// KindPrewarm: a warming replica was seeded with a hot prefix.
+	// Replica=donor, A=target replica, B=tokens.
+	KindPrewarm
+	// KindDrain: a draining replica rehomed (A=target replica) or dropped
+	// (A=-1) a pinned prefix. B=tokens.
+	KindDrain
+	// KindScaleDecision: the autoscaler acted (Hold is not recorded).
+	// Replica=affected replica; Label=decision name; A=outstanding,
+	// B=gateway depth, C=windowed P99 TTFT (ns), F=pooled KV utilization.
+	KindScaleDecision
+	// KindTransfer: the fabric booked a transfer. Label=class name,
+	// A=start (ns), B=done (ns), C=bytes. Replica is the booking side's
+	// replica when known, -1 otherwise.
+	KindTransfer
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"arrival", "gateway-buffer", "gateway-shed", "route", "queue", "admit",
+	"preempt", "resume", "first-token", "decode", "complete",
+	"kv-pin", "kv-evict", "kv-mirror", "kv-mirror-drop", "kv-reload",
+	"migrate-accept", "migrate-decline", "prewarm", "drain",
+	"scale-decision", "transfer",
+}
+
+// String returns the kind's stable wire name (used in JSONL and CSV).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded lifecycle event. The struct is fixed-size and
+// value-typed: recording an event copies it into a chunked arena and never
+// allocates per event. Fields that do not apply to a kind hold -1 (ints)
+// or 0; per-kind field meaning is documented on the Kind constants.
+type Event struct {
+	// Seq is the global emission order, unique within a run.
+	Seq uint64
+	// At is the virtual-clock instant of the event.
+	At simclock.Time
+	// Kind labels the event.
+	Kind Kind
+	// Replica is the replica the event happened on (-1 for cluster-scoped
+	// events such as arrivals and gateway activity).
+	Replica int32
+	// Request and Session identify the request/session (-1 when not
+	// request- or session-scoped).
+	Request, Session int32
+	// A, B, C and F carry per-kind payloads (see Kind docs).
+	A, B, C int64
+	F       float64
+	// Label is a constant string payload (policy name, transfer class,
+	// decision name); emitting one never allocates.
+	Label string
+}
+
+// eventChunk is the arena granularity: one allocation per this many
+// events on the recording path.
+const eventChunk = 4096
+
+// Options selects which observability layers a run records. The zero
+// value records nothing and costs nothing.
+type Options struct {
+	// Events records lifecycle events on the bus.
+	Events bool
+	// Series records named per-tick telemetry series.
+	Series bool
+	// Profile times the simulator's own phases with the wall clock.
+	Profile bool
+	// SampleEvery records series every Nth sampling tick (0 or 1 = every
+	// tick).
+	SampleEvery int
+}
+
+// Enabled reports whether any layer is on.
+func (o Options) Enabled() bool { return o.Events || o.Series || o.Profile }
+
+// Recorder is the event bus sink. A nil *Recorder is valid and free:
+// every method nil-guards, so subsystems emit unconditionally through
+// their (possibly nil) recorder pointer.
+//
+// The recorder is not goroutine-safe; one recorder serves one
+// single-goroutine simulation run, matching the simclock discipline.
+type Recorder struct {
+	chunks [][]Event
+	seq    uint64
+}
+
+// NewRecorder returns an empty event recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// On reports whether events should be emitted. A nil recorder is off;
+// emit sites may use this to skip argument computation.
+func (r *Recorder) On() bool { return r != nil }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range r.chunks {
+		n += len(c)
+	}
+	return n
+}
+
+// Emit records one event. It assigns the global sequence number and
+// copies the event into the current arena chunk; amortized cost is one
+// allocation per eventChunk events. Emitting on a nil recorder is a
+// no-op.
+func (r *Recorder) Emit(at simclock.Time, kind Kind, replica, request, session int, a, b, c int64, f float64, label string) {
+	if r == nil {
+		return
+	}
+	n := len(r.chunks)
+	if n == 0 || len(r.chunks[n-1]) == cap(r.chunks[n-1]) {
+		r.chunks = append(r.chunks, make([]Event, 0, eventChunk))
+		n++
+	}
+	r.chunks[n-1] = append(r.chunks[n-1], Event{
+		Seq: r.seq, At: at, Kind: kind,
+		Replica: int32(replica), Request: int32(request), Session: int32(session),
+		A: a, B: b, C: c, F: f, Label: label,
+	})
+	r.seq++
+}
+
+// Events returns the recorded events sorted by (At, Replica, Seq): the
+// deterministic tie-break that keeps exported output byte-stable across
+// runs even when several subsystems emit at the same virtual instant.
+// The returned slice is a fresh copy.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.Len())
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders events by (At, Replica, Seq). Seq is unique, so the
+// order is total. Emission already yields nondecreasing At (the clock
+// never runs backwards); the sort only reorders same-instant runs.
+func sortEvents(ev []Event) {
+	sort.Slice(ev, func(i, j int) bool { return eventLess(ev[i], ev[j]) })
+}
+
+func eventLess(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Replica != b.Replica {
+		return a.Replica < b.Replica
+	}
+	return a.Seq < b.Seq
+}
+
+// CountKind reports how many recorded events have the given kind.
+func (r *Recorder) CountKind(k Kind) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range r.chunks {
+		for i := range c {
+			if c[i].Kind == k {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Capture bundles the observability products of one run. Any field may
+// be nil when that layer was off.
+type Capture struct {
+	Events  *Recorder
+	Series  *Registry
+	Profile *Profiler
+}
+
+// NewCapture allocates the layers selected by opts, or returns nil when
+// none are.
+func NewCapture(opts Options) *Capture {
+	if !opts.Enabled() {
+		return nil
+	}
+	c := &Capture{}
+	if opts.Events {
+		c.Events = NewRecorder()
+	}
+	if opts.Series {
+		c.Series = NewRegistry(opts.SampleEvery)
+	}
+	if opts.Profile {
+		c.Profile = NewProfiler()
+	}
+	return c
+}
+
+// Recorder returns the capture's event recorder (nil when events are off
+// or c itself is nil) — safe to pass straight into SetObs hooks.
+func (c *Capture) Recorder() *Recorder {
+	if c == nil {
+		return nil
+	}
+	return c.Events
+}
+
+// Reg returns the capture's series registry, nil-safe like Recorder.
+func (c *Capture) Reg() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.Series
+}
+
+// Prof returns the capture's profiler, nil-safe like Recorder.
+func (c *Capture) Prof() *Profiler {
+	if c == nil {
+		return nil
+	}
+	return c.Profile
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// TestEmitOrdering: same-instant events sort by (At, Replica, Seq) —
+// the deterministic tie-break that keeps exports byte-stable.
+func TestEmitOrdering(t *testing.T) {
+	r := NewRecorder()
+	at := simclock.FromSeconds(1)
+	r.Emit(at, KindKVEvict, 2, -1, 7, 0, 0, 0, 0, "")
+	r.Emit(at, KindKVPin, 0, -1, 7, 0, 0, 0, 0, "")
+	r.Emit(at, KindKVPin, 2, -1, 8, 0, 0, 0, 0, "")
+	r.Emit(at.Add(1), KindArrival, -1, 1, 0, 0, 0, 0, 0, "")
+
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want 4", len(ev))
+	}
+	wantReplica := []int32{0, 2, 2, -1}
+	wantSeq := []uint64{1, 0, 2, 3}
+	for i := range ev {
+		if ev[i].Replica != wantReplica[i] || ev[i].Seq != wantSeq[i] {
+			t.Errorf("event %d: replica %d seq %d, want replica %d seq %d",
+				i, ev[i].Replica, ev[i].Seq, wantReplica[i], wantSeq[i])
+		}
+	}
+	if r.CountKind(KindKVPin) != 2 {
+		t.Errorf("CountKind(KindKVPin) = %d, want 2", r.CountKind(KindKVPin))
+	}
+}
+
+// TestNilSinkIsFree: every method of a nil recorder, registry, and
+// profiler is a no-op — the obs-off fast path.
+func TestNilSinkIsFree(t *testing.T) {
+	var r *Recorder
+	if r.On() {
+		t.Error("nil recorder reports On")
+	}
+	r.Emit(0, KindArrival, 0, 0, 0, 0, 0, 0, 0, "")
+	if r.Len() != 0 || r.Events() != nil || r.CountKind(KindArrival) != 0 {
+		t.Error("nil recorder retained state")
+	}
+
+	var g *Registry
+	if g.On() || g.Tick() {
+		t.Error("nil registry reports On/Tick")
+	}
+	g.Observe("x", 0, 1)
+	if g.All() != nil || g.Get("x") != nil {
+		t.Error("nil registry retained state")
+	}
+
+	var p *Profiler
+	p.End(PhaseEngineStep, p.Begin())
+	if p.Stat(PhaseEngineStep).Calls != 0 {
+		t.Error("nil profiler retained state")
+	}
+
+	var c *Capture
+	if c.Recorder() != nil || c.Reg() != nil || c.Prof() != nil {
+		t.Error("nil capture returned non-nil layer")
+	}
+	if paths, err := c.WriteFiles(t.TempDir(), "x", 0); err != nil || paths != nil {
+		t.Errorf("nil capture WriteFiles = %v, %v", paths, err)
+	}
+}
+
+// TestCaptureLayers: NewCapture allocates exactly the requested layers.
+func TestCaptureLayers(t *testing.T) {
+	if NewCapture(Options{}) != nil {
+		t.Error("zero Options must produce a nil capture")
+	}
+	c := NewCapture(Options{Events: true, Profile: true})
+	if c.Recorder() == nil || c.Prof() == nil || c.Reg() != nil {
+		t.Error("capture layers do not match options")
+	}
+}
+
+// TestRegistryStride: a stride-3 registry records ticks 0, 3, 6, ...
+func TestRegistryStride(t *testing.T) {
+	g := NewRegistry(3)
+	var got []bool
+	for i := 0; i < 7; i++ {
+		got = append(got, g.Tick())
+	}
+	want := []bool{true, false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tick %d: recorded=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRegistryObserve: series keep insertion order and per-series points.
+func TestRegistryObserve(t *testing.T) {
+	g := NewRegistry(1)
+	g.Observe("b", simclock.FromSeconds(1), 10)
+	g.Observe("a", simclock.FromSeconds(1), 20)
+	g.Observe("b", simclock.FromSeconds(2), 30)
+	all := g.All()
+	if len(all) != 2 || all[0].Name != "b" || all[1].Name != "a" {
+		t.Fatalf("series order wrong: %+v", all)
+	}
+	if s := g.Get("b"); len(s.Values) != 2 || s.Values[1] != 30 {
+		t.Fatalf("series b points wrong: %+v", s)
+	}
+}
+
+// TestProfilerRoundTrip: phases accumulate, the report serializes, and
+// the regression gate trips only past the factor.
+func TestProfilerRoundTrip(t *testing.T) {
+	p := NewProfiler()
+	p.End(PhaseControlTick, p.Begin())
+	if p.Stat(PhaseControlTick).Calls != 1 {
+		t.Fatal("phase not charged")
+	}
+	rep := p.Report("test", 5, 1000)
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != "test" || back.Events != 5 {
+		t.Fatalf("report round-trip lost fields: %+v", back)
+	}
+
+	base := BenchReport{Phases: map[string]BenchPhase{
+		"engine_step": {Calls: 100, AvgNS: 10000},
+	}}
+	ok := BenchReport{Phases: map[string]BenchPhase{
+		"engine_step": {Calls: 100, AvgNS: 15000},
+	}}
+	bad := BenchReport{Phases: map[string]BenchPhase{
+		"engine_step": {Calls: 100, AvgNS: 30000},
+	}}
+	if err := CompareBench(ok, base, 2.0); err != nil {
+		t.Errorf("1.5x flagged as regression: %v", err)
+	}
+	if err := CompareBench(bad, base, 2.0); err == nil {
+		t.Error("3x regression not flagged")
+	}
+	noise := BenchReport{Phases: map[string]BenchPhase{
+		"engine_step": {Calls: 100, AvgNS: 400},
+	}}
+	noisier := BenchReport{Phases: map[string]BenchPhase{
+		"engine_step": {Calls: 100, AvgNS: 100},
+	}}
+	if err := CompareBench(noise, noisier, 2.0); err != nil {
+		t.Errorf("sub-floor phase gated: %v", err)
+	}
+}
+
+// TestEmitAllocBound: the recording path amortizes to far below one
+// allocation per event (one chunk per eventChunk events).
+func TestEmitAllocBound(t *testing.T) {
+	r := NewRecorder()
+	i := 0
+	avg := testing.AllocsPerRun(4*eventChunk, func() {
+		r.Emit(simclock.Time(i), KindDecodeProgress, 1, 2, 3, 4, 5, 6, 0, "")
+		i++
+	})
+	if avg > 0.01 {
+		t.Errorf("Emit allocates %.4f allocs/op, want amortized ~1/%d", avg, eventChunk)
+	}
+}
+
+// BenchmarkEventEmit guards the enabled hot path: pooled events, no
+// per-event heap escape.
+func BenchmarkEventEmit(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(simclock.Time(i), KindDecodeProgress, 1, int(uint(i)%64), 3, int64(i), 5, 6, 0, "")
+	}
+}
+
+// BenchmarkEventEmitDisabled measures the obs-off path: a nil recorder.
+func BenchmarkEventEmitDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(simclock.Time(i), KindDecodeProgress, 1, 2, 3, 4, 5, 6, 0, "")
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Phase labels one self-profiled simulator phase.
+type Phase uint8
+
+const (
+	// PhaseControlTick is the cluster's autoscale control tick.
+	PhaseControlTick Phase = iota
+	// PhaseEngineStep is one engine scheduling step (a kick: decide,
+	// admit, launch).
+	PhaseEngineStep
+	// PhaseFabricSettle is one transfer booking through the fabric's
+	// bottleneck scan.
+	PhaseFabricSettle
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"control_tick", "engine_step", "fabric_settle"}
+
+// String returns the phase's stable report name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// PhaseStat accumulates wall-clock time for one phase.
+type PhaseStat struct {
+	Calls   uint64 `json:"calls"`
+	TotalNS int64  `json:"total_ns"`
+}
+
+// Profiler times the simulator's own phases with the wall clock. The
+// measurements never feed back into simulation state, so profiling cannot
+// perturb virtual-time results; a nil *Profiler is valid and free.
+type Profiler struct {
+	stats [numPhases]PhaseStat
+}
+
+// NewProfiler returns a zeroed profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// Begin returns the wall-clock start of a phase (zero when p is nil, so
+// the matching End is also free).
+func (p *Profiler) Begin() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End charges the elapsed wall time since t0 to the phase.
+func (p *Profiler) End(ph Phase, t0 time.Time) {
+	if p == nil {
+		return
+	}
+	s := &p.stats[ph]
+	s.Calls++
+	s.TotalNS += time.Since(t0).Nanoseconds()
+}
+
+// Stat returns the accumulated stat for a phase.
+func (p *Profiler) Stat(ph Phase) PhaseStat {
+	if p == nil {
+		return PhaseStat{}
+	}
+	return p.stats[ph]
+}
+
+// BenchPhase is one phase's entry in a BENCH_obs.json report.
+type BenchPhase struct {
+	Calls   uint64 `json:"calls"`
+	TotalNS int64  `json:"total_ns"`
+	AvgNS   int64  `json:"avg_ns"`
+}
+
+// BenchReport is the on-disk shape of BENCH_obs.json: the simulator's
+// self-measured perf trajectory for one reference run.
+type BenchReport struct {
+	// Scenario names the reference run the numbers describe.
+	Scenario string `json:"scenario"`
+	// Events is the number of lifecycle events the run emitted.
+	Events int `json:"events"`
+	// WallNS is the run's total wall-clock time.
+	WallNS int64 `json:"wall_ns"`
+	// Phases maps phase name to its accumulated timing.
+	Phases map[string]BenchPhase `json:"phases"`
+}
+
+// Report assembles a BenchReport from the profiler's accumulated stats.
+func (p *Profiler) Report(scenario string, events int, wall time.Duration) BenchReport {
+	r := BenchReport{
+		Scenario: scenario,
+		Events:   events,
+		WallNS:   wall.Nanoseconds(),
+		Phases:   make(map[string]BenchPhase, numPhases),
+	}
+	for ph := Phase(0); ph < numPhases; ph++ {
+		s := p.Stat(ph)
+		b := BenchPhase{Calls: s.Calls, TotalNS: s.TotalNS}
+		if s.Calls > 0 {
+			b.AvgNS = s.TotalNS / int64(s.Calls)
+		}
+		r.Phases[ph.String()] = b
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport parses a BENCH_obs.json document.
+func ReadBenchReport(data []byte) (BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return BenchReport{}, fmt.Errorf("obs: parsing bench report: %w", err)
+	}
+	return r, nil
+}
+
+// regressionFloorNS ignores phases whose per-call average is below this
+// floor when gating regressions: at sub-microsecond scale the comparison
+// measures timer noise, not the simulator.
+const regressionFloorNS = 500
+
+// CompareBench checks r (the fresh run) against a committed baseline and
+// returns an error describing the first phase whose per-call average
+// regressed by more than the given factor (e.g. 2.0 for the CI gate).
+// Phases absent from the baseline, with too few calls, or under the noise
+// floor are skipped.
+func CompareBench(r, baseline BenchReport, factor float64) error {
+	for name, base := range baseline.Phases {
+		cur, ok := r.Phases[name]
+		if !ok || base.Calls == 0 || cur.Calls == 0 {
+			continue
+		}
+		if base.AvgNS < regressionFloorNS && cur.AvgNS < regressionFloorNS {
+			continue
+		}
+		limit := int64(float64(base.AvgNS) * factor)
+		if base.AvgNS > 0 && cur.AvgNS > limit {
+			return fmt.Errorf("obs: phase %s regressed: avg %dns > %.1fx baseline %dns",
+				name, cur.AvgNS, factor, base.AvgNS)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import "repro/internal/simclock"
+
+// Series is one named telemetry series: parallel time/value slices in
+// observation order.
+type Series struct {
+	Name   string
+	Times  []simclock.Time
+	Values []float64
+}
+
+// Registry records named per-tick telemetry series. Like the Recorder, a
+// nil *Registry is valid and free: every method nil-guards.
+//
+// Callers that sample on a periodic tick gate each burst of Observe calls
+// on Tick(), which applies the configured sampling stride; out-of-band
+// observations (control-loop signals) bypass Tick and record every time.
+type Registry struct {
+	stride int
+	ticks  uint64
+	order  []*Series
+	index  map[string]*Series
+}
+
+// NewRegistry returns an empty registry recording every stride-th
+// sampling tick (stride <= 1 records all).
+func NewRegistry(stride int) *Registry {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Registry{stride: stride, index: make(map[string]*Series)}
+}
+
+// On reports whether series should be recorded.
+func (g *Registry) On() bool { return g != nil }
+
+// Tick advances the sampling-tick counter and reports whether this tick's
+// observations should be recorded under the configured stride.
+func (g *Registry) Tick() bool {
+	if g == nil {
+		return false
+	}
+	g.ticks++
+	return (g.ticks-1)%uint64(g.stride) == 0
+}
+
+// Observe appends one point to the named series, creating it on first
+// use. Callers pass precomputed (constant or cached) name strings so the
+// recording path does not build strings per point.
+func (g *Registry) Observe(name string, at simclock.Time, v float64) {
+	if g == nil {
+		return
+	}
+	s, ok := g.index[name]
+	if !ok {
+		s = &Series{Name: name}
+		g.index[name] = s
+		g.order = append(g.order, s)
+	}
+	s.Times = append(s.Times, at)
+	s.Values = append(s.Values, v)
+}
+
+// All returns the series in first-observation order.
+func (g *Registry) All() []*Series {
+	if g == nil {
+		return nil
+	}
+	return g.order
+}
+
+// Get returns the named series, or nil when it was never observed.
+func (g *Registry) Get(name string) *Series {
+	if g == nil {
+		return nil
+	}
+	return g.index[name]
+}

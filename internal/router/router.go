@@ -59,6 +59,16 @@ type Policy interface {
 	Pick(req Request, replicas []Replica) int
 }
 
+// Scorer is an optional Policy extension for observability. Score reports
+// the policy's figure of merit for routing req to r — the number the
+// flight recorder attaches to route-decision events so a trace shows *why*
+// a replica won, not just that it did. Scoring is read-only: it must not
+// advance cursors or otherwise mutate policy state, and the routed outcome
+// must be identical whether or not anyone calls it.
+type Scorer interface {
+	Score(req Request, r Replica) float64
+}
+
 // Policy names accepted by ByName.
 const (
 	NameRoundRobin       = "round-robin"
@@ -111,6 +121,10 @@ func (p *RoundRobin) Pick(_ Request, replicas []Replica) int {
 	return i
 }
 
+// Score implements Scorer. Round-robin consults no load signal, so every
+// replica scores zero; notably it does NOT advance the cursor.
+func (p *RoundRobin) Score(_ Request, _ Replica) float64 { return 0 }
+
 // LeastQueue routes to the replica with the fewest outstanding requests
 // (queued + running), breaking ties by lowest replica ID. Tie-breaking on
 // the ID rather than the slice position keeps picks stable however the
@@ -136,6 +150,12 @@ func (p *LeastQueue) Pick(_ Request, replicas []Replica) int {
 	return best
 }
 
+// Score implements Scorer: the replica's outstanding queue depth (lower
+// wins).
+func (p *LeastQueue) Score(_ Request, r Replica) float64 {
+	return float64(r.QueueDepth())
+}
+
 // LeastKV routes to the replica with the most free KV pages — memory
 // headroom as the load signal — breaking ties by lowest replica ID.
 type LeastKV struct{}
@@ -156,6 +176,11 @@ func (p *LeastKV) Pick(_ Request, replicas []Replica) int {
 		}
 	}
 	return best
+}
+
+// Score implements Scorer: the replica's free KV pages (higher wins).
+func (p *LeastKV) Score(_ Request, r Replica) float64 {
+	return float64(r.FreeKVPages())
 }
 
 // WeightedCapacity routes to the replica with the lowest outstanding load
@@ -186,6 +211,16 @@ func (p *WeightedCapacity) Pick(_ Request, replicas []Replica) int {
 		}
 	}
 	return best
+}
+
+// Score implements Scorer: outstanding load per unit of KV capacity (lower
+// wins). A zero-capacity replica scores its raw queue depth.
+func (p *WeightedCapacity) Score(_ Request, r Replica) float64 {
+	q := float64(r.QueueDepth())
+	if c := r.TotalKVPages(); c > 0 {
+		return q / float64(c)
+	}
+	return q
 }
 
 // SessionAffinity sticks multi-turn requests to the replica holding their
@@ -247,4 +282,18 @@ func (p *SessionAffinity) Pick(req Request, replicas []Replica) int {
 		}
 	}
 	return p.fallback.Pick(req, replicas)
+}
+
+// Score implements Scorer: the pinned prefix tokens the replica holds for
+// the request's session (higher wins), falling back to the capacity-
+// weighted load score when the replica holds none. Read-only — it probes
+// CachedPrefixTokens, which by the Replica contract does not perturb
+// eviction order.
+func (p *SessionAffinity) Score(req Request, r Replica) float64 {
+	if req.Session != 0 {
+		if t := r.CachedPrefixTokens(req.Session); t > 0 {
+			return float64(t)
+		}
+	}
+	return p.fallback.Score(req, r)
 }

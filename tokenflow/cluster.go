@@ -338,9 +338,12 @@ type ReplicaResult struct {
 	PrefixEvictions int64
 	// HostReloads counts evicted prefixes this replica reloaded from its
 	// host tier instead of recomputing; HostMirroredPages is the host
-	// memory its evicted pins' mirrors still occupy at the end of the run.
+	// memory its evicted pins' mirrors still occupy at the end of the run,
+	// HostMirrorBytes the same footprint in bytes (what a host-memory
+	// budget would charge).
 	HostReloads       int64
 	HostMirroredPages int
+	HostMirrorBytes   int64
 	// State is the replica's lifecycle state at the end of the run:
 	// "off", "warming", "active", or "draining" ("active" always, in a
 	// static cluster).
@@ -433,6 +436,11 @@ type ClusterResult struct {
 	HostReloadFallbacks int64
 	HostReloadDrops     int64
 
+	// HostMirrorBytes totals the host-tier prefix-mirror footprint across
+	// replicas at the end of the run — the host memory still holding
+	// reloadable copies of evicted pins.
+	HostMirrorBytes int64
+
 	// Transfers is the fabric's per-class traffic ledger: every byte the
 	// run moved, split by purpose (sync, evict, load, reload, migrate,
 	// prewarm, drain).
@@ -473,6 +481,11 @@ type ClusterResult struct {
 	// zero for non-forecasting policies.
 	ForecastError   float64
 	ForecastSamples int
+
+	// Obs holds the flight-recorder capture when the run was instrumented
+	// (Config.Obs); nil otherwise. Setting it aside, an instrumented
+	// ClusterResult is identical to the uninstrumented one.
+	Obs *ObsCapture
 }
 
 // GatewaySample is one control-tick sample of the scale-to-zero gateway
@@ -620,6 +633,7 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		InterconnectGBps: cfg.InterconnectGBps,
 		Topology:         topoSpec,
 		Autoscale:        asCfg,
+		Obs:              cfg.Obs.options(),
 	}, func(i int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		rcfg := cfg.Config
 		rcfg.GPU = reps[i].GPU
@@ -636,10 +650,12 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	res, err := cl.Run(toTrace(w))
 	if err != nil {
 		return nil, err
 	}
+	wall := time.Since(start)
 
 	out := &ClusterResult{
 		Router: cfg.Router,
@@ -720,12 +736,22 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 			PrefixEvictions:   kv.PrefixEvictions,
 			HostReloads:       kv.HostReloads,
 			HostMirroredPages: kv.HostMirroredPages,
+			HostMirrorBytes:   kv.HostMirrorBytes,
 			State:             rs.State.String(),
 			GPUSeconds:        rs.GPUSeconds,
 			Result:            convert(cfg.System, rs.Result),
 		})
 		out.PrefixEvictions += kv.PrefixEvictions
 		out.PinnedPrefixPages += kv.PinnedPages
+		out.HostMirrorBytes += kv.HostMirrorBytes
+	}
+	if res.Obs != nil {
+		out.Obs = newObsCapture(res.Obs, "cluster-"+string(cfg.Router), wall)
+		if cfg.Obs.Out != "" {
+			if _, err := out.Obs.WriteFiles(cfg.Obs.Out); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,131 @@
+package tokenflow
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ObsSpec turns on the flight recorder for a run. The zero value records
+// nothing and is guaranteed free: an uninstrumented run produces results
+// byte-identical to a build without the observability layer.
+type ObsSpec struct {
+	// Events records the request lifecycle on the event bus: arrival,
+	// gateway buffering/shedding, route decision (with the policy's
+	// score), queueing, admission, preemption/resume, first token, decode
+	// progress, completion, KV pin/evict/mirror/reload, migration
+	// accept/decline, pre-warm, drain hand-off, scale decisions, and
+	// fabric transfers.
+	Events bool
+
+	// Series records named per-tick telemetry series: per-replica queue
+	// depth, KV utilization and host-mirror bytes, per-link fabric
+	// busy/backlog, active replica count, gateway depth, and the
+	// autoscaler's full signal vector. Series ride the cluster's sampling
+	// loop, so they need SampleEverySeconds set and a RunCluster run;
+	// single-device Run records no series.
+	Series bool
+
+	// Profile times the simulator's own phases (control tick, engine
+	// step, fabric settle) with the wall clock, for the BENCH_obs.json
+	// self-profile. Wall time never feeds back into virtual-time results.
+	Profile bool
+
+	// SampleEvery thins series recording to every Nth sampling tick
+	// (0 or 1 = every tick).
+	SampleEvery int
+
+	// Out, when non-empty, writes every captured layer into this
+	// directory after the run: events.jsonl, trace.json (Chrome
+	// trace_event JSON — open in Perfetto), series.csv, BENCH_obs.json.
+	Out string
+}
+
+// Enabled reports whether any layer is on.
+func (s ObsSpec) Enabled() bool { return s.Events || s.Series || s.Profile }
+
+// options maps the public spec onto the internal capture options.
+func (s ObsSpec) options() obs.Options {
+	return obs.Options{
+		Events:      s.Events,
+		Series:      s.Series,
+		Profile:     s.Profile,
+		SampleEvery: s.SampleEvery,
+	}
+}
+
+// ObsCapture holds the observability products of one instrumented run.
+// Results carry a nil *ObsCapture when the run was not instrumented; all
+// methods are nil-safe.
+type ObsCapture struct {
+	cap      *obs.Capture
+	scenario string
+	wall     time.Duration
+}
+
+// newObsCapture wraps an internal capture; nil in, nil out.
+func newObsCapture(c *obs.Capture, scenario string, wall time.Duration) *ObsCapture {
+	if c == nil {
+		return nil
+	}
+	return &ObsCapture{cap: c, scenario: scenario, wall: wall}
+}
+
+// EventCount reports the number of recorded lifecycle events.
+func (c *ObsCapture) EventCount() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap.Events.Len()
+}
+
+// WriteEventsJSONL writes the event log as one JSON object per line in
+// deterministic (time, replica, sequence) order — byte-stable across runs
+// of the same scenario.
+func (c *ObsCapture) WriteEventsJSONL(w io.Writer) error {
+	if c == nil || c.cap.Events == nil {
+		return nil
+	}
+	return c.cap.Events.WriteJSONL(w)
+}
+
+// WriteTraceJSON writes the event log as Chrome trace_event JSON: one
+// track per replica plus a cluster track, request lifecycles as
+// queue/prefill/decode slices, routing and migrations as flow arrows.
+// Open the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (c *ObsCapture) WriteTraceJSON(w io.Writer) error {
+	if c == nil || c.cap.Events == nil {
+		return nil
+	}
+	return c.cap.Events.WriteChromeTrace(w)
+}
+
+// WriteSeriesCSV writes every telemetry series as long-format CSV
+// (series,time_s,value).
+func (c *ObsCapture) WriteSeriesCSV(w io.Writer) error {
+	if c == nil || c.cap.Series == nil {
+		return nil
+	}
+	return c.cap.Series.WriteCSV(w)
+}
+
+// WriteProfileJSON writes the run's self-profile (per-phase wall-clock
+// timings) in the BENCH_obs.json shape.
+func (c *ObsCapture) WriteProfileJSON(w io.Writer) error {
+	if c == nil || c.cap.Profile == nil {
+		return nil
+	}
+	rep := c.cap.Profile.Report(c.scenario, c.cap.Events.Len(), c.wall)
+	return rep.WriteJSON(w)
+}
+
+// WriteFiles writes every captured layer into dir (created if needed) and
+// returns the paths written: events.jsonl, trace.json, series.csv,
+// BENCH_obs.json — only the layers that were on.
+func (c *ObsCapture) WriteFiles(dir string) ([]string, error) {
+	if c == nil {
+		return nil, nil
+	}
+	return c.cap.WriteFiles(dir, c.scenario, c.wall)
+}

@@ -1,0 +1,195 @@
+package tokenflow_test
+
+// Public-surface contract of the flight recorder: the zero ObsSpec is
+// pure (results identical to an uninstrumented run, Obs nil), and an
+// instrumented run exports valid Chrome trace JSON, parseable JSONL,
+// CSV series, and a profile report — through the writer methods and the
+// Out-directory auto-export alike.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/tokenflow"
+)
+
+func obsClusterConfig(spec tokenflow.ObsSpec) tokenflow.ClusterConfig {
+	return tokenflow.ClusterConfig{
+		Config: tokenflow.Config{
+			System:             tokenflow.SystemTokenFlow,
+			GPU:                "RTX-4090",
+			Model:              "Llama3-8B",
+			MemFraction:        0.9,
+			HostPrefixCache:    true,
+			SampleEverySeconds: 0.5,
+			Obs:                spec,
+		},
+		Replicas: 2,
+		Router:   tokenflow.RouterSessionAffinity,
+		Migrate:  true,
+	}
+}
+
+// TestObsSpecZeroValueIsPure: the default spec records nothing, attaches
+// no capture, and leaves both Run and RunCluster results deep-equal to
+// instrumented runs with the capture set aside.
+func TestObsSpecZeroValueIsPure(t *testing.T) {
+	w := tokenflow.SessionWorkload(24, 60, 20, 42)
+	full := tokenflow.ObsSpec{Events: true, Series: true, Profile: true}
+
+	t.Run("cluster", func(t *testing.T) {
+		off, err := tokenflow.RunCluster(obsClusterConfig(tokenflow.ObsSpec{}), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Obs != nil {
+			t.Fatal("zero ObsSpec attached a capture")
+		}
+		on, err := tokenflow.RunCluster(obsClusterConfig(full), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.Obs == nil || on.Obs.EventCount() == 0 {
+			t.Fatal("instrumented run recorded no events")
+		}
+		on.Obs = nil
+		if !reflect.DeepEqual(off, on) {
+			t.Fatal("instrumented cluster run diverged from uninstrumented run")
+		}
+	})
+
+	t.Run("single-device", func(t *testing.T) {
+		cfg := tokenflow.Config{System: tokenflow.SystemTokenFlow, GPU: "RTX-4090"}
+		off, err := tokenflow.Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Obs != nil {
+			t.Fatal("zero ObsSpec attached a capture")
+		}
+		cfg.Obs = tokenflow.ObsSpec{Events: true, Profile: true}
+		on, err := tokenflow.Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.Obs == nil || on.Obs.EventCount() == 0 {
+			t.Fatal("instrumented run recorded no events")
+		}
+		on.Obs = nil
+		if !reflect.DeepEqual(off, on) {
+			t.Fatal("instrumented single-device run diverged from uninstrumented run")
+		}
+	})
+}
+
+// TestObsExportsAreValid runs an instrumented cluster and validates every
+// export format, plus the Out-directory auto-write.
+func TestObsExportsAreValid(t *testing.T) {
+	dir := t.TempDir()
+	spec := tokenflow.ObsSpec{
+		Events: true, Series: true, Profile: true,
+		Out: filepath.Join(dir, "obs"),
+	}
+	w := tokenflow.SessionWorkload(24, 60, 20, 42)
+	res, err := tokenflow.RunCluster(obsClusterConfig(spec), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chrome trace: a JSON document with a non-empty traceEvents array.
+	var buf bytes.Buffer
+	if err := res.Obs.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no events")
+	}
+
+	// JSONL: every line an object with the stable fields.
+	buf.Reset()
+	if err := res.Obs.WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("JSONL line %d does not parse: %v", lines+1, err)
+		}
+		if _, ok := e["kind"]; !ok {
+			t.Fatalf("JSONL line %d lacks a kind", lines+1)
+		}
+		lines++
+	}
+	if lines != res.Obs.EventCount() {
+		t.Fatalf("JSONL has %d lines, recorder holds %d events", lines, res.Obs.EventCount())
+	}
+
+	// Series CSV: header plus data, including the host-mirror series.
+	buf.Reset()
+	if err := res.Obs.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !bytes.HasPrefix([]byte(csv), []byte("series,time_s,value\n")) {
+		t.Fatal("series CSV lacks the header")
+	}
+	for _, name := range []string{"replica0/queue_depth", "replica0/kv_util",
+		"replica0/host_mirror_bytes", "cluster/active_replicas"} {
+		if !bytes.Contains([]byte(csv), []byte(name)) {
+			t.Fatalf("series CSV lacks %q", name)
+		}
+	}
+
+	// Profile: the BENCH_obs.json shape with the engine-step phase hot.
+	buf.Reset()
+	if err := res.Obs.WriteProfileJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var prof struct {
+		Scenario string `json:"scenario"`
+		Events   int    `json:"events"`
+		Phases   map[string]struct {
+			Calls uint64 `json:"calls"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &prof); err != nil {
+		t.Fatalf("profile JSON does not parse: %v", err)
+	}
+	if prof.Events != res.Obs.EventCount() || prof.Phases["engine_step"].Calls == 0 {
+		t.Fatalf("profile report inconsistent: %+v", prof)
+	}
+
+	// Out auto-wrote the same four files.
+	for _, name := range []string{"events.jsonl", "trace.json", "series.csv", "BENCH_obs.json"} {
+		if _, err := os.Stat(filepath.Join(spec.Out, name)); err != nil {
+			t.Errorf("Out directory lacks %s: %v", name, err)
+		}
+	}
+
+	// The host-mirror report fields agree across levels.
+	var sum int64
+	for _, rr := range res.Replicas {
+		if (rr.HostMirrorBytes > 0) != (rr.HostMirroredPages > 0) {
+			t.Errorf("replica %d: mirror bytes %d vs pages %d disagree",
+				rr.ID, rr.HostMirrorBytes, rr.HostMirroredPages)
+		}
+		sum += rr.HostMirrorBytes
+	}
+	if res.HostMirrorBytes != sum {
+		t.Errorf("cluster HostMirrorBytes %d != per-replica sum %d", res.HostMirrorBytes, sum)
+	}
+}

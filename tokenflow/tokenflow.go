@@ -27,6 +27,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/request"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -108,6 +109,12 @@ type Config struct {
 
 	// MaxSimTimeSeconds aborts runaway simulations (default 4 sim-hours).
 	MaxSimTimeSeconds float64
+
+	// Obs turns on the flight recorder: lifecycle event tracing,
+	// telemetry series, and the simulator self-profile. The zero value
+	// records nothing and leaves results byte-identical to an
+	// uninstrumented run.
+	Obs ObsSpec
 }
 
 // TokenFlowOptions tunes the TokenFlow scheduler (§4 and §7.5).
@@ -174,6 +181,11 @@ type Result struct {
 
 	Requests []RequestStats
 	Samples  []Sample
+
+	// Obs holds the flight-recorder capture when the run was instrumented
+	// (Config.Obs); nil otherwise. Setting it aside, an instrumented
+	// Result is identical to the uninstrumented one.
+	Obs *ObsCapture
 }
 
 // Run simulates the deployment serving the workload.
@@ -189,11 +201,25 @@ func Run(cfg Config, w Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cap := obs.NewCapture(cfg.Obs.options())
+	if cap != nil {
+		e.SetObs(cap.Recorder(), cap.Prof(), 0)
+	}
+	start := time.Now()
 	res, err := e.Run(toTrace(w))
 	if err != nil {
 		return nil, err
 	}
-	return convert(cfg.System, res), nil
+	out := convert(cfg.System, res)
+	if cap != nil {
+		out.Obs = newObsCapture(cap, string(cfg.System), time.Since(start))
+		if cfg.Obs.Out != "" {
+			if _, err := out.Obs.WriteFiles(cfg.Obs.Out); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
 }
 
 func buildEngineConfig(cfg Config) (engine.Config, error) {
