@@ -71,6 +71,7 @@ func BenchmarkHeteroPools(b *testing.B)                 { runExperiment(b, "hete
 func BenchmarkAutoscale(b *testing.B)                   { runExperiment(b, "autoscale") }
 func BenchmarkFabric(b *testing.B)                      { runExperiment(b, "fabric") }
 func BenchmarkSLOPolicies(b *testing.B)                 { runExperiment(b, "slo") }
+func BenchmarkScaleEnvelope(b *testing.B)               { runExperiment(b, "scale") }
 
 // BenchmarkRandomSpecInvariants drives seeded random cluster scenarios
 // (autoscale × topology × migration × gateway space) through the

@@ -15,6 +15,14 @@
 // regressed by more than 2x:
 //
 //	tokenflow-bench -obs-profile BENCH_obs.json -obs-baseline old.json
+//
+// -core-profile runs the core scale scenario (the "scale" experiment: 500
+// round-robin replicas serving ~1M session-turn requests on the sharded
+// executor) and writes the simulator's throughput envelope as
+// BENCH_core.json; -core-baseline gates it against a committed baseline
+// with the same 2x rule:
+//
+//	tokenflow-bench -core-profile BENCH_core.json -core-baseline old.json
 package main
 
 import (
@@ -101,15 +109,89 @@ func runObsProfile(path, baseline string) error {
 	return nil
 }
 
+// benchPhase builds one BENCH_core phase: the run's wall time amortized
+// over calls (a run, a request, a token).
+func benchPhase(calls uint64, wall time.Duration) obs.BenchPhase {
+	p := obs.BenchPhase{Calls: calls, TotalNS: wall.Nanoseconds()}
+	if calls > 0 {
+		p.AvgNS = p.TotalNS / int64(calls)
+	}
+	return p
+}
+
+// runCoreProfile runs the core scale scenario, writes its BENCH_core.json
+// to path, and gates it against baseline when given. Unlike the obs
+// profile — per-phase internal timings — the core profile is the outside
+// view: wall time per run, per finished request, and per generated token.
+func runCoreProfile(path, baseline string, shards int) error {
+	run, err := experiments.RunScale(shards)
+	if err != nil {
+		return err
+	}
+	rep := obs.BenchReport{
+		Scenario: fmt.Sprintf("core-scale-%dx%d", run.Replicas, run.Shards),
+		Events:   int(run.Events),
+		WallNS:   run.Wall.Nanoseconds(),
+		Phases: map[string]obs.BenchPhase{
+			"run_total":   benchPhase(1, run.Wall),
+			"per_request": benchPhase(uint64(run.Requests), run.Wall),
+			"per_token":   benchPhase(uint64(run.OutputTokens), run.Wall),
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("core profile: %d replicas / %d shards, %d requests, %d tokens, %d events in %.1fs -> %s\n",
+		run.Replicas, run.Shards, run.Requests, run.OutputTokens, run.Events,
+		run.Wall.Seconds(), path)
+	if baseline == "" {
+		return nil
+	}
+	baseData, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	base, err := obs.ReadBenchReport(baseData)
+	if err != nil {
+		return err
+	}
+	if err := obs.CompareBench(rep, base, obsRegressionFactor); err != nil {
+		return err
+	}
+	fmt.Printf("core profile: within %.1fx of baseline %s\n", obsRegressionFactor, baseline)
+	return nil
+}
+
 func main() {
 	obsProfile := flag.String("obs-profile", "",
 		"run the observability reference scenario and write BENCH_obs.json to `file` (skips the experiment tables)")
 	obsBaseline := flag.String("obs-baseline", "",
 		"compare -obs-profile output against this committed BENCH_obs.json; exit non-zero on >2x per-phase regression")
+	coreProfile := flag.String("core-profile", "",
+		"run the core scale scenario (500 replicas / ~1M requests, sharded) and write BENCH_core.json to `file` (skips the experiment tables)")
+	coreBaseline := flag.String("core-baseline", "",
+		"compare -core-profile output against this committed BENCH_core.json; exit non-zero on >2x per-phase regression")
+	shards := flag.Int("shards", 8,
+		"shard goroutines for the -core-profile run (results are shard-count independent; this only sets parallelism)")
 	flag.Parse()
 	if *obsProfile != "" {
 		if err := runObsProfile(*obsProfile, *obsBaseline); err != nil {
 			fmt.Fprintf(os.Stderr, "obs profile: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *coreProfile != "" {
+		if err := runCoreProfile(*coreProfile, *coreBaseline, *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "core profile: %v\n", err)
 			os.Exit(1)
 		}
 		return

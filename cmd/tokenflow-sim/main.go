@@ -75,8 +75,9 @@ var flagGroups = []struct {
 	{"Deployment", []string{"system", "gpu", "model", "mem-fraction"}},
 	{"Workload", []string{"workload", "n", "lambda", "duration", "spike-every",
 		"prompt", "output", "rate", "seed"}},
-	{"Cluster", []string{"replicas", "router", "hetero", "migrate", "migration-policy"}},
-	{"Transfer fabric / KV movement", []string{"topology", "link-gbps", "switch-gbps", "host-cache"}},
+	{"Cluster", []string{"replicas", "router", "hetero", "migrate", "migration-policy", "shards"}},
+	{"Transfer fabric / KV movement", []string{"topology", "link-gbps", "switch-gbps", "host-cache",
+		"host-cache-pages"}},
 	{"Autoscaling", []string{"autoscale", "min-replicas", "max-replicas", "warmup", "prewarm",
 		"slo-p99", "forecast-rate", "gateway-depth"}},
 	{"Observability", []string{"trace-out", "series-out", "obs-profile"}},
@@ -176,6 +177,8 @@ func main() {
 		linkBW   = flag.Float64("link-gbps", 25, "interconnect link bandwidth (GB/s): per pair (full-mesh) or per NIC direction (shared-nic)")
 		switchBW = flag.Float64("switch-gbps", 0, "shared-nic switch stage bandwidth (GB/s); 0 = non-blocking")
 		hostCach = flag.Bool("host-cache", false, "host-tier prefix cache: evicted session pins reload over h2d instead of recomputing")
+		hostPage = flag.Int("host-cache-pages", 0, "cap the host-tier prefix cache at this many mirrored pages (0 = unbounded)")
+		shards   = flag.Int("shards", 0, "partition replicas across this many parallel worker goroutines (0/1 = single-threaded; results are identical either way)")
 		scaler   = flag.String("autoscale", "", "autoscaling policy: queue-pressure | kv-utilization | slo-target | predictive (empty = static pool)")
 		minReps  = flag.Int("min-replicas", 1, "autoscaling lower bound on in-service replicas; 0 enables scale-to-zero with the gateway queue")
 		maxReps  = flag.Int("max-replicas", 0, "autoscaling upper bound (default: the replica layout size)")
@@ -208,11 +211,12 @@ func main() {
 	}
 
 	cfg := tokenflow.Config{
-		System:          tokenflow.System(*system),
-		GPU:             *gpuName,
-		Model:           *modelID,
-		MemFraction:     *memFrac,
-		HostPrefixCache: *hostCach,
+		System:               tokenflow.System(*system),
+		GPU:                  *gpuName,
+		Model:                *modelID,
+		MemFraction:          *memFrac,
+		HostPrefixCache:      *hostCach,
+		HostPrefixCachePages: *hostPage,
 		Obs: tokenflow.ObsSpec{
 			Events:  *traceOut != "",
 			Series:  *seriesOu != "",
@@ -237,6 +241,7 @@ func main() {
 			Router:          tokenflow.RouterPolicy(*routerP),
 			Migrate:         *migrate,
 			MigrationPolicy: tokenflow.MigrationPolicy(*migPol),
+			Shards:          *shards,
 			Topology: &tokenflow.TopologySpec{
 				Kind:       tokenflow.TopologyKind(*topology),
 				LinkGBps:   *linkBW,

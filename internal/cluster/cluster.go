@@ -70,6 +70,17 @@ type Config struct {
 	// disables it.
 	SampleEvery time.Duration
 
+	// Shards partitions the replicas across parallel worker goroutines
+	// (see shards.go): replica i runs its engine events on the sub-clock
+	// of shard i mod Shards, synchronized with the coordinator clock at
+	// every cross-replica event. 0 or 1 keeps the single-threaded loop.
+	// Results are identical either way (the determinism suite asserts deep
+	// equality), except that a sharded run which hits MaxSimTime stops at
+	// the deadline instead of one event past it. Clamped to Replicas.
+	// Incompatible with Obs.Events and Obs.Profile, whose sinks are
+	// unsharded; Obs.Series is fine (recorded only by the coordinator).
+	Shards int
+
 	// MaxSimTime aborts runaway simulations (default 4 simulated hours).
 	MaxSimTime time.Duration
 
@@ -411,6 +422,13 @@ type Result struct {
 	SimEnd           time.Duration
 	InitialInService int
 
+	// EventsProcessed counts the simulation events fired across every
+	// clock of the run (the coordinator clock plus any shard sub-clocks) —
+	// the denominator of per-event cost in the core benchmark and a
+	// determinism witness: a sharded run fires exactly the events of its
+	// single-threaded twin.
+	EventsProcessed uint64
+
 	// PerReplica lists each replica's stats in replica order.
 	PerReplica []ReplicaStats
 
@@ -471,6 +489,13 @@ type Cluster struct {
 	replicas     []*replica
 	views        []router.Replica
 	arrivalsDone bool
+
+	// Sharded execution (see shards.go): shards[s] owns the sub-clock of
+	// replicas with id ≡ s (mod len(shards)); empty when single-threaded.
+	// busyShards and ttftScratch are reused barrier scratch buffers.
+	shards      []*shard
+	busyShards  []*shard
+	ttftScratch []ttftSample
 
 	// fab is the unified transfer fabric: every replica's host link pair
 	// plus the interconnect the Topology spec lays out. Routing
@@ -555,16 +580,31 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: unknown migration policy %q (have %v)",
 			cfg.MigrationPolicy, MigrationPolicies())
 	}
+	if cfg.Shards > cfg.Replicas {
+		cfg.Shards = cfg.Replicas
+	}
+	if cfg.Shards > 1 && (cfg.Obs.Events || cfg.Obs.Profile) {
+		return nil, fmt.Errorf("cluster: sharded execution (Shards=%d) cannot record obs events or profile phases; disable them or run single-threaded", cfg.Shards)
+	}
 	topo, err := fabric.NewTopology(cfg.Replicas, *cfg.Topology)
 	if err != nil {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, clock: simclock.New(), fab: fabric.NewScheduler(topo)}
+	if cfg.Shards > 1 {
+		for s := 0; s < cfg.Shards; s++ {
+			c.shards = append(c.shards, &shard{id: s, clock: simclock.New()})
+		}
+	}
 	c.obsCap = obs.NewCapture(cfg.Obs)
 	c.rec, c.reg, c.prof = c.obsCap.Recorder(), c.obsCap.Reg(), c.obsCap.Prof()
 	c.fab.SetObs(c.rec, c.prof)
 	for i := 0; i < cfg.Replicas; i++ {
-		eng, err := build(i, c.clock, c.fab.Endpoint(i))
+		clk := c.clock
+		if len(c.shards) > 0 {
+			clk = c.shardOf(i).clock
+		}
+		eng, err := build(i, clk, c.fab.Endpoint(i))
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
@@ -586,6 +626,18 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		// skip the estimator (and its per-tick sort) entirely.
 		c.ttftWin = metrics.NewTTFTWindow(cfg.Autoscale.P99Window)
 		for _, rep := range c.replicas {
+			if len(c.shards) > 0 {
+				// First tokens fire on shard goroutines: buffer them
+				// shard-locally and merge at the next barrier (shards.go),
+				// so the shared window is only ever written by the
+				// coordinator.
+				id := rep.id
+				sh := c.shardOf(id)
+				rep.eng.SetFirstTokenObserver(func(r *request.Request, t simclock.Time) {
+					sh.ttft = append(sh.ttft, ttftSample{at: t, replica: id, ttft: t.Sub(r.Arrival)})
+				})
+				continue
+			}
 			rep.eng.SetFirstTokenObserver(func(r *request.Request, t simclock.Time) {
 				c.ttftWin.Observe(t, t.Sub(r.Arrival))
 			})
@@ -613,6 +665,13 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 	// the policy sees live replica state. Under scale-to-zero an arrival
 	// that finds no active replica goes through the gateway instead
 	// (gateway.go): buffered or shed, and always a cold-start trigger.
+	// A sharded run whose configuration needs no coordinator events at all
+	// pre-routes arrivals straight onto the shard clocks instead.
+	if c.fastShardPath() {
+		c.primeSharded(w)
+		timedOut := c.runSharded(simclock.Time(c.cfg.MaxSimTime))
+		return c.collect(timedOut), nil
+	}
 	for i, it := range w.Items {
 		it := it
 		id := i
@@ -682,10 +741,14 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 
 	timedOut := false
 	deadline := simclock.Time(c.cfg.MaxSimTime)
-	for c.clock.Step() {
-		if c.clock.Now() > deadline {
-			timedOut = true
-			break
+	if len(c.shards) > 0 {
+		timedOut = c.runSharded(deadline)
+	} else {
+		for c.clock.Step() {
+			if c.clock.Now() > deadline {
+				timedOut = true
+				break
+			}
 		}
 	}
 	return c.collect(timedOut), nil
@@ -828,6 +891,7 @@ func (c *Cluster) done() bool {
 
 // collect tears down every replica and assembles the cluster result.
 func (c *Cluster) collect(timedOut bool) *Result {
+	end := c.endNow()
 	res := &Result{
 		Policy:   c.cfg.Policy.Name(),
 		Replicas: len(c.replicas),
@@ -842,8 +906,8 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	var loads []float64
 	for _, rep := range c.replicas {
 		if rep.state.InService() {
-			rep.busy += c.clock.Now().Sub(rep.sinceOn)
-			rep.sinceOn = c.clock.Now()
+			rep.busy += end.Sub(rep.sinceOn)
+			rep.sinceOn = end
 		}
 		if timedOut {
 			rep.eng.MarkTimedOut()
@@ -876,7 +940,7 @@ func (c *Cluster) collect(timedOut bool) *Result {
 		}
 	}
 	if makespan == 0 {
-		makespan = c.clock.Now()
+		makespan = end
 	}
 	res.Makespan = time.Duration(makespan)
 	res.Report = metrics.Analyze(res.Requests, makespan, c.replicas[0].eng.QoSParams())
@@ -905,7 +969,8 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.GatewayShed = c.gatewayShed
 	res.GatewaySeries = c.gatewaySeries
 	res.Obs = c.obsCap
-	res.SimEnd = time.Duration(c.clock.Now())
+	res.SimEnd = time.Duration(end)
+	res.EventsProcessed = c.eventsProcessed()
 	res.InitialInService = len(c.replicas)
 	if a := c.cfg.Autoscale; a != nil {
 		res.InitialInService = a.Initial

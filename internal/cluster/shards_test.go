@@ -1,0 +1,118 @@
+package cluster_test
+
+// Sharded-vs-single-threaded equivalence: for every row of the
+// determinism grid (autoscale × topology × migration), a run partitioned
+// across parallel shard goroutines must produce a Result deeply identical
+// to the single-threaded run of the same seed and spec — reports,
+// per-request token timelines, fabric ledgers, scale events, event
+// counts, everything. CI runs these under -race, so a shard touching
+// state it does not own fails even when the merged result happens to
+// match.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+// TestShardedDeterminismGrid proves sharded execution is a pure
+// performance change across the full grid: Shards ∈ {2, 3, 8} (8 clamps
+// to the replica count) against the single-threaded baseline.
+func TestShardedDeterminismGrid(t *testing.T) {
+	w := sessionWorkload(t)
+	for _, row := range determinismGrid() {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			run := func(shards int) *cluster.Result {
+				cfg, build := row.make()
+				cfg.Shards = shards
+				// Sampling on so the merged series and imbalance series
+				// must match too, not just the end-of-run scalars.
+				cfg.SampleEvery = 250 * time.Millisecond
+				cl, err := cluster.New(cfg, build)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := cl.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			single := run(0)
+			for _, shards := range []int{2, 3, 8} {
+				got := run(shards)
+				if reflect.DeepEqual(single, got) {
+					continue
+				}
+				switch {
+				case !reflect.DeepEqual(single.Report, got.Report):
+					t.Fatalf("shards=%d: reports differ:\n%+v\n%+v", shards, single.Report, got.Report)
+				case !reflect.DeepEqual(single.ScaleEvents, got.ScaleEvents):
+					t.Fatalf("shards=%d: scale events differ:\n%+v\n%+v", shards, single.ScaleEvents, got.ScaleEvents)
+				case !reflect.DeepEqual(single.TransferClasses, got.TransferClasses):
+					t.Fatalf("shards=%d: transfer ledgers differ:\n%+v\n%+v", shards, single.TransferClasses, got.TransferClasses)
+				case single.EventsProcessed != got.EventsProcessed:
+					t.Fatalf("shards=%d: processed %d events, single-threaded processed %d",
+						shards, got.EventsProcessed, single.EventsProcessed)
+				default:
+					t.Fatalf("shards=%d: result diverged from single-threaded run", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedFastPathMatchesLegacy exercises the barrier-free fast path —
+// static pool, round-robin routing, no migration, no sampling — where
+// arrivals pre-route straight onto the shard clocks, and requires deep
+// equality with the single-threaded routed run.
+func TestShardedFastPathMatchesLegacy(t *testing.T) {
+	w := sessionWorkload(t)
+	run := func(shards int) *cluster.Result {
+		cfg := cluster.Config{
+			Replicas: 3,
+			Policy:   router.NewRoundRobin(),
+			Shards:   shards,
+		}
+		_, build := determinismGrid()[0].make()
+		cl, err := cluster.New(cfg, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	single := run(0)
+	for _, shards := range []int{2, 3} {
+		if got := run(shards); !reflect.DeepEqual(single, got) {
+			t.Fatalf("shards=%d: fast-path result diverged from single-threaded run", shards)
+		}
+	}
+}
+
+// TestShardedRejectsUnshardedObsSinks pins the validation: the event bus
+// and phase profiler are single-writer sinks, so sharded execution must
+// refuse them up front instead of racing at runtime. The series layer is
+// coordinator-driven and stays allowed.
+func TestShardedRejectsUnshardedObsSinks(t *testing.T) {
+	_, build := determinismGrid()[0].make()
+	for _, o := range []obs.Options{{Events: true}, {Profile: true}} {
+		cfg := cluster.Config{Replicas: 3, Policy: router.NewRoundRobin(), Shards: 2, Obs: o}
+		if _, err := cluster.New(cfg, build); err == nil {
+			t.Fatalf("Shards=2 with %+v: expected a config error, got none", o)
+		}
+	}
+	cfg := cluster.Config{Replicas: 3, Policy: router.NewRoundRobin(), Shards: 2,
+		Obs: obs.Options{Series: true}}
+	if _, err := cluster.New(cfg, build); err != nil {
+		t.Fatalf("Shards=2 with series-only obs should be allowed: %v", err)
+	}
+}

@@ -56,6 +56,17 @@ func (s *Scheduler) Name() string { return "tokenflow" }
 // runs unchunked prefill-priority iterations like its SGLang substrate.
 func (s *Scheduler) PrefillChunkTokens() int { return 0 }
 
+// NextDecisionTime implements sched.Waker: while the interval gate holds,
+// a stressed system gets only light passes, so absent other events the
+// next decision change is the full buffer-balancing pass at the end of the
+// current RescheduleInterval.
+func (s *Scheduler) NextDecisionTime(now simclock.Time) simclock.Time {
+	if !s.ranFull {
+		return simclock.Forever
+	}
+	return s.lastFull.Add(s.cfg.RescheduleInterval)
+}
+
 // Decide implements sched.Scheduler with the two-phase algorithm of §4.2:
 // a full working-set determination and buffer-balancing pass every
 // RescheduleInterval while the system is stressed, and a cheap prefill-

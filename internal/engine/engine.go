@@ -38,6 +38,11 @@ type KVPolicy struct {
 	// Offload. Off by default: it is an extension beyond the paper's §5
 	// manager, so the Table 2 ablations are unaffected.
 	HostCache bool
+
+	// HostCachePages bounds the host-tier mirror cache in pages (LRU past
+	// the budget); 0 means unlimited host memory. Only meaningful with
+	// HostCache.
+	HostCachePages int
 }
 
 // TokenFlowKVPolicy enables the full hierarchical manager of §5.
@@ -232,9 +237,40 @@ type Engine struct {
 	// for, though not yet registered in any queue.
 	pendingInjects int
 
-	gpuBusy   bool
-	inKick    bool
-	retryTick *simclock.Event
+	gpuBusy bool
+	inKick  bool
+	// retryTick is the single scheduled wakeup for quantum-gated
+	// schedulers (armed at sched.Waker's NextDecisionTime); retryAt is its
+	// target instant, kept to avoid cancel/reschedule churn. All other
+	// idle-with-outstanding progress is callback-driven.
+	retryTick simclock.Handle
+	retryAt   simclock.Time
+
+	// arena batch-allocates this engine's self-primed requests; cluster
+	// runs inject externally-built requests instead.
+	arena request.Arena
+
+	// viewBuf/viewBacklog/batchBuf are reused per-kick scratch: the view
+	// and decode batch are rebuilt on every scheduling step, which on
+	// million-request traces would otherwise dominate allocation. The
+	// scheduler contract already forbids retaining the view across calls,
+	// and at most one iteration is in flight, so single buffers suffice.
+	viewBuf     sched.View
+	viewBacklog []*request.Request
+	batchBuf    []*request.Request
+
+	// In-flight iteration completion state. Exactly one iteration runs at
+	// a time (gpuBusy), so its parameters live on the engine and the
+	// completion callbacks (iterDoneFn, stallDoneFn) are allocated once in
+	// New instead of one closure pair per iteration.
+	iterDoneFn  func(simclock.Time)
+	stallDoneFn func(simclock.Time)
+	kickFn      func(simclock.Time)
+	iterKind    iterKind
+	iterJobs    []*prefillJob // prefill: the launched job batch (reused)
+	iterJob     *prefillJob   // mixed: chunked head job, nil when none
+	iterTokens  int           // prefill/mixed: prompt tokens this iteration
+	iterDur     time.Duration
 
 	// onFirstToken, when set, observes every fresh request's first output
 	// token (the cluster feeds its windowed TTFT estimator from it). Pure
@@ -304,6 +340,19 @@ func New(cfg Config) (*Engine, error) {
 		ep:    ep,
 		track: request.NewTracker(),
 	}
+	// One callback trio for the engine's lifetime: with at most one
+	// iteration (or boundary stall) in flight, completion state lives on
+	// the engine and these replace a per-iteration closure allocation.
+	e.iterDoneFn = func(t simclock.Time) {
+		e.gpuBusy = false
+		e.completeIteration(t)
+		e.kick(t)
+	}
+	e.stallDoneFn = func(t simclock.Time) {
+		e.gpuBusy = false
+		e.kick(t)
+	}
+	e.kickFn = func(t simclock.Time) { e.kick(t) }
 	kvcfg := kvcache.Config{
 		PageTokens:       cfg.PageTokens,
 		GPUPages:         int(capTokens) / cfg.PageTokens,
@@ -314,6 +363,7 @@ func New(cfg Config) (*Engine, error) {
 		LoadEvictOverlap: cfg.KV.LoadEvictOverlap,
 		PriorityWrites:   cfg.KV.PriorityWrites,
 		HostCache:        cfg.KV.HostCache,
+		HostCachePages:   cfg.KV.HostCachePages,
 	}
 	if cfg.PrefixCacheFraction > 0 {
 		kvcfg.PrefixPages = int(cfg.PrefixCacheFraction * float64(kvcfg.GPUPages))
@@ -403,7 +453,7 @@ func (e *Engine) Prime(w trace.Workload) error {
 		it := it
 		id := i
 		e.clock.At(it.Arrival, func(now simclock.Time) {
-			r := request.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
+			r := e.arena.New(id, now, it.PromptLen, it.OutputLen, it.Rate)
 			r.Session, r.Turn = it.Session, it.Turn
 			if id == w.Len()-1 {
 				e.arrivalsDone = true
@@ -660,14 +710,14 @@ func (e *Engine) teardown() {
 
 // view assembles the scheduler's View.
 func (e *Engine) view(now simclock.Time) *sched.View {
-	backlogReqs := make([]*request.Request, len(e.backlog))
-	for i, j := range e.backlog {
-		backlogReqs[i] = j.req
+	e.viewBacklog = e.viewBacklog[:0]
+	for _, j := range e.backlog {
+		e.viewBacklog = append(e.viewBacklog, j.req)
 	}
-	return &sched.View{
+	e.viewBuf = sched.View{
 		Now:                now,
 		Waiting:            e.waiting,
-		PrefillBacklog:     backlogReqs,
+		PrefillBacklog:     e.viewBacklog,
 		Running:            e.running,
 		Preempted:          e.preempted,
 		Loading:            e.loading,
@@ -680,4 +730,5 @@ func (e *Engine) view(now simclock.Time) *sched.View {
 		AvgIterTime:        e.avgIter,
 		AvgPrefillPerToken: e.avgPrefillTok,
 	}
+	return &e.viewBuf
 }

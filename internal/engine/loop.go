@@ -10,10 +10,6 @@ import (
 	"repro/internal/simclock"
 )
 
-// retryInterval bounds how long the engine idles while schedulable work
-// exists (e.g. a quantum-gated scheduler declined everything).
-const retryInterval = 50 * time.Millisecond
-
 // decodeStride thins decode-progress events: one every this many generated
 // tokens (plus the completion event), keeping long generations from
 // dominating the event log.
@@ -37,10 +33,7 @@ func (e *Engine) kick(now simclock.Time) {
 	if stall := e.mem.IterBoundaryStall(now); stall > 0 {
 		e.gpuBusy = true
 		e.boundaryStall += stall
-		e.clock.After(stall, func(t simclock.Time) {
-			e.gpuBusy = false
-			e.kick(t)
-		})
+		e.clock.After(stall, e.stallDoneFn)
 		return
 	}
 
@@ -50,13 +43,37 @@ func (e *Engine) kick(now simclock.Time) {
 	if e.startIteration(now) {
 		return
 	}
-	// Idle with outstanding work: retry on a short tick so quantum-gated
-	// schedulers and in-flight transfers make progress.
-	if e.outstanding() && (e.retryTick == nil || !e.retryTick.Pending()) {
-		e.retryTick = e.clock.After(retryInterval, func(t simclock.Time) {
-			e.kick(t)
-		})
+	// Idle with outstanding work. The engine is strictly event-driven:
+	// every state change that could unblock the next iteration already
+	// re-kicks the loop (transfer completion via EvictDone/LoadDone, pin
+	// drains via PinDrained, iteration and migration completions, deferred
+	// host-reload injects). The only trigger no callback covers is time
+	// itself — a quantum-gated scheduler changing its answer at quantum
+	// expiry — so arm exactly one wakeup there and otherwise stay silent.
+	if e.outstanding() {
+		e.armRetry(now)
 	}
+}
+
+// armRetry schedules the single time-driven wakeup a quantum-gated
+// scheduler (sched.Waker) needs. Instants at or before now are ignored:
+// Decide already ran at now, so an immediate retry cannot differ and would
+// spin the event loop.
+func (e *Engine) armRetry(now simclock.Time) {
+	w, ok := e.cfg.Scheduler.(sched.Waker)
+	if !ok {
+		return
+	}
+	next := w.NextDecisionTime(now)
+	if next <= now || next == simclock.Forever {
+		return
+	}
+	if e.retryTick.Pending() && e.retryAt == next {
+		return
+	}
+	e.clock.Cancel(e.retryTick)
+	e.retryAt = next
+	e.retryTick = e.clock.At(next, e.kickFn)
 }
 
 // outstanding reports whether any request still needs device time.
@@ -188,7 +205,7 @@ func (e *Engine) startIteration(now simclock.Time) bool {
 // startPrefillIteration launches a prefill-priority iteration over as many
 // backlog jobs as fit the token budget and device memory.
 func (e *Engine) startPrefillIteration(now simclock.Time) bool {
-	var jobs []*prefillJob
+	jobs := e.iterJobs[:0]
 	budget := e.cfg.MaxPrefillTokens
 	for _, j := range e.backlog {
 		if len(jobs) > 0 && j.target > budget {
@@ -203,6 +220,7 @@ func (e *Engine) startPrefillIteration(now simclock.Time) bool {
 			break
 		}
 	}
+	e.iterJobs = jobs
 	if len(jobs) == 0 {
 		return false
 	}
@@ -210,15 +228,11 @@ func (e *Engine) startPrefillIteration(now simclock.Time) bool {
 	for _, j := range jobs {
 		total += j.target
 	}
+	e.iterKind = iterPrefill
+	e.iterTokens = total
 	dur := e.cost.PrefillTime(total)
 	e.mem.BackgroundSync(now, dur)
-	e.launch(now, dur, func(t simclock.Time) {
-		e.prefillIters++
-		for _, j := range jobs {
-			e.completePrefill(j, t)
-		}
-		e.observePrefill(dur, total)
-	})
+	e.launch(now, dur)
 	return true
 }
 
@@ -245,19 +259,12 @@ func (e *Engine) startMixedIteration(now simclock.Time, chunkTokens int) bool {
 	for _, r := range batch {
 		ctx += int64(r.ContextLen())
 	}
+	e.iterKind = iterMixed
+	e.iterJob = job
+	e.iterTokens = prefillTokens
 	dur := e.cost.MixedStepTime(prefillTokens, len(batch), ctx)
 	e.mem.BackgroundSync(now, dur)
-	e.launch(now, dur, func(t simclock.Time) {
-		e.mixedIters++
-		if job != nil {
-			job.done += prefillTokens
-			if job.done >= job.target {
-				e.completePrefill(job, t)
-			}
-			e.observePrefill(dur, prefillTokens)
-		}
-		e.advanceDecode(batch, t)
-	})
+	e.launch(now, dur)
 	return true
 }
 
@@ -272,31 +279,70 @@ func (e *Engine) startDecodeIteration(now simclock.Time) bool {
 	for _, r := range batch {
 		ctx += int64(r.ContextLen())
 	}
+	e.iterKind = iterDecode
 	dur := e.cost.DecodeStepTime(len(batch), ctx)
 	e.mem.BackgroundSync(now, dur)
-	e.launch(now, dur, func(t simclock.Time) {
-		e.decodeIters++
-		e.advanceDecode(batch, t)
-		e.observeDecode(dur)
-	})
+	e.launch(now, dur)
 	return true
 }
 
-// launch marks the device busy for dur and runs fn at completion, then
-// re-kicks the loop.
-func (e *Engine) launch(now simclock.Time, dur time.Duration, fn func(simclock.Time)) {
+// iterKind tags the in-flight iteration so completeIteration can finish
+// it without a per-iteration closure.
+type iterKind uint8
+
+const (
+	iterPrefill iterKind = iota
+	iterMixed
+	iterDecode
+)
+
+// launch marks the device busy for dur and schedules the engine's single
+// completion callback. The iteration's parameters (kind, jobs, batch,
+// token count) were staged on the engine by the start* caller; with at
+// most one iteration in flight they cannot be overwritten before
+// completeIteration consumes them.
+func (e *Engine) launch(now simclock.Time, dur time.Duration) {
 	e.iterations++
 	e.gpuBusy = true
-	e.clock.After(dur, func(t simclock.Time) {
-		e.gpuBusy = false
-		fn(t)
-		e.kick(t)
-	})
+	e.iterDur = dur
+	e.clock.After(dur, e.iterDoneFn)
 }
 
-// decodeBatch collects runnable decode requests up to MaxBatch.
+// completeIteration applies the staged iteration's effects at its
+// completion instant: prefill jobs land, decode batches advance, and the
+// profiled latency estimators observe the iteration.
+func (e *Engine) completeIteration(t simclock.Time) {
+	switch e.iterKind {
+	case iterPrefill:
+		e.prefillIters++
+		for _, j := range e.iterJobs {
+			e.completePrefill(j, t)
+		}
+		e.observePrefill(e.iterDur, e.iterTokens)
+	case iterMixed:
+		e.mixedIters++
+		if j := e.iterJob; j != nil {
+			j.done += e.iterTokens
+			if j.done >= j.target {
+				e.completePrefill(j, t)
+			}
+			e.observePrefill(e.iterDur, e.iterTokens)
+			e.iterJob = nil
+		}
+		e.advanceDecode(e.batchBuf, t)
+	case iterDecode:
+		e.decodeIters++
+		e.advanceDecode(e.batchBuf, t)
+		e.observeDecode(e.iterDur)
+	}
+}
+
+// decodeBatch collects runnable decode requests up to MaxBatch. The batch
+// reuses one scratch buffer: at most one iteration is ever in flight, and
+// its completion callback finishes with the batch before the next kick can
+// rebuild it.
 func (e *Engine) decodeBatch() []*request.Request {
-	var batch []*request.Request
+	batch := e.batchBuf[:0]
 	for _, r := range e.running {
 		if r.PrefillDone() && !r.GenerationDone() {
 			batch = append(batch, r)
@@ -305,6 +351,7 @@ func (e *Engine) decodeBatch() []*request.Request {
 			}
 		}
 	}
+	e.batchBuf = batch
 	return batch
 }
 

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// The scale experiment proves the simulator's envelope rather than a paper
+// figure: a 500-replica cluster serving ~1M session-turn requests, run
+// through the sharded parallel executor. It is the reference scenario
+// behind BENCH_core.json — CI re-runs it and gates the committed baseline
+// at 2x, the same contract BENCH_obs.json holds for the flight recorder.
+
+// scaleShards is the fixed shard count of the reference run. The scenario
+// is static + round-robin, so it takes the barrier-free fast path; results
+// are identical at any shard count (the determinism suite proves it) and
+// this only sets the parallelism of the reference measurement.
+const scaleShards = 8
+
+// scaleWorkload generates the ~1M-request trace: scaled(182000) chat
+// sessions (~5.5 turns each at the default 3..8 turn draw) over a
+// 10-minute arrival window, with deliberately light token shapes — the
+// experiment stresses event throughput and the per-request hot path, not
+// model FLOPs.
+func scaleWorkload() trace.Workload {
+	return trace.Sessions("scale-sessions", trace.SessionConfig{
+		Sessions:        scaled(182000),
+		Duration:        scaledDur(600),
+		FirstPromptMean: 128, FirstPromptStd: 32,
+		FollowupMean: 32, FollowupStd: 8,
+		OutputMean: 32, OutputStd: 8,
+		MinLen: 16, MaxLen: 512,
+		Rates: trace.FixedRate(0), // instant consumers: no buffer stalls
+		Seed:  7,
+	})
+}
+
+// ScaleRun summarizes one run of the scale scenario, for the experiment
+// table and the BENCH_core gate.
+type ScaleRun struct {
+	Replicas     int
+	Shards       int
+	Requests     int           // requests that finished generation
+	OutputTokens int64         // output tokens generated
+	Events       uint64        // simulator events fired across all clocks
+	Makespan     time.Duration // simulated time to the last token
+	Wall         time.Duration // real time the simulation took
+}
+
+// RunScale executes the scale scenario — scaled(500) round-robin TokenFlow
+// replicas serving scaleWorkload — partitioned across the given number of
+// shard goroutines (0 = single-threaded).
+func RunScale(shards int) (ScaleRun, error) {
+	replicas := scaled(500)
+	w := scaleWorkload()
+	cl, err := cluster.New(cluster.Config{
+		Replicas:   replicas,
+		Policy:     router.NewRoundRobin(),
+		Shards:     shards,
+		MaxSimTime: 4 * time.Hour,
+	}, buildReplica(dep4090Llama))
+	if err != nil {
+		return ScaleRun{}, err
+	}
+	start := time.Now()
+	res, err := cl.Run(w)
+	if err != nil {
+		return ScaleRun{}, err
+	}
+	wall := time.Since(start)
+	if res.TimedOut {
+		return ScaleRun{}, fmt.Errorf("scale: run timed out at %s", res.Makespan)
+	}
+	return ScaleRun{
+		Replicas:     replicas,
+		Shards:       shards,
+		Requests:     res.Report.Finished,
+		OutputTokens: res.Report.TotalOut,
+		Events:       res.EventsProcessed,
+		Makespan:     res.Makespan,
+		Wall:         wall,
+	}, nil
+}
+
+// ExpScale runs the scale envelope once at the reference shard count and
+// tabulates it.
+func ExpScale() (*Table, error) {
+	run, err := RunScale(scaleShards)
+	if err != nil {
+		return nil, err
+	}
+	perReq := time.Duration(0)
+	if run.Requests > 0 {
+		perReq = run.Wall / time.Duration(run.Requests)
+	}
+	return &Table{
+		ID:    "scale",
+		Title: "simulator scale envelope (sharded executor)",
+		Header: []string{"replicas", "shards", "requests", "out-tokens",
+			"events", "sim-makespan", "wall", "wall/request"},
+		Rows: [][]string{{
+			fint(int64(run.Replicas)),
+			fint(int64(run.Shards)),
+			fint(int64(run.Requests)),
+			fint(run.OutputTokens),
+			fint(int64(run.Events)),
+			fsec(run.Makespan),
+			fsec(run.Wall),
+			perReq.String(),
+		}},
+		Notes: "the simulator's envelope, not a paper artifact; " +
+			"BENCH_core.json gates this scenario at 2x in CI",
+	}, nil
+}

@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "tab01", "fig16", "fig17",
 		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "tab02",
 		"overhead", "cluster", "hetero", "autoscale", "fabric", "slo",
+		"scale",
 	}
 	all := All()
 	if len(all) != len(want) {

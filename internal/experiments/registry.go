@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"autoscale", ExpAutoscale},
 		{"fabric", ExpFabric},
 		{"slo", ExpSLO},
+		{"scale", ExpScale},
 	}
 }
 

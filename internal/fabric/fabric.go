@@ -111,6 +111,12 @@ type Topology struct {
 	// sw is the optional shared switch stage.
 	egress, ingress []*gpu.Link
 	sw              *gpu.Link
+
+	// paths[i][j] is the precomputed link sequence from replica i to j
+	// (nil diagonal), built once so the booking hot path never allocates.
+	// The slices are immutable after construction and therefore safe to
+	// read from concurrent shard goroutines.
+	paths [][][]*gpu.Link
 }
 
 // NewTopology builds the interconnect for the given replica count.
@@ -151,6 +157,24 @@ func NewTopology(replicas int, spec Spec) (*Topology, error) {
 			t.sw = gpu.NewLink("switch", spec.SwitchGBps*1e9)
 		}
 	}
+	t.paths = make([][][]*gpu.Link, replicas)
+	for i := range t.paths {
+		t.paths[i] = make([][]*gpu.Link, replicas)
+		for j := range t.paths[i] {
+			if i == j {
+				continue
+			}
+			if spec.Kind == FullMesh {
+				t.paths[i][j] = []*gpu.Link{t.pair[i][j]}
+				continue
+			}
+			path := []*gpu.Link{t.egress[i]}
+			if t.sw != nil {
+				path = append(path, t.sw)
+			}
+			t.paths[i][j] = append(path, t.ingress[j])
+		}
+	}
 	return t, nil
 }
 
@@ -187,21 +211,15 @@ func (t *Topology) HostH2D(replica int) *gpu.Link {
 
 // Path resolves the interconnect link sequence a transfer from one replica
 // to another traverses: the dedicated pair link under FullMesh; egress NIC,
-// optional switch, ingress NIC under SharedNIC.
+// optional switch, ingress NIC under SharedNIC. The returned slice is
+// shared and immutable — callers must not modify it.
 func (t *Topology) Path(from, to int) []*gpu.Link {
 	t.checkReplica(from)
 	t.checkReplica(to)
 	if from == to {
 		panic(fmt.Sprintf("fabric: self-transfer on replica %d", from))
 	}
-	if t.spec.Kind == FullMesh {
-		return []*gpu.Link{t.pair[from][to]}
-	}
-	path := []*gpu.Link{t.egress[from]}
-	if t.sw != nil {
-		path = append(path, t.sw)
-	}
-	return append(path, t.ingress[to])
+	return t.paths[from][to]
 }
 
 // Links lists every link of the topology (attached host pairs first, then
@@ -295,8 +313,13 @@ type ClassStats struct {
 // queued behind a resume load on the host link) is modelled rather than
 // assumed away.
 type TransferScheduler struct {
-	topo    *Topology
-	classes [numClasses]ClassStats
+	topo *Topology
+	// classes is sharded by booking replica (row replica+1; row 0 takes
+	// direct Book calls with no replica). Host-link bookings are issued
+	// only by their own replica's engine, so under sharded cluster
+	// execution each row has a single writer and bookings from parallel
+	// shards never contend; ClassStats sums the rows on read.
+	classes [][numClasses]ClassStats
 
 	// obs/prof are the optional flight-recorder sinks; both default nil
 	// (free). Booking emits one KindTransfer event per transfer and
@@ -307,11 +330,10 @@ type TransferScheduler struct {
 
 // NewScheduler wraps a topology in a transfer scheduler.
 func NewScheduler(topo *Topology) *TransferScheduler {
-	s := &TransferScheduler{topo: topo}
-	for i := range s.classes {
-		s.classes[i].Class = Class(i)
+	return &TransferScheduler{
+		topo:    topo,
+		classes: make([][numClasses]ClassStats, topo.n+1),
 	}
-	return s
 }
 
 // Topology exposes the scheduler's link set.
@@ -369,7 +391,7 @@ func (s *TransferScheduler) book(class Class, path []*gpu.Link, now simclock.Tim
 	for _, l := range path {
 		l.Reserve(start, done, bytes)
 	}
-	cs := &s.classes[class]
+	cs := &s.classes[replica+1][class]
 	cs.Transfers++
 	cs.Bytes += bytes
 	cs.Busy += wire
@@ -394,10 +416,21 @@ func (s *TransferScheduler) ETABetween(from, to int, now simclock.Time, bytes in
 	return start.Sub(now) + bottleneck.TransferTime(bytes)
 }
 
-// ClassStats reports the per-class transfer totals in class order.
+// ClassStats reports the per-class transfer totals in class order, summed
+// across the per-replica accounting rows.
 func (s *TransferScheduler) ClassStats() []ClassStats {
 	out := make([]ClassStats, numClasses)
-	copy(out, s.classes[:])
+	for i := range out {
+		out[i].Class = Class(i)
+	}
+	for r := range s.classes {
+		for c := range out {
+			cs := &s.classes[r][c]
+			out[c].Transfers += cs.Transfers
+			out[c].Bytes += cs.Bytes
+			out[c].Busy += cs.Busy
+		}
+	}
 	return out
 }
 

@@ -198,3 +198,45 @@ func TestAttachHostTwicePanics(t *testing.T) {
 	}()
 	topo.AttachHost(0, 1e9)
 }
+
+// TestBookingAllocationBound pins the transfer hot path: steady-state
+// bookings on a built topology — interconnect paths and host-link
+// enqueues alike — must not allocate. The per-replica class-stat rows are
+// laid out at construction, so a booking only advances link cursors and
+// bumps counters.
+func TestBookingAllocationBound(t *testing.T) {
+	topo := mustTopo(t, 4, Spec{Kind: SharedNIC, LinkGBps: 2, SwitchGBps: 4})
+	s := NewScheduler(topo)
+	ep := s.Endpoint(1)
+	ep.AttachHost(2e9)
+	var (
+		now simclock.Time
+		i   int
+	)
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.BookBetween(ClassMigrate, i%4, (i+1)%4, now, 1<<20)
+		ep.EnqueueD2H(ClassSync, now, 1<<16)
+		ep.EnqueueH2D(ClassReload, now, 1<<16)
+		now += simclock.FromSeconds(0.001)
+		i++
+	}); avg > 0 {
+		t.Errorf("steady-state booking allocates %.1f objects per round, want 0", avg)
+	}
+}
+
+// BenchmarkBookBetween measures one cross-replica interconnect booking on
+// a contended shared-NIC topology.
+func BenchmarkBookBetween(b *testing.B) {
+	topo, err := NewTopology(8, Spec{Kind: SharedNIC, LinkGBps: 2, SwitchGBps: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewScheduler(topo)
+	var now simclock.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BookBetween(ClassMigrate, i%8, (i+3)%8, now, 1<<20)
+		now += simclock.FromSeconds(0.0005)
+	}
+}

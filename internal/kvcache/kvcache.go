@@ -179,8 +179,10 @@ type Manager struct {
 	free    int
 	entries map[int]*entry
 
-	// syncOrder preserves admission order for FIFO write-through.
-	syncOrder []*entry
+	// syncOrder preserves admission order for FIFO write-through;
+	// syncScratch is the reused candidate buffer of syncCandidates.
+	syncOrder   []*entry
+	syncScratch []*entry
 
 	// Session prefix pins (see prefix.go).
 	pins            map[int]*pin

@@ -70,19 +70,23 @@ func (m *Manager) BackgroundSync(now simclock.Time, iterDur time.Duration) {
 	}
 }
 
-// syncCandidates lists resident entries in write-queue order.
+// syncCandidates lists resident entries in write-queue order. The returned
+// slice aliases a per-manager scratch buffer — it runs once per compute
+// iteration, so an allocation here would dominate the heap profile of
+// million-request traces — and is only valid until the next call.
 func (m *Manager) syncCandidates() []*entry {
-	out := make([]*entry, 0, len(m.syncOrder))
+	out := m.syncScratch[:0]
 	for _, e := range m.syncOrder {
 		if e.res == ResGPU && e.dirtyPages() > 0 {
 			out = append(out, e)
 		}
 	}
-	if m.cfg.PriorityWrites {
+	if m.cfg.PriorityWrites && len(out) > 1 {
 		sort.SliceStable(out, func(i, j int) bool {
 			return out[i].req.BufferLen() > out[j].req.BufferLen()
 		})
 	}
+	m.syncScratch = out
 	return out
 }
 

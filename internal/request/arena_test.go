@@ -1,0 +1,62 @@
+package request
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestArenaAllocatesValidRequests(t *testing.T) {
+	var a Arena
+	seen := map[*Request]bool{}
+	for i := 0; i < 3*arenaSlab/2; i++ {
+		r := a.New(i, simclock.FromSeconds(float64(i)), 64, 32, 20)
+		if r.ID != i || r.PromptLen != 64 || r.OutputLen != 32 || r.State != StateQueued {
+			t.Fatalf("arena request %d malformed: %+v", i, r)
+		}
+		if seen[r] {
+			t.Fatalf("arena handed out request %d twice", i)
+		}
+		seen[r] = true
+	}
+}
+
+func TestArenaNewPanicsLikeNew(t *testing.T) {
+	var a Arena
+	defer func() {
+		if recover() == nil {
+			t.Error("arena New with zero output length should panic")
+		}
+	}()
+	a.New(1, 0, 16, 0, 20)
+}
+
+// The admit-side hot path — one arena'd request plus its full token
+// delivery — must cost a bounded, slab-amortized number of allocations:
+// the two exact-capacity per-token record slices, plus the amortized share
+// of the slab itself. (Mirrors aibrix's BenchmarkAddRequest discipline.)
+func TestRequestAdmitAllocationBound(t *testing.T) {
+	var a Arena
+	c := simclock.New()
+	id := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		r := a.New(id, c.Now(), 128, 32, 0)
+		id++
+		r.DeliverTokens(c, c.Now(), 32)
+	})
+	// 2 slice allocations per request + ~1/512 slab share; 3 is the bound
+	// with headroom for the testing harness's own rounding.
+	if avg > 3 {
+		t.Errorf("admit+deliver allocates %.2f objects per request, want <= 3", avg)
+	}
+}
+
+func BenchmarkArenaAdmit(b *testing.B) {
+	var a Arena
+	c := simclock.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := a.New(i, c.Now(), 128, 32, 0)
+		r.DeliverTokens(c, c.Now(), 32)
+	}
+}

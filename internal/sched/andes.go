@@ -81,6 +81,16 @@ func (a *Andes) score(v *View, r *request.Request, running bool) float64 {
 	return s
 }
 
+// NextDecisionTime implements Waker: between quanta Decide only runs the
+// FCFS admit-only pass, so absent other events the next decision change is
+// the full reschedule at quantum expiry.
+func (a *Andes) NextDecisionTime(now simclock.Time) simclock.Time {
+	if !a.decided {
+		return simclock.Forever
+	}
+	return a.lastDecision.Add(a.Quantum)
+}
+
 // Decide implements Scheduler.
 func (a *Andes) Decide(v *View) Decision {
 	if a.decided && v.Now.Sub(a.lastDecision) < a.Quantum {

@@ -133,3 +133,22 @@ type Scheduler interface {
 	// unchunked prefill-priority iterations.
 	PrefillChunkTokens() int
 }
+
+// Waker is an optional Scheduler extension for quantum-gated policies. The
+// engine is event-driven: an idle engine with outstanding work retries a
+// declined decision only when some state changes (a transfer completes, KV
+// reclaim drains, an iteration finishes) — never on a polling interval.
+// The one retry trigger no callback covers is the passage of time itself:
+// a scheduler whose Decide is gated on a rescheduling quantum may return a
+// different answer at quantum expiry with no other state change. Such
+// schedulers implement Waker, and the engine schedules exactly one wakeup
+// at the reported instant.
+type Waker interface {
+	// NextDecisionTime reports the next virtual time at which Decide's
+	// answer could change purely because time passed (typically the end of
+	// the current rescheduling quantum), or Forever when only a state
+	// change can alter it. Instants at or before now are treated as
+	// Forever: Decide has already run at now, so an immediate retry cannot
+	// differ.
+	NextDecisionTime(now simclock.Time) simclock.Time
+}

@@ -93,12 +93,12 @@ func TestCancelPreventsFiring(t *testing.T) {
 	}
 	// Cancelling again is a no-op.
 	c.Cancel(e)
-	c.Cancel(nil)
+	c.Cancel(Handle{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	c := New()
-	var events []*Event
+	var events []Handle
 	var fired []int
 	for i := 0; i < 20; i++ {
 		i := i
@@ -132,16 +132,16 @@ func TestRescheduleMovesEvent(t *testing.T) {
 	}
 }
 
-func TestRescheduleCancelledEventRequeues(t *testing.T) {
+func TestRescheduleCancelledEventPanics(t *testing.T) {
 	c := New()
-	count := 0
-	e := c.At(FromSeconds(1), func(Time) { count++ })
+	e := c.At(FromSeconds(1), func(Time) {})
 	c.Cancel(e)
+	defer func() {
+		if recover() == nil {
+			t.Error("rescheduling a cancelled event should panic")
+		}
+	}()
 	c.Reschedule(e, FromSeconds(2))
-	c.Run()
-	if count != 1 {
-		t.Errorf("event fired %d times, want 1", count)
-	}
 }
 
 func TestRunUntilAdvancesClock(t *testing.T) {
@@ -290,7 +290,7 @@ func TestPropertyCancelSoundness(t *testing.T) {
 		c := New()
 		fired := make(map[int]bool)
 		cancelled := make(map[int]bool)
-		var events []*Event
+		var events []Handle
 		n := 200
 		for i := 0; i < n; i++ {
 			i := i
@@ -323,6 +323,116 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 	c := New()
 	for i := 0; i < b.N; i++ {
 		c.After(time.Duration(i%1000)*time.Microsecond, func(Time) {})
+		if i%1024 == 1023 {
+			c.Run()
+		}
+	}
+	c.Run()
+}
+
+// A handle held past its event's firing must never affect the event that
+// recycled the slot: Cancel through the stale handle is a no-op and Pending
+// reports false, even though the underlying slot is live again.
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	c := New()
+	fired := false
+	stale := c.At(FromSeconds(1), func(Time) {})
+	c.Run() // fires and recycles the slot
+	if stale.Pending() {
+		t.Fatal("handle to a fired event should not be pending")
+	}
+	fresh := c.At(FromSeconds(2), func(Time) { fired = true })
+	c.Cancel(stale) // must not cancel the recycled slot's new occupant
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel reached the recycled event")
+	}
+	c.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if stale.At() != Forever {
+		t.Errorf("stale At = %v, want Forever", stale.At())
+	}
+}
+
+// Cancelled events must not linger in the queue until their deadline:
+// once the cancelled fraction crosses the compaction threshold, the heap
+// shrinks immediately even though none of the deadlines have passed.
+func TestCancelledEventsCompacted(t *testing.T) {
+	c := New()
+	var hs []Handle
+	n := 4 * compactAt
+	for i := 0; i < n; i++ {
+		hs = append(hs, c.At(FromSeconds(float64(1000+i)), func(Time) {}))
+	}
+	for _, h := range hs[1:] { // cancel all but the first
+		c.Cancel(h)
+	}
+	if got := len(c.pq); got >= n/2 {
+		t.Fatalf("heap holds %d slots after cancelling %d of %d events; compaction did not run", got, n-1, n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	fired := 0
+	c.At(FromSeconds(1), func(Time) { fired++ })
+	c.Run()
+	if fired != 1 || c.Processed() != 2 {
+		t.Fatalf("fired=%d processed=%d, want 1 and 2", fired, c.Processed())
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.At(FromSeconds(5), func(Time) {})
+	c.AdvanceTo(FromSeconds(3))
+	if c.Now() != FromSeconds(3) {
+		t.Fatalf("now = %v, want 3s", c.Now())
+	}
+	c.AdvanceTo(FromSeconds(3)) // advancing to now is a no-op
+	for _, bad := range []Time{FromSeconds(2), FromSeconds(6)} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AdvanceTo(%v) should panic", bad)
+				}
+			}()
+			c.AdvanceTo(bad)
+		}()
+	}
+}
+
+// Steady-state scheduling must not allocate: fired and cancelled events are
+// recycled through the free list, so a schedule/fire or schedule/cancel
+// cycle reuses slots instead of growing the heap or the garbage collector's
+// workload. (Mirrors aibrix's BenchmarkAddRequest allocation discipline.)
+func TestScheduleFireCycleDoesNotAllocate(t *testing.T) {
+	c := New()
+	fn := func(Time) {}
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		c.After(time.Millisecond, fn)
+	}
+	c.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		h := c.After(time.Millisecond, fn)
+		c.Cancel(h)
+		c.After(2*time.Millisecond, fn)
+		c.Run()
+	})
+	if avg > 0 {
+		t.Errorf("schedule/cancel/fire cycle allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	c := New()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := c.After(time.Duration(i%1000)*time.Microsecond, fn)
+		c.Cancel(h)
 		if i%1024 == 1023 {
 			c.Run()
 		}

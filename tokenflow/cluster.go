@@ -103,6 +103,15 @@ type ClusterConfig struct {
 	// the virtual clock grows and shrinks the active replica set between
 	// MinReplicas and MaxReplicas. Nil keeps the static pool.
 	Autoscale *AutoscaleSpec
+
+	// Shards partitions the replicas across parallel worker goroutines
+	// (replica i runs on shard i mod Shards, each on its own sub-clock,
+	// synchronized at every cross-replica event). The run stays
+	// deterministic and produces results identical to Shards=0 — only
+	// wall-clock time changes. Clamped to the replica count; incompatible
+	// with Obs event tracing and the self-profile (series sampling is
+	// fine). 0 or 1 keeps the single-threaded loop.
+	Shards int
 }
 
 // MigrationPolicy selects how cross-replica KV migrations are committed.
@@ -482,6 +491,11 @@ type ClusterResult struct {
 	ForecastError   float64
 	ForecastSamples int
 
+	// EventsProcessed totals the simulator events fired across every
+	// clock of the run — a determinism witness: a sharded run fires
+	// exactly the events of its single-threaded twin.
+	EventsProcessed uint64
+
 	// Obs holds the flight-recorder capture when the run was instrumented
 	// (Config.Obs); nil otherwise. Setting it aside, an instrumented
 	// ClusterResult is identical to the uninstrumented one.
@@ -633,6 +647,7 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		InterconnectGBps: cfg.InterconnectGBps,
 		Topology:         topoSpec,
 		Autoscale:        asCfg,
+		Shards:           cfg.Shards,
 		Obs:              cfg.Obs.options(),
 	}, func(i int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		rcfg := cfg.Config
@@ -685,6 +700,7 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		GatewayShed:     res.GatewayShed,
 		ForecastError:   res.ForecastError,
 		ForecastSamples: res.ForecastSamples,
+		EventsProcessed: res.EventsProcessed,
 	}
 	for _, p := range res.GatewaySeries {
 		out.GatewayDepthSeries = append(out.GatewayDepthSeries, GatewaySample{

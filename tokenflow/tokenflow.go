@@ -104,6 +104,11 @@ type Config struct {
 	// effective for systems with host offload (SystemTokenFlow).
 	HostPrefixCache bool
 
+	// HostPrefixCachePages caps the host-tier prefix cache at this many
+	// mirrored pages (approximating a finite host-memory budget); 0 means
+	// unbounded. Only meaningful with HostPrefixCache.
+	HostPrefixCachePages int
+
 	// SampleEverySeconds enables queued/running time-series sampling.
 	SampleEverySeconds float64
 
@@ -282,6 +287,7 @@ func buildEngineConfig(cfg Config) (engine.Config, error) {
 			kv.LoadEvictOverlap = !o.KV.DisableLoadEvictOverlap
 		}
 		kv.HostCache = cfg.HostPrefixCache
+		kv.HostCachePages = cfg.HostPrefixCachePages
 		ecfg.KV = kv
 	default:
 		return engine.Config{}, fmt.Errorf("tokenflow: unknown system %q", cfg.System)
