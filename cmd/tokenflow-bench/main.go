@@ -19,10 +19,18 @@
 // -core-profile runs the core scale scenario (the "scale" experiment: 500
 // round-robin replicas serving ~1M session-turn requests on the sharded
 // executor) and writes the simulator's throughput envelope as
-// BENCH_core.json; -core-baseline gates it against a committed baseline
+// BENCH_core.json; -core-baseline compares it against a committed baseline
 // with the same 2x rule:
 //
 //	tokenflow-bench -core-profile BENCH_core.json -core-baseline old.json
+//
+// -scale-trace runs the same scale scenario with the flight recorder's
+// event bus and attribution layer on and exports events.jsonl +
+// attribution.json into the directory — the input for `tokenflow-trace`.
+// Event recording retains everything in memory, so pair it with a reduced
+// TOKENFLOW_SCALE:
+//
+//	TOKENFLOW_SCALE=0.02 tokenflow-bench -scale-trace scale-trace/
 package main
 
 import (
@@ -52,7 +60,9 @@ func runObsProfile(path, baseline string) error {
 			System:             tokenflow.SystemTokenFlow,
 			HostPrefixCache:    true,
 			SampleEverySeconds: 0.25,
-			Obs:                tokenflow.ObsSpec{Events: true, Series: true, Profile: true},
+			Obs: tokenflow.ObsSpec{
+				Events: true, Series: true, Profile: true, Attribution: true,
+			},
 		},
 		Replicas:        3,
 		Router:          tokenflow.RouterSessionAffinity,
@@ -181,6 +191,8 @@ func main() {
 		"compare -core-profile output against this committed BENCH_core.json; exit non-zero on >2x per-phase regression")
 	shards := flag.Int("shards", 8,
 		"shard goroutines for the -core-profile run (results are shard-count independent; this only sets parallelism)")
+	scaleTrace := flag.String("scale-trace", "",
+		"run the scale scenario with event tracing + attribution on and export events.jsonl and attribution.json into `dir` (use a reduced TOKENFLOW_SCALE)")
 	flag.Parse()
 	if *obsProfile != "" {
 		if err := runObsProfile(*obsProfile, *obsBaseline); err != nil {
@@ -194,6 +206,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "core profile: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *scaleTrace != "" {
+		run, err := experiments.RunScaleTraced(*shards, *scaleTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scale trace: %d replicas / %d shards, %d requests, %d events in %.1fs -> %s\n",
+			run.Replicas, run.Shards, run.Requests, run.Events, run.Wall.Seconds(), *scaleTrace)
 		return
 	}
 	ids := flag.Args()

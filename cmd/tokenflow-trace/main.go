@@ -1,0 +1,281 @@
+// Command tokenflow-trace analyzes a flight-recorder events.jsonl export
+// offline: it re-derives every request's causal span (the same exact
+// phase accounting the live attribution layer streams) and answers where
+// latency came from without re-running the simulation.
+//
+// Usage:
+//
+//	tokenflow-trace summary <run>         # phase breakdown, exact quantiles
+//	tokenflow-trace slowest [-k N] <run>  # worst-E2E requests as waterfalls
+//	tokenflow-trace diff <runA> <runB>    # phase-delta report across runs
+//
+// <run> is an events.jsonl file or a directory containing one (an
+// ObsSpec.Out directory works directly). Because the full event stream
+// is on disk, quantiles here are exact order statistics, not the
+// bounded-error sketch estimates of the in-run report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attribution"
+)
+
+// metric rows of the offline tables: the six phases plus the measured
+// latencies, mirroring the in-run report's layout.
+const (
+	metricTTFT = int(attribution.NumPhases)
+	metricE2E  = int(attribution.NumPhases) + 1
+	numMetrics = int(attribution.NumPhases) + 2
+)
+
+func metricName(m int) string {
+	switch m {
+	case metricTTFT:
+		return "ttft"
+	case metricE2E:
+		return "e2e"
+	default:
+		return attribution.Phase(m).String()
+	}
+}
+
+func metricOf(s *attribution.Span, m int) time.Duration {
+	switch m {
+	case metricTTFT:
+		return s.TTFT()
+	case metricE2E:
+		return s.E2E()
+	default:
+		return s.Phase(attribution.Phase(m))
+	}
+}
+
+// loadSpans reads an events.jsonl export (or a directory holding one)
+// and derives the completed-request spans.
+func loadSpans(path string) ([]attribution.Span, string, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, "events.jsonl")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, path, err
+	}
+	defer f.Close()
+	events, err := obs.ReadEventsJSONL(f)
+	if err != nil {
+		return nil, path, fmt.Errorf("%s: %w", path, err)
+	}
+	return attribution.Derive(events), path, nil
+}
+
+// dist is one metric's exact distribution over a span set.
+type dist struct {
+	sorted []time.Duration
+	total  time.Duration
+}
+
+func distOf(spans []attribution.Span, m int) dist {
+	d := dist{sorted: make([]time.Duration, len(spans))}
+	for i := range spans {
+		v := metricOf(&spans[i], m)
+		d.sorted[i] = v
+		d.total += v
+	}
+	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+	return d
+}
+
+func (d dist) mean() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.total / time.Duration(len(d.sorted))
+}
+
+// quantile is the exact ceil(q·n)-th smallest observation.
+func (d dist) quantile(q float64) time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	rank := int(q * float64(len(d.sorted)))
+	if float64(rank) < q*float64(len(d.sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(d.sorted) {
+		rank = len(d.sorted)
+	}
+	return d.sorted[rank-1]
+}
+
+func (d dist) max() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[len(d.sorted)-1]
+}
+
+// fmtDur matches the waterfall's formatting: millisecond precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+func header(path string, spans []attribution.Span) string {
+	var byClass [attribution.NumClasses]int
+	for i := range spans {
+		byClass[spans[i].Class]++
+	}
+	s := fmt.Sprintf("%s — %d completed requests (", path, len(spans))
+	for c := attribution.Class(0); c < attribution.NumClasses; c++ {
+		if c > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %d", c, byClass[c])
+	}
+	return s + ")"
+}
+
+func runSummary(path string) error {
+	spans, path, err := loadSpans(path)
+	if err != nil {
+		return err
+	}
+	fmt.Println(header(path, spans))
+	if len(spans) == 0 {
+		return nil
+	}
+	e2eTotal := distOf(spans, metricE2E).total
+	fmt.Printf("\n%-9s %10s %10s %10s %10s %10s %7s\n",
+		"phase", "mean", "p50", "p90", "p99", "max", "share")
+	for m := 0; m < numMetrics; m++ {
+		d := distOf(spans, m)
+		row := fmt.Sprintf("%-9s %10s %10s %10s %10s %10s",
+			metricName(m), fmtDur(d.mean()), fmtDur(d.quantile(0.50)),
+			fmtDur(d.quantile(0.90)), fmtDur(d.quantile(0.99)), fmtDur(d.max()))
+		if m < int(attribution.NumPhases) && e2eTotal > 0 {
+			row += fmt.Sprintf(" %6.1f%%", 100*float64(d.total)/float64(e2eTotal))
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func runSlowest(path string, k int) error {
+	spans, path, err := loadSpans(path)
+	if err != nil {
+		return err
+	}
+	fmt.Println(header(path, spans))
+	sort.Slice(spans, func(i, j int) bool {
+		if a, b := spans[i].E2E(), spans[j].E2E(); a != b {
+			return a > b
+		}
+		return spans[i].Request < spans[j].Request
+	})
+	if k > len(spans) {
+		k = len(spans)
+	}
+	for i := 0; i < k; i++ {
+		fmt.Println()
+		fmt.Print(attribution.Waterfall(spans[i], 48))
+	}
+	return nil
+}
+
+func runDiff(pathA, pathB string) error {
+	spansA, pathA, err := loadSpans(pathA)
+	if err != nil {
+		return err
+	}
+	spansB, pathB, err := loadSpans(pathB)
+	if err != nil {
+		return err
+	}
+	fmt.Println("A: " + header(pathA, spansA))
+	fmt.Println("B: " + header(pathB, spansB))
+	if len(spansA) == 0 || len(spansB) == 0 {
+		return fmt.Errorf("nothing to diff: one run derived no spans")
+	}
+	fmt.Printf("\n%-9s %10s %10s %9s   %10s %10s %9s\n",
+		"phase", "mean A", "mean B", "Δmean", "p99 A", "p99 B", "Δp99")
+	for m := 0; m < numMetrics; m++ {
+		da, db := distOf(spansA, m), distOf(spansB, m)
+		fmt.Printf("%-9s %10s %10s %9s   %10s %10s %9s\n",
+			metricName(m),
+			fmtDur(da.mean()), fmtDur(db.mean()), delta(da.mean(), db.mean()),
+			fmtDur(da.quantile(0.99)), fmtDur(db.quantile(0.99)),
+			delta(da.quantile(0.99), db.quantile(0.99)))
+	}
+	return nil
+}
+
+// delta renders B relative to A as a signed percentage.
+func delta(a, b time.Duration) string {
+	switch {
+	case a == b:
+		return "="
+	case a == 0:
+		return "+inf"
+	default:
+		return fmt.Sprintf("%+.1f%%", 100*float64(b-a)/float64(a))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  tokenflow-trace summary <events.jsonl | dir>
+  tokenflow-trace slowest [-k N] <events.jsonl | dir>
+  tokenflow-trace diff <runA> <runB>
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "summary":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		err = runSummary(os.Args[2])
+	case "slowest":
+		fs := flag.NewFlagSet("slowest", flag.ExitOnError)
+		k := fs.Int("k", 5, "number of worst-E2E requests to render")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 || *k < 1 {
+			usage()
+		}
+		err = runSlowest(fs.Arg(0), *k)
+	case "diff":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		err = runDiff(os.Args[2], os.Args[3])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", cmd)
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tokenflow-trace: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -6,10 +6,16 @@
 // event bus, the per-tick telemetry series, and the simulator's
 // self-profile, then exports all of it into ./observe-out/:
 //
-//	events.jsonl   one lifecycle event per line (machine-readable log)
-//	trace.json     Chrome trace_event JSON — open at ui.perfetto.dev
-//	series.csv     named telemetry series (queue depth, KV util, links)
-//	BENCH_obs.json the simulator's own per-phase wall-clock profile
+//	events.jsonl     one lifecycle event per line (machine-readable log)
+//	trace.json       Chrome trace_event JSON — open at ui.perfetto.dev
+//	series.csv       named telemetry series (queue depth, KV util, links)
+//	BENCH_obs.json   the simulator's own per-phase wall-clock profile
+//	attribution.json critical-path latency breakdown (phase quantiles)
+//
+// From the attribution report it prints where the run's latency went —
+// the per-phase share of total E2E time — and renders the slowest
+// request's causal span as a waterfall (the same view
+// `tokenflow-trace slowest` gives offline).
 //
 // The example then replays the exported event log to walk one declined
 // migration end to end: the arrival that triggered the divert, the route
@@ -56,10 +62,11 @@ func main() {
 			Model:  "Llama3-8B",
 			// The full flight recorder, exported after the run.
 			Obs: tokenflow.ObsSpec{
-				Events:  true,
-				Series:  true,
-				Profile: true,
-				Out:     "observe-out",
+				Events:      true,
+				Series:      true,
+				Profile:     true,
+				Attribution: true,
+				Out:         "observe-out",
 			},
 			SampleEverySeconds: 0.25,
 		},
@@ -89,6 +96,29 @@ func main() {
 		res.Migrations, res.MigrationsDeclined)
 	fmt.Printf("recorded %d lifecycle events -> observe-out/ "+
 		"(open trace.json at ui.perfetto.dev)\n\n", res.Obs.EventCount())
+
+	// Where did the latency go? The attribution report decomposes every
+	// request's E2E time into exact causal phases.
+	rep := res.Attribution
+	var e2eTotal int64
+	for _, m := range rep.Metrics {
+		if m.Name == "e2e" {
+			e2eTotal = m.TotalNS
+		}
+	}
+	fmt.Printf("latency attribution over %d requests:\n", rep.Requests)
+	for _, m := range rep.Metrics[:6] {
+		if m.Count == 0 || e2eTotal == 0 {
+			continue
+		}
+		fmt.Printf("  %-9s %5.1f%% of E2E time  (p99 %8.2fms)\n",
+			m.Name, 100*float64(m.TotalNS)/float64(e2eTotal), float64(m.P99NS)/1e6)
+	}
+	if len(rep.Slowest) > 0 {
+		fmt.Println("\nslowest request of the run:")
+		fmt.Print(tokenflow.Waterfall(rep.Slowest[0], 48))
+	}
+	fmt.Println()
 
 	// Replay the export: find the first declined migration and walk its
 	// session's lifecycle around the verdict.

@@ -50,6 +50,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/attribution"
 	"repro/internal/request"
 	"repro/internal/router"
 	"repro/internal/simclock"
@@ -77,8 +78,10 @@ type Config struct {
 	// Results are identical either way (the determinism suite asserts deep
 	// equality), except that a sharded run which hits MaxSimTime stops at
 	// the deadline instead of one event past it. Clamped to Replicas.
-	// Incompatible with Obs.Events and Obs.Profile, whose sinks are
-	// unsharded; Obs.Series is fine (recorded only by the coordinator).
+	// The flight recorder is sharded-safe: each shard records onto its own
+	// recorder and profiler, emissions route by the event's replica, and
+	// the streams merge deterministically at collect — event and trace
+	// exports are byte-identical to the single-threaded run.
 	Shards int
 
 	// MaxSimTime aborts runaway simulations (default 4 simulated hours).
@@ -115,11 +118,14 @@ type Config struct {
 	Autoscale *AutoscaleConfig
 
 	// Obs selects the flight-recorder layers (internal/obs): lifecycle
-	// events, per-tick telemetry series, phase self-profiling. The zero
-	// value disables everything and the run is byte-identical to a cluster
-	// without the recorder. Series sampling rides the SampleEvery loop (per
-	// replica) and the control loop (autoscale signals), so series stay
-	// empty unless those loops run.
+	// events, per-tick telemetry series, phase self-profiling, and
+	// streaming latency attribution (internal/obs/attribution — the
+	// per-request span decomposition behind Result.Attribution, recorded
+	// through bounded-memory sketches so it scales to runs too large to
+	// retain events). The zero value disables everything and the run is
+	// byte-identical to a cluster without the recorder. Series sampling
+	// rides the SampleEvery loop (per replica) and the control loop
+	// (autoscale signals), so series stay empty unless those loops run.
 	Obs obs.Options
 }
 
@@ -415,6 +421,12 @@ type Result struct {
 	// Result deep-equal to the same run without the recorder.
 	Obs *obs.Capture
 
+	// Attribution is the critical-path latency attribution report
+	// (Config.Obs.Attribution): per-phase latency distributions split by
+	// request class and replica, plus the slowest spans for per-request
+	// waterfalls. Nil when the layer was off. Observation only, like Obs.
+	Attribution *attribution.Report
+
 	// SimEnd is the final virtual-clock reading and InitialInService the
 	// replicas in service at t=0 — together with ScaleEvents they let the
 	// invariant suite integrate the replica-count trajectory exactly and
@@ -535,18 +547,45 @@ type Cluster struct {
 	// per-tick imbalance series.
 	svcMask [][]bool
 
-	// Flight recorder (see observe.go). obsCap is nil when Config.Obs is
-	// all-off; rec/reg/prof are its nil-safe layers, cached so every
-	// emission site is one nil-guarded call. The name slices precompute
-	// per-replica and per-link series names, so per-tick recording builds
-	// no strings.
-	obsCap      *obs.Capture
+	// Flight recorder (see observe.go). rec/reg/prof are the nil-safe
+	// coordinator-side layers, cached so every emission site is one
+	// nil-guarded call. Sharded runs add one recorder and profiler per
+	// shard: every emission routes by the event's replica (recFor /
+	// profFor) so each sink has exactly one writing goroutine, and the
+	// streams merge deterministically at collect. The name slices
+	// precompute per-replica and per-link series names, so per-tick
+	// recording builds no strings.
 	rec         *obs.Recorder
 	reg         *obs.Registry
 	prof        *obs.Profiler
+	shardRecs   []*obs.Recorder
+	shardProfs  []*obs.Profiler
+	collectors  []*attribution.Collector
 	repSeries   []replicaSeriesNames
 	linkBusy    []string
 	linkBacklog []string
+}
+
+// recFor returns the recorder that must capture an event scoped to the
+// given replica: the owning shard's recorder in sharded runs, the run's
+// single recorder otherwise. Cluster-scoped events (replica < 0) always
+// land on the coordinator recorder. The coordinator may write a shard
+// recorder directly — shards are quiescent while a coordinator event
+// runs (shards.go) — and each replica's events live in exactly one
+// recorder, so the merged order matches the single-threaded stream.
+func (c *Cluster) recFor(replica int) *obs.Recorder {
+	if replica >= 0 && len(c.shardRecs) > 0 {
+		return c.shardRecs[replica%len(c.shardRecs)]
+	}
+	return c.rec
+}
+
+// profFor mirrors recFor for the phase profiler.
+func (c *Cluster) profFor(replica int) *obs.Profiler {
+	if replica >= 0 && len(c.shardProfs) > 0 {
+		return c.shardProfs[replica%len(c.shardProfs)]
+	}
+	return c.prof
 }
 
 // New builds a cluster of cfg.Replicas engines on one shared clock (with
@@ -583,9 +622,6 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 	if cfg.Shards > cfg.Replicas {
 		cfg.Shards = cfg.Replicas
 	}
-	if cfg.Shards > 1 && (cfg.Obs.Events || cfg.Obs.Profile) {
-		return nil, fmt.Errorf("cluster: sharded execution (Shards=%d) cannot record obs events or profile phases; disable them or run single-threaded", cfg.Shards)
-	}
 	topo, err := fabric.NewTopology(cfg.Replicas, *cfg.Topology)
 	if err != nil {
 		return nil, err
@@ -596,13 +632,55 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 			c.shards = append(c.shards, &shard{id: s, clock: simclock.New()})
 		}
 	}
-	c.obsCap = obs.NewCapture(cfg.Obs)
-	c.rec, c.reg, c.prof = c.obsCap.Recorder(), c.obsCap.Reg(), c.obsCap.Prof()
+	// Flight recorder. Events and Attribution both need lifecycle
+	// emissions; when only attribution is on the recorders run
+	// store-disabled, feeding the span collectors without retaining the
+	// stream. Sharded runs add one recorder/profiler per shard so each
+	// sink has a single writing goroutine (recFor/profFor route every
+	// emission by the event's replica); collect merges them back into one
+	// canonical capture.
+	if cfg.Obs.Events || cfg.Obs.Attribution {
+		c.rec = obs.NewRecorder()
+		if !cfg.Obs.Events {
+			c.rec.DisableStore()
+		}
+		for s := range c.shards {
+			r := obs.NewShardRecorder(1 + s)
+			if !cfg.Obs.Events {
+				r.DisableStore()
+			}
+			c.shardRecs = append(c.shardRecs, r)
+		}
+	}
+	if cfg.Obs.Series {
+		c.reg = obs.NewRegistry(cfg.Obs.SampleEvery)
+	}
+	if cfg.Obs.Profile {
+		c.prof = obs.NewProfiler()
+		for range c.shards {
+			c.shardProfs = append(c.shardProfs, obs.NewProfiler())
+		}
+	}
+	if cfg.Obs.Attribution {
+		// One collector per data-bearing recorder: lifecycle events are
+		// replica-scoped, so each shard's collector sees complete request
+		// histories and the per-shard aggregators fold at collect.
+		taps := c.shardRecs
+		if len(taps) == 0 {
+			taps = []*obs.Recorder{c.rec}
+		}
+		for _, r := range taps {
+			col := attribution.NewCollector(attribution.NewAggregator(cfg.Replicas))
+			r.SetTap(col.Observe)
+			c.collectors = append(c.collectors, col)
+		}
+	}
 	c.fab.SetObs(c.rec, c.prof)
 	for i := 0; i < cfg.Replicas; i++ {
 		clk := c.clock
 		if len(c.shards) > 0 {
 			clk = c.shardOf(i).clock
+			c.fab.SetReplicaObs(i, c.recFor(i), c.profFor(i))
 		}
 		eng, err := build(i, clk, c.fab.Endpoint(i))
 		if err != nil {
@@ -610,7 +688,7 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 		}
 		// Installed after build so every builder — experiments, tests,
 		// random scenarios — records without opting in.
-		eng.SetObs(c.rec, c.prof, i)
+		eng.SetObs(c.recFor(i), c.profFor(i), i)
 		rep := &replica{id: i, eng: eng, state: autoscale.Active}
 		if cfg.Autoscale != nil && i >= cfg.Autoscale.Initial {
 			rep.state = autoscale.Off
@@ -813,7 +891,7 @@ func (c *Cluster) route(id int, it trace.Item) *replica {
 		if sc, ok := c.cfg.Policy.(router.Scorer); ok {
 			score = sc.Score(rr, views[pick])
 		}
-		c.rec.Emit(c.clock.Now(), obs.KindRouteDecision, rep.id, id, it.Session,
+		c.recFor(rep.id).Emit(c.clock.Now(), obs.KindRouteDecision, rep.id, id, it.Session,
 			int64(len(views)), 0, 0, score, c.cfg.Policy.Name())
 	}
 	return rep
@@ -859,7 +937,7 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 		recompute := target.eng.EstimatePrefill(best - targetOwn)
 		if eta >= recompute {
 			c.migrationsDeclined++
-			c.rec.Emit(now, obs.KindMigrateDecline, donor, r.ID, it.Session,
+			c.recFor(donor).Emit(now, obs.KindMigrateDecline, donor, r.ID, it.Session,
 				int64(target.id), int64(eta), int64(recompute),
 				float64(best-targetOwn), "")
 			return false
@@ -869,7 +947,7 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 	// delivered together with its KV, so the wire time lands inside TTFT.
 	return c.migratePin(c.replicas[donor], target, it.Session, fabric.ClassMigrate, now,
 		&c.migrations, &c.migratedTokens, func(t simclock.Time) {
-			target.eng.Inject(r, t)
+			target.eng.InjectCause(r, t, obs.QueueCauseMigrate)
 		})
 }
 
@@ -968,7 +1046,29 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.GatewayBuffered = c.gatewayBuffered
 	res.GatewayShed = c.gatewayShed
 	res.GatewaySeries = c.gatewaySeries
-	res.Obs = c.obsCap
+	// Attribution report first (timed on the coordinator profiler, so the
+	// finalize cost lands in the merged profile), then the capture: the
+	// per-shard recorder and profiler streams fold into one canonical
+	// view, byte-identical to a single-threaded run's.
+	if len(c.collectors) > 0 {
+		t0 := c.prof.Begin()
+		agg := c.collectors[0].Aggregator()
+		for _, col := range c.collectors[1:] {
+			agg.Add(col.Aggregator())
+		}
+		res.Attribution = agg.Report()
+		c.prof.End(obs.PhaseAttribution, t0)
+	}
+	if c.cfg.Obs.Events || c.cfg.Obs.Series || c.cfg.Obs.Profile {
+		cap := &obs.Capture{Series: c.reg}
+		if c.cfg.Obs.Events {
+			cap.Events = obs.Merge(append([]*obs.Recorder{c.rec}, c.shardRecs...)...)
+		}
+		if c.cfg.Obs.Profile {
+			cap.Profile = obs.MergeProfilers(append([]*obs.Profiler{c.prof}, c.shardProfs...)...)
+		}
+		res.Obs = cap
+	}
 	res.SimEnd = time.Duration(end)
 	res.EventsProcessed = c.eventsProcessed()
 	res.InitialInService = len(c.replicas)

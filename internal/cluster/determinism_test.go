@@ -127,11 +127,11 @@ func TestDeterminismGrid(t *testing.T) {
 
 // TestObsPurityGrid proves the flight recorder is pure observation across
 // the same autoscale × topology × migration grid: a fully instrumented run
-// (events + series + profiling) must yield a Result deep-equal to the
-// uninstrumented run once the capture itself is set aside, and the
-// recorded event log must export byte-identically across repeated runs
-// (the same-instant tie-break of the event ordering). CI also runs this
-// under -race.
+// (events + series + profiling + attribution) must yield a Result
+// deep-equal to the uninstrumented run once the capture and attribution
+// report are set aside, and the recorded event log and series must export
+// byte-identically across repeated runs (the same-instant tie-break of
+// the event ordering). CI also runs this under -race.
 func TestObsPurityGrid(t *testing.T) {
 	w := sessionWorkload(t)
 	for _, row := range determinismGrid() {
@@ -153,16 +153,23 @@ func TestObsPurityGrid(t *testing.T) {
 				}
 				return res
 			}
-			full := obs.Options{Events: true, Series: true, Profile: true, SampleEvery: 2}
+			full := obs.Options{Events: true, Series: true, Profile: true,
+				Attribution: true, SampleEvery: 2}
 			off, on, on2 := run(obs.Options{}), run(full), run(full)
 			if off.Obs != nil {
 				t.Fatal("obs-off run produced a capture")
+			}
+			if off.Attribution != nil {
+				t.Fatal("obs-off run produced an attribution report")
 			}
 			if on.Obs == nil || on.Obs.Events.Len() == 0 {
 				t.Fatal("instrumented run recorded no events")
 			}
 			if len(on.Obs.Series.All()) == 0 {
 				t.Fatal("instrumented run recorded no series")
+			}
+			if on.Attribution == nil || on.Attribution.Requests == 0 {
+				t.Fatal("instrumented run produced no attribution report")
 			}
 			var j1, j2 bytes.Buffer
 			if err := on.Obs.Events.WriteJSONL(&j1); err != nil {
@@ -174,7 +181,21 @@ func TestObsPurityGrid(t *testing.T) {
 			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
 				t.Fatal("event JSONL is not byte-stable across identical runs")
 			}
+			var c1, c2 bytes.Buffer
+			if err := on.Obs.Series.WriteCSV(&c1); err != nil {
+				t.Fatal(err)
+			}
+			if err := on2.Obs.Series.WriteCSV(&c2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+				t.Fatal("series CSV is not byte-stable across identical runs")
+			}
+			if !reflect.DeepEqual(on.Attribution, on2.Attribution) {
+				t.Fatal("attribution reports differ across identical runs")
+			}
 			on.Obs, on2.Obs = nil, nil
+			on.Attribution, on2.Attribution = nil, nil
 			if !reflect.DeepEqual(off, on) {
 				t.Fatal("instrumented run diverged from uninstrumented run")
 			}

@@ -111,6 +111,6 @@ func (c *Cluster) drainGateway(rep *replica, now simclock.Time) {
 	c.gateway = nil
 	for _, r := range q {
 		rep.routed++
-		rep.eng.Inject(r, now)
+		rep.eng.InjectCause(r, now, obs.QueueCauseGateway)
 	}
 }

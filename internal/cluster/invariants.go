@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/attribution"
 )
 
 // CheckInvariants verifies the conservation laws that tie the subsystems
@@ -33,6 +34,14 @@ import (
 //     sheds/migrations/declines/pre-warms/drain hand-offs match their
 //     Result counters. A flight recorder that disagreed with the ledgers
 //     it observes would be worse than none.
+//  6. Exact latency accounting: the causal spans derived from the event
+//     stream (internal/obs/attribution) partition each completed
+//     request's measured lifetime — gateway + wire + queue + prefill
+//     equals its TTFT to the nanosecond, adding decode + preempted
+//     reaches its end-to-end latency, and no phase is negative. When the
+//     streaming attribution layer also ran, its report covers exactly
+//     the derived spans. An attribution that leaked or double-counted
+//     time would mislead precisely where it claims to explain.
 //
 // It returns the first violated law as an error, nil when all hold.
 func CheckInvariants(res *Result, wLen int) error {
@@ -48,7 +57,65 @@ func CheckInvariants(res *Result, wLen int) error {
 	if err := checkRequestConservation(res, wLen); err != nil {
 		return err
 	}
-	return checkEventReconciliation(res, wLen)
+	if err := checkEventReconciliation(res, wLen); err != nil {
+		return err
+	}
+	return checkAttribution(res)
+}
+
+// checkAttribution verifies the exact-accounting law over the spans the
+// attribution pass derives from the recorded event stream. A no-op when
+// the run kept no event recorder.
+func checkAttribution(res *Result) error {
+	if res.Obs == nil || res.Obs.Events == nil {
+		return nil
+	}
+	spans := attribution.Derive(res.Obs.Events.Events())
+	byID := make(map[int32]int, len(res.Requests))
+	for i, r := range res.Requests {
+		byID[int32(r.ID)] = i
+	}
+	for i := range spans {
+		s := &spans[i]
+		ri, ok := byID[s.Request]
+		if !ok {
+			return fmt.Errorf("invariant: span derived for request %d absent from results", s.Request)
+		}
+		r := res.Requests[ri]
+		if s.Arrival != r.Arrival || s.FirstAt != r.FirstTokenAt || s.CompleteAt != r.FinishedAt {
+			return fmt.Errorf("invariant: span timestamps for request %d (arrival %d first %d complete %d) disagree with result (%d %d %d)",
+				s.Request, s.Arrival, s.FirstAt, s.CompleteAt, r.Arrival, r.FirstTokenAt, r.FinishedAt)
+		}
+		for p := attribution.Phase(0); p < attribution.NumPhases; p++ {
+			if s.Phases[p] < 0 {
+				return fmt.Errorf("invariant: request %d derived a negative %s phase (%v)",
+					s.Request, p, s.Phases[p])
+			}
+		}
+		if got, want := s.PhaseSumTTFT(), r.TTFT(); got != want {
+			return fmt.Errorf("invariant: request %d pre-first-token phases sum to %v, measured TTFT %v",
+				s.Request, got, want)
+		}
+		if got, want := s.PhaseSum(), r.FinishedAt.Sub(r.Arrival); got != want {
+			return fmt.Errorf("invariant: request %d phases sum to %v, measured E2E %v",
+				s.Request, got, want)
+		}
+	}
+	// Every finished request must derive exactly one span; a timed-out run
+	// legitimately leaves requests mid-flight.
+	if !res.TimedOut {
+		if len(spans) != len(res.Requests) {
+			return fmt.Errorf("invariant: %d spans derived for %d completed requests",
+				len(spans), len(res.Requests))
+		}
+	}
+	if res.Attribution != nil && !res.TimedOut {
+		if got, want := res.Attribution.Requests, int64(len(spans)); got != want {
+			return fmt.Errorf("invariant: attribution report covers %d requests, %d spans derived",
+				got, want)
+		}
+	}
+	return nil
 }
 
 // checkEventReconciliation sums the recorded lifecycle events and compares

@@ -83,8 +83,10 @@ func TestInvariantsOnExperimentSpecs(t *testing.T) {
 	for _, spec := range experimentSpecs() {
 		spec := spec
 		t.Run(spec.name, func(t *testing.T) {
-			// Events on: the suite also checks law 5, event reconciliation.
-			spec.cfg.Obs = obs.Options{Events: true}
+			// Events on: the suite also checks law 5 (event reconciliation)
+			// and law 6 (exact latency attribution); Attribution on so the
+			// streaming report is cross-checked against the derived spans.
+			spec.cfg.Obs = obs.Options{Events: true, Attribution: true}
 			cl, err := cluster.New(spec.cfg, spec.build)
 			if err != nil {
 				t.Fatal(err)
@@ -112,7 +114,7 @@ func TestInvariantsOnRandomSpecs(t *testing.T) {
 		seed := seed
 		t.Run("", func(t *testing.T) {
 			sc := cluster.RandomScenario(rand.New(rand.NewSource(seed)))
-			sc.Config.Obs = obs.Options{Events: true}
+			sc.Config.Obs = obs.Options{Events: true, Attribution: true}
 			cl, err := cluster.New(sc.Config, sc.Build)
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
@@ -147,5 +149,27 @@ func TestInvariantCatchesViolation(t *testing.T) {
 	res.Requests = res.Requests[1:]
 	if err := cluster.CheckInvariants(res, w.Len()); err == nil {
 		t.Error("dropped request passed the invariant check")
+	}
+
+	// The attribution law must also bite: a recorded run whose streaming
+	// report disagrees with the derived spans fails law 6.
+	cfg := cluster.Config{
+		Replicas: 2, Policy: router.NewSessionAffinity(),
+		Obs: obs.Options{Events: true, Attribution: true},
+	}
+	cl, err := cluster.New(cfg, buildTokenFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := cl.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.CheckInvariants(ores, w.Len()); err != nil {
+		t.Fatalf("clean recorded run violates invariants: %v", err)
+	}
+	ores.Attribution.Requests++
+	if err := cluster.CheckInvariants(ores, w.Len()); err == nil {
+		t.Error("corrupted attribution request count passed the invariant check")
 	}
 }

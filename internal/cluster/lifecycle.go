@@ -262,7 +262,7 @@ func (c *Cluster) migratePin(donor, target *replica, session int, class fabric.C
 	case fabric.ClassDrain:
 		kind = obs.KindDrain
 	}
-	c.rec.Emit(now, kind, donor.id, -1, session,
+	c.recFor(donor.id).Emit(now, kind, donor.id, -1, session,
 		int64(target.id), int64(tokens), bytes, 0, "")
 	*count++
 	if tokenCount != nil {

@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"repro/internal/autoscale"
+	"repro/internal/obs/attribution"
 	"repro/internal/simclock"
 )
 
@@ -28,7 +29,18 @@ type replicaSeriesNames struct {
 const (
 	seriesActiveReplicas = "cluster/active_replicas"
 	seriesGatewayDepth   = "gateway/depth"
+	seriesAttribRequests = "attrib/requests"
 )
+
+// attribSeriesNames maps each attribution phase onto its running-mean
+// series name, in Phase order.
+var attribSeriesNames = func() [attribution.NumPhases]string {
+	var out [attribution.NumPhases]string
+	for p := attribution.Phase(0); p < attribution.NumPhases; p++ {
+		out[p] = "attrib/" + p.String() + "_mean_s"
+	}
+	return out
+}()
 
 // autoscaleSeriesNames maps the autoscale signal vector onto registry
 // names, in autoscale.SignalNames order.
@@ -84,6 +96,38 @@ func (c *Cluster) recordSampleSeries(now simclock.Time) {
 		c.reg.Observe(c.linkBacklog[i], now, snap.Backlog.Seconds())
 	}
 	c.reg.Observe(seriesActiveReplicas, now, float64(c.activeCount()))
+	c.recordAttributionSeries(now)
+}
+
+// recordAttributionSeries samples the streaming attribution aggregators:
+// completed-request count and the running mean of each span phase. Safe
+// on the coordinator even in sharded runs — the sampling tick is a
+// barrier event, so every shard aggregator is quiescent. Sums fold
+// across shards without materializing a merged grid.
+func (c *Cluster) recordAttributionSeries(now simclock.Time) {
+	if len(c.collectors) == 0 {
+		return
+	}
+	var requests int64
+	for _, col := range c.collectors {
+		requests += col.Aggregator().Requests()
+	}
+	c.reg.Observe(seriesAttribRequests, now, float64(requests))
+	for p := attribution.Phase(0); p < attribution.NumPhases; p++ {
+		var count, total int64
+		for _, col := range c.collectors {
+			n, t := col.Aggregator().PhaseTotal(p)
+			count += n
+			total += t
+		}
+		mean := 0.0
+		if count > 0 {
+			// Exact integer sums first: the mean is bit-identical whatever
+			// the shard count, keeping series exports byte-stable.
+			mean = float64(total) / float64(count) / 1e9
+		}
+		c.reg.Observe(attribSeriesNames[p], now, mean)
+	}
 }
 
 // recordControlSeries records one point per control tick: the full signal

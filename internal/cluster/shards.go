@@ -21,6 +21,15 @@ package cluster
 // is per-replica-row (single writer) and interconnect links are booked
 // only by the coordinator, so bookings from parallel shards never race.
 //
+// The flight recorder follows the same single-writer discipline: each
+// shard owns a recorder and profiler, and every emission routes by the
+// event's replica (Cluster.recFor) — a replica's lifecycle events are
+// written either by its shard goroutine or by the coordinator while the
+// shards are quiescent, never both at once. The per-shard streams merge
+// deterministically at collect on the total (time, replica, recorder,
+// sequence) order, producing exports byte-identical to the
+// single-threaded run.
+//
 // The result is deterministic and — because engine event times are
 // float-derived while coordinator timers tick at configured intervals, so
 // cross-clock ties do not arise in practice — identical to the
@@ -91,7 +100,10 @@ func (c *Cluster) shardOf(replica int) *shard {
 
 // fastShardPath reports whether the run needs no coordinator events:
 // static replica set, round-robin routing (whose pick for arrival k is
-// k mod replicas by construction), no migration, and no sampling loop.
+// k mod replicas by construction), no migration, no sampling loop, and
+// no event retention (the routed path emits arrival and route-decision
+// events the fast path skips; attribution is fine — it reads only the
+// replica-scoped lifecycle events the engines emit on either path).
 // Arrivals then pre-route straight onto the shard clocks and the whole
 // simulation is one barrier-free parallel drain.
 func (c *Cluster) fastShardPath() bool {
@@ -99,6 +111,7 @@ func (c *Cluster) fastShardPath() bool {
 		c.cfg.Autoscale == nil &&
 		!c.cfg.Migrate &&
 		c.cfg.SampleEvery == 0 &&
+		!c.cfg.Obs.Events &&
 		c.cfg.Policy.Name() == router.NameRoundRobin
 }
 

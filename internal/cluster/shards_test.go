@@ -11,6 +11,7 @@ package cluster_test
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -98,21 +99,119 @@ func TestShardedFastPathMatchesLegacy(t *testing.T) {
 	}
 }
 
-// TestShardedRejectsUnshardedObsSinks pins the validation: the event bus
-// and phase profiler are single-writer sinks, so sharded execution must
-// refuse them up front instead of racing at runtime. The series layer is
-// coordinator-driven and stays allowed.
-func TestShardedRejectsUnshardedObsSinks(t *testing.T) {
-	_, build := determinismGrid()[0].make()
-	for _, o := range []obs.Options{{Events: true}, {Profile: true}} {
-		cfg := cluster.Config{Replicas: 3, Policy: router.NewRoundRobin(), Shards: 2, Obs: o}
-		if _, err := cluster.New(cfg, build); err == nil {
-			t.Fatalf("Shards=2 with %+v: expected a config error, got none", o)
-		}
+// TestShardedObsByteIdentity is the sharded-safe-recording acceptance
+// gate: for every determinism-grid row, a sharded run with the full
+// flight recorder on must export the exact bytes of the single-threaded
+// run — the JSONL event stream, the Chrome trace, and the series CSV —
+// and derive a deeply identical attribution report. Per-shard recorders
+// plus the deterministic (time, replica, recorder, sequence) merge are
+// what make this hold; CI runs it under -race so a shard writing a sink
+// it does not own fails even when the merged bytes happen to match.
+func TestShardedObsByteIdentity(t *testing.T) {
+	w := sessionWorkload(t)
+	type export struct {
+		res    *cluster.Result
+		jsonl  string
+		trace  string
+		csv    string
+		events int
 	}
-	cfg := cluster.Config{Replicas: 3, Policy: router.NewRoundRobin(), Shards: 2,
-		Obs: obs.Options{Series: true}}
-	if _, err := cluster.New(cfg, build); err != nil {
-		t.Fatalf("Shards=2 with series-only obs should be allowed: %v", err)
+	for _, row := range determinismGrid() {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			run := func(shards int) export {
+				cfg, build := row.make()
+				cfg.Shards = shards
+				cfg.SampleEvery = 250 * time.Millisecond
+				cfg.Obs = obs.Options{
+					Events: true, Series: true, Profile: true, Attribution: true,
+					SampleEvery: 2,
+				}
+				cl, err := cluster.New(cfg, build)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := cl.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := res.Obs.Events
+				var jsonl, trace, csv strings.Builder
+				if err := rec.WriteJSONL(&jsonl); err != nil {
+					t.Fatal(err)
+				}
+				if err := rec.WriteChromeTrace(&trace); err != nil {
+					t.Fatal(err)
+				}
+				if err := res.Obs.Series.WriteCSV(&csv); err != nil {
+					t.Fatal(err)
+				}
+				return export{res, jsonl.String(), trace.String(), csv.String(), rec.Len()}
+			}
+			single := run(0)
+			if single.events == 0 {
+				t.Fatal("single-threaded run recorded no events")
+			}
+			if err := cluster.CheckInvariants(single.res, w.Len()); err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 3, 8} {
+				got := run(shards)
+				if got.jsonl != single.jsonl {
+					t.Fatalf("shards=%d: JSONL export differs from single-threaded run", shards)
+				}
+				if got.trace != single.trace {
+					t.Fatalf("shards=%d: Chrome trace export differs from single-threaded run", shards)
+				}
+				if got.csv != single.csv {
+					t.Fatalf("shards=%d: series CSV export differs from single-threaded run", shards)
+				}
+				if !reflect.DeepEqual(got.res.Attribution, single.res.Attribution) {
+					t.Fatalf("shards=%d: attribution report differs:\n%+v\n%+v",
+						shards, got.res.Attribution, single.res.Attribution)
+				}
+				if err := cluster.CheckInvariants(got.res, w.Len()); err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedAttributionOnFastPath: attribution alone keeps the
+// barrier-free fast path (it needs no coordinator events), and its
+// streaming report still matches the single-threaded run's exactly.
+func TestShardedAttributionOnFastPath(t *testing.T) {
+	w := sessionWorkload(t)
+	run := func(shards int) *cluster.Result {
+		cfg := cluster.Config{
+			Replicas: 3,
+			Policy:   router.NewRoundRobin(),
+			Shards:   shards,
+			Obs:      obs.Options{Attribution: true},
+		}
+		_, build := determinismGrid()[0].make()
+		cl, err := cluster.New(cfg, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	single := run(0)
+	if single.Attribution == nil || single.Attribution.Requests == 0 {
+		t.Fatal("attribution-only run produced no report")
+	}
+	if single.Obs != nil {
+		t.Fatalf("attribution-only run retained a capture: %+v", single.Obs)
+	}
+	for _, shards := range []int{2, 3} {
+		got := run(shards)
+		if !reflect.DeepEqual(single, got) {
+			t.Fatalf("shards=%d: attribution-only result diverged from single-threaded run", shards)
+		}
 	}
 }

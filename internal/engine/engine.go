@@ -482,14 +482,26 @@ func (e *Engine) Prime(w trace.Workload) error {
 // first wait for a host-to-device reload (the wire time lands inside its
 // TTFT, exactly like a cross-replica migration).
 func (e *Engine) Inject(r *request.Request, now simclock.Time) {
-	if e.tryHostReload(r, now) {
+	e.InjectCause(r, now, 0)
+}
+
+// InjectCause is Inject carrying the deferral-cause bits accumulated
+// upstream of the engine (obs.QueueCauseGateway for gateway-drained
+// arrivals, obs.QueueCauseMigrate for injects riding a migration
+// completion); a host-reload deferral decided here ORs its own bit in.
+// The cause reaches the queue event's payload so latency attribution can
+// split the pre-queue gap exactly.
+func (e *Engine) InjectCause(r *request.Request, now simclock.Time, cause int64) {
+	if e.tryHostReload(r, now, cause) {
 		return // delivered when the reloaded prefix is resident
 	}
-	e.injectNow(r, now)
+	e.injectNow(r, now, cause, now)
 }
 
 // injectNow registers and queues a request whose prefix state is settled.
-func (e *Engine) injectNow(r *request.Request, now simclock.Time) {
+// injectAt is when the engine first saw the request (InjectCause time);
+// now − injectAt is the host-reload deferral, carried on the queue event.
+func (e *Engine) injectNow(r *request.Request, now simclock.Time, cause int64, injectAt simclock.Time) {
 	if r.Session != 0 {
 		// A hit requires the new prompt to strictly extend the pinned
 		// context (hit < PromptLen). A cached context at least as long as
@@ -506,7 +518,8 @@ func (e *Engine) injectNow(r *request.Request, now simclock.Time) {
 	e.track.Register(r)
 	e.waiting = append(e.waiting, r)
 	e.obs.Emit(now, obs.KindQueue, e.obsReplica, r.ID, r.Session,
-		int64(r.CachedPrompt), 0, 0, 0, "")
+		int64(r.CachedPrompt), obs.QueuePayload(cause, r.Turn),
+		int64(r.Arrival), float64(now.Sub(injectAt)), "")
 	e.kick(now)
 }
 
@@ -516,7 +529,7 @@ func (e *Engine) injectNow(r *request.Request, now simclock.Time) {
 // the mirrored tokens, the mirror reloads and the inject rides the
 // transfer completion (reload latency inside TTFT). It reports whether the
 // inject was deferred.
-func (e *Engine) tryHostReload(r *request.Request, now simclock.Time) bool {
+func (e *Engine) tryHostReload(r *request.Request, now simclock.Time, cause int64) bool {
 	if r.Session == 0 || !e.mem.HostCacheEnabled() {
 		return false
 	}
@@ -542,7 +555,7 @@ func (e *Engine) tryHostReload(r *request.Request, now simclock.Time) bool {
 		// pin and injectNow assesses it as an ordinary hit; a dropped
 		// install falls back to a full recompute.
 		e.pendingInjects--
-		e.injectNow(r, t)
+		e.injectNow(r, t, cause|obs.QueueCauseReload, now)
 	})
 	return true
 }

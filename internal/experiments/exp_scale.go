@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/trace"
 )
@@ -55,6 +58,46 @@ type ScaleRun struct {
 // replicas serving scaleWorkload — partitioned across the given number of
 // shard goroutines (0 = single-threaded).
 func RunScale(shards int) (ScaleRun, error) {
+	run, _, err := runScale(shards, obs.Options{})
+	return run, err
+}
+
+// RunScaleTraced runs the scale scenario with the flight recorder's event
+// bus and attribution layer on and exports events.jsonl + attribution.json
+// into dir — the input of the tokenflow-trace CI smoke. Event recording
+// retains every lifecycle event in memory, so unlike RunScale this is
+// meant for reduced TOKENFLOW_SCALE runs.
+func RunScaleTraced(shards int, dir string) (ScaleRun, error) {
+	run, res, err := runScale(shards, obs.Options{Events: true, Attribution: true})
+	if err != nil {
+		return run, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return run, err
+	}
+	f, err := os.Create(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		return run, err
+	}
+	if err := res.Obs.Events.WriteJSONL(f); err != nil {
+		f.Close()
+		return run, err
+	}
+	if err := f.Close(); err != nil {
+		return run, err
+	}
+	f, err = os.Create(filepath.Join(dir, "attribution.json"))
+	if err != nil {
+		return run, err
+	}
+	if err := res.Attribution.WriteJSON(f); err != nil {
+		f.Close()
+		return run, err
+	}
+	return run, f.Close()
+}
+
+func runScale(shards int, o obs.Options) (ScaleRun, *cluster.Result, error) {
 	replicas := scaled(500)
 	w := scaleWorkload()
 	cl, err := cluster.New(cluster.Config{
@@ -62,18 +105,19 @@ func RunScale(shards int) (ScaleRun, error) {
 		Policy:     router.NewRoundRobin(),
 		Shards:     shards,
 		MaxSimTime: 4 * time.Hour,
+		Obs:        o,
 	}, buildReplica(dep4090Llama))
 	if err != nil {
-		return ScaleRun{}, err
+		return ScaleRun{}, nil, err
 	}
 	start := time.Now()
 	res, err := cl.Run(w)
 	if err != nil {
-		return ScaleRun{}, err
+		return ScaleRun{}, nil, err
 	}
 	wall := time.Since(start)
 	if res.TimedOut {
-		return ScaleRun{}, fmt.Errorf("scale: run timed out at %s", res.Makespan)
+		return ScaleRun{}, nil, fmt.Errorf("scale: run timed out at %s", res.Makespan)
 	}
 	return ScaleRun{
 		Replicas:     replicas,
@@ -83,7 +127,7 @@ func RunScale(shards int) (ScaleRun, error) {
 		Events:       res.EventsProcessed,
 		Makespan:     res.Makespan,
 		Wall:         wall,
-	}, nil
+	}, res, nil
 }
 
 // ExpScale runs the scale envelope once at the reference shard count and

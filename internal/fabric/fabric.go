@@ -323,9 +323,15 @@ type TransferScheduler struct {
 
 	// obs/prof are the optional flight-recorder sinks; both default nil
 	// (free). Booking emits one KindTransfer event per transfer and
-	// charges the settle scan to PhaseFabricSettle.
-	obs  *obs.Recorder
-	prof *obs.Profiler
+	// charges the settle scan to PhaseFabricSettle. Under sharded cluster
+	// execution repObs/repProf route each booking to the sink owned by
+	// the booking replica's shard (mirroring the classes-row single-writer
+	// discipline); obs/prof then serve only replica-less direct bookings,
+	// issued by the coordinator.
+	obs     *obs.Recorder
+	prof    *obs.Profiler
+	repObs  []*obs.Recorder
+	repProf []*obs.Profiler
 }
 
 // NewScheduler wraps a topology in a transfer scheduler.
@@ -344,6 +350,19 @@ func (s *TransferScheduler) Topology() *Topology { return s.topo }
 func (s *TransferScheduler) SetObs(rec *obs.Recorder, prof *obs.Profiler) {
 	s.obs = rec
 	s.prof = prof
+}
+
+// SetReplicaObs installs per-replica flight-recorder sinks for sharded
+// runs: bookings attributed to the replica record there instead of the
+// shared sinks, so each recorder keeps a single writing goroutine.
+func (s *TransferScheduler) SetReplicaObs(replica int, rec *obs.Recorder, prof *obs.Profiler) {
+	s.topo.checkReplica(replica)
+	if s.repObs == nil {
+		s.repObs = make([]*obs.Recorder, s.topo.n)
+		s.repProf = make([]*obs.Profiler, s.topo.n)
+	}
+	s.repObs[replica] = rec
+	s.repProf[replica] = prof
 }
 
 // Endpoint returns replica i's view of the scheduler (the handle the KV
@@ -384,7 +403,11 @@ func (s *TransferScheduler) Book(class Class, path []*gpu.Link, now simclock.Tim
 // book is Book with the booking side's replica attached for event
 // attribution (-1 when the caller books an explicit path directly).
 func (s *TransferScheduler) book(class Class, path []*gpu.Link, now simclock.Time, bytes int64, replica int) (start, done simclock.Time) {
-	t0 := s.prof.Begin()
+	rec, prof := s.obs, s.prof
+	if replica >= 0 && replica < len(s.repObs) {
+		rec, prof = s.repObs[replica], s.repProf[replica]
+	}
+	t0 := prof.Begin()
 	start, bottleneck := pathPlan(path, now)
 	wire := bottleneck.TransferTime(bytes)
 	done = start.Add(wire)
@@ -395,8 +418,8 @@ func (s *TransferScheduler) book(class Class, path []*gpu.Link, now simclock.Tim
 	cs.Transfers++
 	cs.Bytes += bytes
 	cs.Busy += wire
-	s.prof.End(obs.PhaseFabricSettle, t0)
-	s.obs.Emit(now, obs.KindTransfer, replica, -1, -1,
+	prof.End(obs.PhaseFabricSettle, t0)
+	rec.Emit(now, obs.KindTransfer, replica, -1, -1,
 		int64(start), int64(done), bytes, 0, classNames[class])
 	return start, done
 }

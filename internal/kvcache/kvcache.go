@@ -246,7 +246,9 @@ func New(cfg Config, clock *simclock.Clock, ep *fabric.Endpoint, cb Callbacks) (
 
 // SetObs installs the flight recorder, stamping events with the given
 // replica id. Pure observation: cache behavior is identical with or
-// without it.
+// without it. Under sharded execution rec must be the owning shard's
+// recorder (the engine passes its own sink through), preserving the
+// single-writer discipline the deterministic merge depends on.
 func (m *Manager) SetObs(rec *obs.Recorder, replica int) {
 	m.obs = rec
 	m.obsReplica = replica

@@ -1,0 +1,329 @@
+// Package attribution folds the flight recorder's lifecycle event stream
+// into per-request causal spans and answers the question the flat stream
+// cannot: where does tail latency actually come from — gateway
+// buffering, KV delivery (host reload or migration wire), queue wait,
+// prefill, decode, or preemption gaps?
+//
+// The derivation is exact by construction: the six phases partition the
+// request's measured lifetime, so gateway + wire + queue + prefill sums
+// to the request's TTFT and adding decode + preempted reaches its E2E
+// latency — a conservation law the cluster invariant suite checks per
+// request over the experiment grid. Everything the pass needs rides on
+// replica-scoped events (KindQueue carries the arrival time and the
+// deferral cause), so it runs per shard with no cross-shard state:
+// batch over a recorded stream (Derive) or streaming through a recorder
+// tap into bounded-memory quantile sketches (Collector/Aggregator) for
+// runs too large to retain events.
+package attribution
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simclock"
+)
+
+// Phase is one segment of a request's causal span.
+type Phase uint8
+
+const (
+	// PhaseGateway: held in the scale-to-zero gateway awaiting a warm
+	// replica (arrival → gateway release).
+	PhaseGateway Phase = iota
+	// PhaseWire: waiting on KV delivery — a prefix migration transfer
+	// onto the serving replica and/or a host-tier KV reload booked at
+	// injection.
+	PhaseWire
+	// PhaseQueue: queued on the replica awaiting scheduler admission.
+	PhaseQueue
+	// PhasePrefill: admission to first token.
+	PhasePrefill
+	// PhaseDecode: token generation time (preemption gaps excluded).
+	PhaseDecode
+	// PhasePreempted: total time parked by memory preemption between
+	// first token and completion.
+	PhasePreempted
+
+	// NumPhases is the number of span phases.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"gateway", "wire", "queue", "prefill", "decode", "preempted",
+}
+
+// String returns the phase's stable report name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Class buckets requests by their session shape — the dimension along
+// which prefix caching splits latency behavior.
+type Class uint8
+
+const (
+	// ClassStateless: no session (session 0, one-shot requests).
+	ClassStateless Class = iota
+	// ClassFirstTurn: a session's opening turn (cold prefix). Session
+	// turns are 1-based in the trace layer.
+	ClassFirstTurn
+	// ClassFollowUp: later session turns riding a warm prefix.
+	ClassFollowUp
+
+	// NumClasses is the number of request classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"stateless", "first-turn", "follow-up"}
+
+// String returns the class's stable report name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+func classOf(session int32, turn int) Class {
+	switch {
+	case session == 0:
+		return ClassStateless
+	case turn <= 1:
+		return ClassFirstTurn
+	default:
+		return ClassFollowUp
+	}
+}
+
+// Span is one request's derived causal span: its lifecycle timestamps
+// and the exact phase decomposition of its latency.
+type Span struct {
+	Request int32 `json:"request"`
+	Session int32 `json:"session"`
+	Turn    int   `json:"turn"`
+	Replica int32 `json:"replica"`
+	Class   Class `json:"class"`
+
+	Arrival    simclock.Time `json:"arrival_ns"`
+	QueueAt    simclock.Time `json:"queue_ns"`
+	AdmitAt    simclock.Time `json:"admit_ns"`
+	FirstAt    simclock.Time `json:"first_token_ns"`
+	CompleteAt simclock.Time `json:"complete_ns"`
+
+	Preemptions int `json:"preemptions"`
+
+	// Phases holds the six phase durations, indexed by Phase.
+	Phases [NumPhases]time.Duration `json:"phases_ns"`
+}
+
+// Phase returns one phase's duration.
+func (s *Span) Phase(p Phase) time.Duration { return s.Phases[p] }
+
+// TTFT is the span's measured time to first token.
+func (s *Span) TTFT() time.Duration { return s.FirstAt.Sub(s.Arrival) }
+
+// E2E is the span's measured end-to-end latency.
+func (s *Span) E2E() time.Duration { return s.CompleteAt.Sub(s.Arrival) }
+
+// PhaseSumTTFT sums the pre-first-token phases; the exact-accounting
+// invariant requires it to equal TTFT().
+func (s *Span) PhaseSumTTFT() time.Duration {
+	return s.Phases[PhaseGateway] + s.Phases[PhaseWire] +
+		s.Phases[PhaseQueue] + s.Phases[PhasePrefill]
+}
+
+// PhaseSum sums all phases; the exact-accounting invariant requires it
+// to equal E2E().
+func (s *Span) PhaseSum() time.Duration {
+	return s.PhaseSumTTFT() + s.Phases[PhaseDecode] + s.Phases[PhasePreempted]
+}
+
+// reqState is the in-flight derivation state for one request. It is
+// pooled by the collector so the steady-state observe path allocates
+// nothing.
+type reqState struct {
+	request, session int32
+	replica          int32
+	turn             int
+	cause            int64
+	reload           time.Duration
+
+	arrival, queueAt, admitAt, firstAt simclock.Time
+	preemptAt                          simclock.Time
+	preempted                          time.Duration
+	preemptions                        int
+	hasAdmit, hasFirst, inPreempt      bool
+}
+
+// beginQueue seeds the state from a KindQueue event, which carries
+// everything upstream of the replica: the arrival time (C), the
+// deferral-cause bits and turn (B), and the host-reload deferral (F).
+func (st *reqState) beginQueue(e obs.Event) {
+	st.request, st.session, st.replica = e.Request, e.Session, e.Replica
+	st.turn = obs.QueueTurn(e.B)
+	st.cause = obs.QueueCause(e.B)
+	st.reload = time.Duration(int64(e.F))
+	st.arrival = simclock.Time(e.C)
+	st.queueAt = e.At
+	st.admitAt, st.firstAt = 0, 0
+	st.preempted, st.preemptions = 0, 0
+	st.hasAdmit, st.hasFirst, st.inPreempt = false, false, false
+}
+
+// apply advances the state by one lifecycle event; it reports true when
+// the event completed the request and the span can be finalized.
+func (st *reqState) apply(e obs.Event) (done bool) {
+	switch e.Kind {
+	case obs.KindAdmit:
+		if !st.hasAdmit {
+			st.admitAt, st.hasAdmit = e.At, true
+		}
+	case obs.KindPreempt:
+		st.preemptAt, st.inPreempt = e.At, true
+		st.preemptions++
+	case obs.KindResume:
+		if st.inPreempt {
+			st.preempted += e.At.Sub(st.preemptAt)
+			st.inPreempt = false
+		}
+	case obs.KindFirstToken:
+		if !st.hasFirst {
+			st.firstAt, st.hasFirst = e.At, true
+		}
+	case obs.KindComplete:
+		return true
+	}
+	return false
+}
+
+// finish folds the accumulated state into a Span at completion time.
+// The pre-queue gap (queueAt − arrival) splits exactly: the host-reload
+// deferral is carried on the queue event itself, and the remainder
+// belongs to whichever single mechanism delayed injection — the gateway
+// hold or the migration wire — per the cause bits (the two are mutually
+// exclusive by construction: gateway-drained requests inject directly
+// and never migrate).
+func (st *reqState) finish(completeAt simclock.Time) Span {
+	s := Span{
+		Request: st.request, Session: st.session, Turn: st.turn,
+		Replica: st.replica, Class: classOf(st.session, st.turn),
+		Arrival: st.arrival, QueueAt: st.queueAt, AdmitAt: st.admitAt,
+		FirstAt: st.firstAt, CompleteAt: completeAt,
+		Preemptions: st.preemptions,
+	}
+	preQueue := st.queueAt.Sub(st.arrival)
+	wire := st.reload
+	if wire > preQueue {
+		wire = preQueue
+	}
+	gap := preQueue - wire
+	switch {
+	case st.cause&obs.QueueCauseMigrate != 0:
+		wire += gap
+	case st.cause&obs.QueueCauseGateway != 0:
+		s.Phases[PhaseGateway] = gap
+	default:
+		// No deferral cause: any residual gap is queue-side wait.
+		s.Phases[PhaseQueue] = gap
+	}
+	s.Phases[PhaseWire] = wire
+	s.Phases[PhaseQueue] += st.admitAt.Sub(st.queueAt)
+	s.Phases[PhasePrefill] = st.firstAt.Sub(st.admitAt)
+	s.Phases[PhasePreempted] = st.preempted
+	s.Phases[PhaseDecode] = completeAt.Sub(st.firstAt) - st.preempted
+	return s
+}
+
+// Derive runs the batch span derivation over a recorded event stream
+// (canonical order, as returned by Recorder.Events or read back from an
+// events.jsonl export) and returns one span per completed request,
+// ordered by request id. Requests still in flight at the end of the
+// stream derive no span.
+func Derive(events []obs.Event) []Span {
+	live := map[int32]*reqState{}
+	var spans []Span
+	for _, e := range events {
+		if e.Request < 0 {
+			continue
+		}
+		if e.Kind == obs.KindQueue {
+			st, ok := live[e.Request]
+			if !ok {
+				st = &reqState{}
+				live[e.Request] = st
+			}
+			st.beginQueue(e)
+			continue
+		}
+		st, ok := live[e.Request]
+		if !ok {
+			continue
+		}
+		if st.apply(e) {
+			spans = append(spans, st.finish(e.At))
+			delete(live, e.Request)
+		}
+	}
+	sortSpansByRequest(spans)
+	return spans
+}
+
+func sortSpansByRequest(spans []Span) {
+	// Completion order is deterministic but not id-ordered; a simple sort
+	// gives consumers a stable, mergeable layout.
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Request < spans[j].Request })
+}
+
+// Waterfall renders one span as a per-phase breakdown with proportional
+// bars — the per-request view behind `tokenflow-trace slowest` and the
+// observe example.
+func Waterfall(s Span, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "request %d  session %d turn %d  replica %d  class %s\n",
+		s.Request, s.Session, s.Turn, s.Replica, s.Class)
+	fmt.Fprintf(&b, "  arrival %.3fs  ttft %s  e2e %s",
+		s.Arrival.Seconds(), fmtDur(s.TTFT()), fmtDur(s.E2E()))
+	if s.Preemptions > 0 {
+		fmt.Fprintf(&b, "  (%d preemptions)", s.Preemptions)
+	}
+	b.WriteByte('\n')
+	e2e := s.E2E()
+	for p := Phase(0); p < NumPhases; p++ {
+		d := s.Phases[p]
+		if d == 0 && (p == PhaseGateway || p == PhaseWire || p == PhasePreempted) {
+			continue
+		}
+		bar := 0
+		if e2e > 0 {
+			bar = int(float64(width) * float64(d) / float64(e2e))
+		}
+		if d > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %-9s %10s  %s\n", p.String(), fmtDur(d),
+			strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// fmtDur formats a duration with millisecond precision — enough for
+// latency waterfalls without sub-microsecond noise.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}

@@ -1,0 +1,218 @@
+package attribution
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simclock"
+)
+
+func ms(n int64) simclock.Time { return simclock.Time(n * int64(time.Millisecond)) }
+
+// lifecycleEvents builds a three-request stream covering every phase
+// mechanism: gateway hold plus host reload, migration wire, and a plain
+// residual queue gap, with one preemption in the mix.
+func lifecycleEvents() []obs.Event {
+	rec := obs.NewRecorder()
+	// Request 1, session 9 turn 2 (follow-up), replica 0: held in the
+	// gateway 3ms, then a 2ms host reload defers injection; preempted
+	// once for 1ms between first token and completion.
+	rec.Emit(ms(5), obs.KindQueue, 0, 1, 9, 0,
+		obs.QueuePayload(obs.QueueCauseGateway|obs.QueueCauseReload, 2),
+		int64(ms(0)), float64(2*time.Millisecond), "")
+	rec.Emit(ms(7), obs.KindAdmit, 0, 1, 9, 0, 0, 0, 0, "")
+	rec.Emit(ms(12), obs.KindFirstToken, 0, 1, 9, 0, 0, 0, 0, "")
+	rec.Emit(ms(13), obs.KindPreempt, 0, 1, 9, 0, 0, 0, 0, "")
+	rec.Emit(ms(14), obs.KindResume, 0, 1, 9, 0, 0, 0, 0, "")
+	rec.Emit(ms(20), obs.KindComplete, 0, 1, 9, 0, 0, 0, 0, "")
+	// Request 2, session 9 turn 0 (first-turn), replica 1: injection
+	// deferred 5ms by a prefix migration.
+	rec.Emit(ms(6), obs.KindQueue, 1, 2, 9, 0,
+		obs.QueuePayload(obs.QueueCauseMigrate, 0), int64(ms(1)), 0, "")
+	rec.Emit(ms(6), obs.KindAdmit, 1, 2, 9, 0, 0, 0, 0, "")
+	rec.Emit(ms(9), obs.KindFirstToken, 1, 2, 9, 0, 0, 0, 0, "")
+	rec.Emit(ms(10), obs.KindComplete, 1, 2, 9, 0, 0, 0, 0, "")
+	// Request 3, stateless, replica 0: no deferral cause — a 1ms reload
+	// plus a residual gap that counts as queue wait.
+	rec.Emit(ms(4), obs.KindQueue, 0, 3, 0, 0,
+		obs.QueuePayload(0, 0), int64(ms(2)), float64(time.Millisecond), "")
+	rec.Emit(ms(5), obs.KindAdmit, 0, 3, 0, 0, 0, 0, 0, "")
+	rec.Emit(ms(8), obs.KindFirstToken, 0, 3, 0, 0, 0, 0, 0, "")
+	rec.Emit(ms(9), obs.KindComplete, 0, 3, 0, 0, 0, 0, 0, "")
+	// Request 4 never completes: it must derive no span.
+	rec.Emit(ms(6), obs.KindQueue, 1, 4, 0, 0, obs.QueuePayload(0, 0), int64(ms(6)), 0, "")
+	// Lifecycle events for an unknown request (no queue event) are ignored.
+	rec.Emit(ms(7), obs.KindAdmit, 1, 99, 0, 0, 0, 0, 0, "")
+	return rec.Events()
+}
+
+// TestDeriveExactAccounting pins the span decomposition per mechanism
+// and the conservation law: phases partition TTFT and E2E exactly.
+func TestDeriveExactAccounting(t *testing.T) {
+	spans := Derive(lifecycleEvents())
+	if len(spans) != 3 {
+		t.Fatalf("derived %d spans, want 3", len(spans))
+	}
+	want := []struct {
+		request     int32
+		class       Class
+		phases      [NumPhases]time.Duration
+		preemptions int
+	}{
+		{1, ClassFollowUp, [NumPhases]time.Duration{
+			PhaseGateway: 3 * time.Millisecond, PhaseWire: 2 * time.Millisecond,
+			PhaseQueue: 2 * time.Millisecond, PhasePrefill: 5 * time.Millisecond,
+			PhaseDecode: 7 * time.Millisecond, PhasePreempted: time.Millisecond,
+		}, 1},
+		{2, ClassFirstTurn, [NumPhases]time.Duration{
+			PhaseWire: 5 * time.Millisecond, PhasePrefill: 3 * time.Millisecond,
+			PhaseDecode: time.Millisecond,
+		}, 0},
+		{3, ClassStateless, [NumPhases]time.Duration{
+			PhaseWire: time.Millisecond, PhaseQueue: 2 * time.Millisecond,
+			PhasePrefill: 3 * time.Millisecond, PhaseDecode: time.Millisecond,
+		}, 0},
+	}
+	for i, w := range want {
+		s := spans[i]
+		if s.Request != w.request || s.Class != w.class || s.Preemptions != w.preemptions {
+			t.Errorf("span %d: request %d class %v preemptions %d, want %d %v %d",
+				i, s.Request, s.Class, s.Preemptions, w.request, w.class, w.preemptions)
+		}
+		if s.Phases != w.phases {
+			t.Errorf("request %d phases %v, want %v", s.Request, s.Phases, w.phases)
+		}
+		if s.PhaseSumTTFT() != s.TTFT() {
+			t.Errorf("request %d: pre-first-token phases sum to %v, TTFT %v",
+				s.Request, s.PhaseSumTTFT(), s.TTFT())
+		}
+		if s.PhaseSum() != s.E2E() {
+			t.Errorf("request %d: phases sum to %v, E2E %v", s.Request, s.PhaseSum(), s.E2E())
+		}
+	}
+}
+
+// TestCollectorMatchesDerive: the streaming path must agree with the
+// batch derivation — same request count, same slowest spans, exact
+// phase totals.
+func TestCollectorMatchesDerive(t *testing.T) {
+	events := lifecycleEvents()
+	col := NewCollector(NewAggregator(2))
+	for _, e := range events {
+		col.Observe(e)
+	}
+	spans := Derive(events)
+	rep := col.Aggregator().Report()
+	if rep.Requests != int64(len(spans)) {
+		t.Fatalf("report covers %d requests, derive found %d", rep.Requests, len(spans))
+	}
+	// Slowest is ordered by E2E descending: requests 1 (20ms), 2 (9ms),
+	// 3 (7ms).
+	if len(rep.Slowest) != 3 || rep.Slowest[0].Request != 1 ||
+		rep.Slowest[1].Request != 2 || rep.Slowest[2].Request != 3 {
+		t.Fatalf("slowest order wrong: %+v", rep.Slowest)
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		var want time.Duration
+		for _, s := range spans {
+			want += s.Phases[p]
+		}
+		if _, got := col.Aggregator().PhaseTotal(p); got != int64(want) {
+			t.Errorf("phase %v total %d, derive sums to %d", p, got, int64(want))
+		}
+	}
+	// Per-class and per-replica rows appear only with traffic, and cover
+	// all three classes here.
+	if len(rep.Classes) != 3 || len(rep.Replicas) != 2 {
+		t.Fatalf("report has %d classes and %d replicas, want 3 and 2",
+			len(rep.Classes), len(rep.Replicas))
+	}
+}
+
+// TestAggregatorMergeMatchesSingle: per-shard aggregators folded with
+// Add must produce the report of one aggregator that saw everything —
+// the property collect() relies on.
+func TestAggregatorMergeMatchesSingle(t *testing.T) {
+	events := lifecycleEvents()
+	single := NewCollector(NewAggregator(2))
+	sh0 := NewCollector(NewAggregator(2))
+	sh1 := NewCollector(NewAggregator(2))
+	for _, e := range events {
+		single.Observe(e)
+		if e.Replica == 0 {
+			sh0.Observe(e)
+		} else {
+			sh1.Observe(e)
+		}
+	}
+	merged := sh0.Aggregator()
+	merged.Add(sh1.Aggregator())
+	got, want := merged.Report(), single.Aggregator().Report()
+	if len(got.Metrics) != len(want.Metrics) {
+		t.Fatalf("metric row counts differ: %d vs %d", len(got.Metrics), len(want.Metrics))
+	}
+	for i := range want.Metrics {
+		if got.Metrics[i] != want.Metrics[i] {
+			t.Errorf("metric %s differs merged vs single:\n%+v\n%+v",
+				want.Metrics[i].Name, got.Metrics[i], want.Metrics[i])
+		}
+	}
+	if len(got.Slowest) != len(want.Slowest) {
+		t.Fatalf("slowest lengths differ: %d vs %d", len(got.Slowest), len(want.Slowest))
+	}
+	for i := range want.Slowest {
+		if got.Slowest[i] != want.Slowest[i] {
+			t.Errorf("slowest[%d] differs: %+v vs %+v", i, got.Slowest[i], want.Slowest[i])
+		}
+	}
+}
+
+// TestCollectorObserveAllocs bounds the per-event streaming path: with
+// the sketch grid and state pool warm, observing a full request
+// lifecycle allocates nothing.
+func TestCollectorObserveAllocs(t *testing.T) {
+	col := NewCollector(NewAggregator(1))
+	cycle := []obs.Event{
+		{At: ms(1), Kind: obs.KindQueue, Replica: 0, Request: 7, Session: 3,
+			B: obs.QueuePayload(obs.QueueCauseReload, 1), C: int64(ms(0)),
+			F: float64(time.Millisecond)},
+		{At: ms(2), Kind: obs.KindAdmit, Replica: 0, Request: 7, Session: 3},
+		{At: ms(3), Kind: obs.KindFirstToken, Replica: 0, Request: 7, Session: 3},
+		{At: ms(9), Kind: obs.KindComplete, Replica: 0, Request: 7, Session: 3},
+	}
+	// Warm: populate the sketch cells, the slowest-K set, and the state
+	// pool.
+	for i := 0; i < 2*slowestK; i++ {
+		for _, e := range cycle {
+			col.Observe(e)
+		}
+	}
+	avg := testing.AllocsPerRun(5000, func() {
+		for _, e := range cycle {
+			col.Observe(e)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("warm Observe lifecycle allocates %.4f allocs/op, want 0", avg)
+	}
+}
+
+// TestWaterfall smoke-tests the per-request rendering: every nonzero
+// phase appears with a bar, zero-by-construction phases are skipped.
+func TestWaterfall(t *testing.T) {
+	spans := Derive(lifecycleEvents())
+	out := Waterfall(spans[0], 40)
+	for _, wantSub := range []string{"request 1", "gateway", "wire", "queue",
+		"prefill", "decode", "preempted", "#", "1 preemptions"} {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("waterfall missing %q:\n%s", wantSub, out)
+		}
+	}
+	// Request 2 had no gateway or preemption time: those rows vanish.
+	out2 := Waterfall(spans[1], 40)
+	if strings.Contains(out2, "gateway") || strings.Contains(out2, "preempted") {
+		t.Errorf("waterfall shows zero phases:\n%s", out2)
+	}
+}

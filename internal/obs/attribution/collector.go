@@ -1,0 +1,314 @@
+package attribution
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Metric rows of the sketch grid: the six phases plus the two measured
+// latencies, so the report can quote TTFT/E2E quantiles next to their
+// decomposition.
+const (
+	metricTTFT = int(NumPhases)
+	metricE2E  = int(NumPhases) + 1
+	numMetrics = int(NumPhases) + 2
+)
+
+var metricNames = [numMetrics]string{
+	"gateway", "wire", "queue", "prefill", "decode", "preempted",
+	"ttft", "e2e",
+}
+
+// slowestK is how many worst-E2E spans an aggregator retains for the
+// report's per-request waterfalls.
+const slowestK = 16
+
+// Aggregator is the bounded-memory attribution sink: one quantile
+// sketch per (replica, class, metric) cell, allocated lazily, plus the
+// top-K slowest spans. Memory is O(replicas × classes × metrics ×
+// sketch buckets) — independent of request count, so 1M-request runs
+// fit. One aggregator serves one shard (its replica rows are disjoint
+// from every other shard's); Add folds shards into the cluster view.
+type Aggregator struct {
+	replicas int
+	cells    []*Sketch
+	slowest  []Span
+}
+
+// NewAggregator sizes the grid for replica ids 0..replicas-1.
+func NewAggregator(replicas int) *Aggregator {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Aggregator{
+		replicas: replicas,
+		cells:    make([]*Sketch, replicas*int(NumClasses)*numMetrics),
+	}
+}
+
+func (a *Aggregator) cell(replica int32, class Class, metric int) *Sketch {
+	r := int(replica)
+	if r < 0 || r >= a.replicas {
+		r = 0
+	}
+	idx := (r*int(NumClasses)+int(class))*numMetrics + metric
+	s := a.cells[idx]
+	if s == nil {
+		s = &Sketch{}
+		a.cells[idx] = s
+	}
+	return s
+}
+
+// Observe folds one finished span into the grid.
+func (a *Aggregator) Observe(s Span) {
+	for p := 0; p < int(NumPhases); p++ {
+		a.cell(s.Replica, s.Class, p).Observe(int64(s.Phases[p]))
+	}
+	a.cell(s.Replica, s.Class, metricTTFT).Observe(int64(s.TTFT()))
+	a.cell(s.Replica, s.Class, metricE2E).Observe(int64(s.E2E()))
+	a.noteSlowest(s)
+}
+
+// noteSlowest keeps the K worst spans by (E2E desc, request asc) — the
+// request-id tie-break makes the set deterministic across shard merges.
+func (a *Aggregator) noteSlowest(s Span) {
+	if len(a.slowest) == slowestK && !slowerThan(s, a.slowest[len(a.slowest)-1]) {
+		return
+	}
+	i := sort.Search(len(a.slowest), func(i int) bool {
+		return !slowerThan(a.slowest[i], s)
+	})
+	if len(a.slowest) < slowestK {
+		a.slowest = append(a.slowest, Span{})
+	}
+	copy(a.slowest[i+1:], a.slowest[i:])
+	a.slowest[i] = s
+}
+
+func slowerThan(a, b Span) bool {
+	if ae, be := a.E2E(), b.E2E(); ae != be {
+		return ae > be
+	}
+	return a.Request < b.Request
+}
+
+// Requests is the number of spans observed.
+func (a *Aggregator) Requests() int64 {
+	var n int64
+	for r := 0; r < a.replicas; r++ {
+		for c := Class(0); c < NumClasses; c++ {
+			idx := (r*int(NumClasses)+int(c))*numMetrics + metricE2E
+			if s := a.cells[idx]; s != nil {
+				n += s.Count()
+			}
+		}
+	}
+	return n
+}
+
+// MetricTotal sums one metric across the grid — cheap enough for the
+// telemetry sampling loop to call per tick. The metric index is a Phase
+// or the TTFT/E2E rows.
+func (a *Aggregator) metricTotal(metric int) (count, total int64) {
+	for r := 0; r < a.replicas; r++ {
+		for c := Class(0); c < NumClasses; c++ {
+			idx := (r*int(NumClasses)+int(c))*numMetrics + metric
+			if s := a.cells[idx]; s != nil {
+				count += s.Count()
+				total += s.Total()
+			}
+		}
+	}
+	return count, total
+}
+
+// PhaseTotal returns one phase's exact observation count and summed
+// nanoseconds — the telemetry series hook. Integer sums fold across
+// shard aggregators without float drift, so a sampled series is
+// bit-identical whatever the shard count.
+func (a *Aggregator) PhaseTotal(p Phase) (count, totalNS int64) {
+	return a.metricTotal(int(p))
+}
+
+// Add merges another aggregator (same replica sizing) into a.
+func (a *Aggregator) Add(o *Aggregator) {
+	if o == nil {
+		return
+	}
+	for i, s := range o.cells {
+		if s == nil || s.Count() == 0 {
+			continue
+		}
+		if a.cells[i] == nil {
+			a.cells[i] = &Sketch{}
+		}
+		a.cells[i].Add(s)
+	}
+	for _, s := range o.slowest {
+		a.noteSlowest(s)
+	}
+}
+
+// Stat summarizes one metric's distribution. Count, total, mean, and
+// max are exact; the quantiles are sketch estimates with <= 3.1%
+// relative error.
+type Stat struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MeanNS  int64  `json:"mean_ns"`
+	P50NS   int64  `json:"p50_ns"`
+	P90NS   int64  `json:"p90_ns"`
+	P99NS   int64  `json:"p99_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+func statOf(name string, s *Sketch) Stat {
+	return Stat{
+		Name: name, Count: s.Count(), TotalNS: s.Total(), MeanNS: s.Mean(),
+		P50NS: s.Quantile(0.50), P90NS: s.Quantile(0.90),
+		P99NS: s.Quantile(0.99), MaxNS: s.Max(),
+	}
+}
+
+// ClassStat is one request class's metric summary.
+type ClassStat struct {
+	Class    string `json:"class"`
+	Requests int64  `json:"requests"`
+	Metrics  []Stat `json:"metrics"`
+}
+
+// ReplicaStat is one replica's metric summary.
+type ReplicaStat struct {
+	Replica  int    `json:"replica"`
+	Requests int64  `json:"requests"`
+	Metrics  []Stat `json:"metrics"`
+}
+
+// Report is the end-of-run attribution summary: cluster-wide metric
+// distributions, the same split by request class and by replica (rows
+// with traffic only), and the slowest spans for per-request waterfalls.
+type Report struct {
+	Requests int64         `json:"requests"`
+	Metrics  []Stat        `json:"metrics"`
+	Classes  []ClassStat   `json:"classes"`
+	Replicas []ReplicaStat `json:"replicas"`
+	Slowest  []Span        `json:"slowest"`
+}
+
+// Report folds the grid into its summary form.
+func (a *Aggregator) Report() *Report {
+	rep := &Report{Slowest: append([]Span(nil), a.slowest...)}
+
+	merge := func(pick func(r int, c Class) *Sketch) []Stat {
+		stats := make([]Stat, 0, numMetrics)
+		for m := 0; m < numMetrics; m++ {
+			var agg Sketch
+			for r := 0; r < a.replicas; r++ {
+				for c := Class(0); c < NumClasses; c++ {
+					if s := pick(r, c); s != nil {
+						agg.Add(a.cells[(r*int(NumClasses)+int(c))*numMetrics+m])
+					}
+				}
+			}
+			stats = append(stats, statOf(metricNames[m], &agg))
+		}
+		return stats
+	}
+	all := func(r int, c Class) *Sketch {
+		return a.cells[(r*int(NumClasses)+int(c))*numMetrics+metricE2E]
+	}
+	rep.Metrics = merge(all)
+	rep.Requests = rep.Metrics[metricE2E].Count
+
+	for c := Class(0); c < NumClasses; c++ {
+		c := c
+		stats := merge(func(r int, cc Class) *Sketch {
+			if cc != c {
+				return nil
+			}
+			return all(r, cc)
+		})
+		if n := stats[metricE2E].Count; n > 0 {
+			rep.Classes = append(rep.Classes, ClassStat{
+				Class: c.String(), Requests: n, Metrics: stats,
+			})
+		}
+	}
+	for r := 0; r < a.replicas; r++ {
+		r := r
+		stats := merge(func(rr int, c Class) *Sketch {
+			if rr != r {
+				return nil
+			}
+			return all(rr, c)
+		})
+		if n := stats[metricE2E].Count; n > 0 {
+			rep.Replicas = append(rep.Replicas, ReplicaStat{
+				Replica: r, Requests: n, Metrics: stats,
+			})
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON (attribution.json).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Collector streams lifecycle events into an aggregator: it is the
+// recorder tap for one shard. In-flight request state is pooled and
+// recycled at completion, so memory is bounded by the in-flight set and
+// the steady-state observe path allocates nothing.
+type Collector struct {
+	agg  *Aggregator
+	live map[int32]*reqState
+	free []*reqState
+}
+
+// NewCollector returns a collector feeding agg.
+func NewCollector(agg *Aggregator) *Collector {
+	return &Collector{agg: agg, live: make(map[int32]*reqState)}
+}
+
+// Aggregator returns the collector's sink.
+func (c *Collector) Aggregator() *Aggregator { return c.agg }
+
+// Observe consumes one emitted event (the obs.Recorder tap signature).
+func (c *Collector) Observe(e obs.Event) {
+	if e.Request < 0 {
+		return
+	}
+	switch e.Kind {
+	case obs.KindQueue:
+		st, ok := c.live[e.Request]
+		if !ok {
+			if n := len(c.free); n > 0 {
+				st = c.free[n-1]
+				c.free = c.free[:n-1]
+			} else {
+				st = &reqState{}
+			}
+			c.live[e.Request] = st
+		}
+		st.beginQueue(e)
+	case obs.KindAdmit, obs.KindPreempt, obs.KindResume,
+		obs.KindFirstToken, obs.KindComplete:
+		st, ok := c.live[e.Request]
+		if !ok {
+			return
+		}
+		if st.apply(e) {
+			c.agg.Observe(st.finish(e.At))
+			delete(c.live, e.Request)
+			c.free = append(c.free, st)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package attribution
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference the sketch is judged against: the
+// ceil(q·n)-th smallest observation.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkBounds asserts the sketch's guarantee on every probed quantile:
+// true <= estimate <= true·(1 + 1/32), with count/total/max exact.
+func checkBounds(t *testing.T, name string, values []int64) {
+	t.Helper()
+	var s Sketch
+	var total int64
+	var max int64
+	for _, v := range values {
+		s.Observe(v)
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if s.Count() != int64(len(values)) || s.Total() != total || s.Max() != max {
+		t.Fatalf("%s: exact stats drifted: count %d/%d total %d/%d max %d/%d",
+			name, s.Count(), len(values), s.Total(), total, s.Max(), max)
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0} {
+		want := exactQuantile(sorted, q)
+		got := s.Quantile(q)
+		if got < want {
+			t.Errorf("%s: q%.2f estimate %d undershoots exact %d", name, q, got, want)
+		}
+		if limit := float64(want) * (1 + 1.0/32); float64(got) > limit {
+			t.Errorf("%s: q%.2f estimate %d exceeds exact %d by more than 1/32",
+				name, q, got, want)
+		}
+	}
+}
+
+// TestSketchQuantileBounds probes the error guarantee on adversarial
+// shapes — bucket-edge values, constants, a dense ramp, heavy ties with
+// an extreme tail — and on seeded-random samples across scales.
+func TestSketchQuantileBounds(t *testing.T) {
+	edges := []int64{}
+	for shift := uint(0); shift < 40; shift += 3 {
+		v := int64(1) << shift
+		edges = append(edges, v-1, v, v+1)
+	}
+	ramp := make([]int64, 10_000)
+	for i := range ramp {
+		ramp[i] = int64(i)
+	}
+	tail := append(make([]int64, 5000), 1<<40)
+	checkBounds(t, "bucket-edges", edges)
+	checkBounds(t, "all-equal", []int64{12345, 12345, 12345, 12345})
+	checkBounds(t, "ramp", ramp)
+	checkBounds(t, "zero-heavy-tail", tail)
+
+	rng := rand.New(rand.NewSource(7))
+	for _, scale := range []float64{1e3, 1e6, 1e9} {
+		vals := make([]int64, 4096)
+		for i := range vals {
+			vals[i] = int64(rng.ExpFloat64() * scale)
+		}
+		checkBounds(t, "random", vals)
+	}
+}
+
+// TestSketchSmallValuesExact: values below the sub-bucket resolution map
+// one value per bucket, so quantiles are exact, not just bounded.
+func TestSketchSmallValuesExact(t *testing.T) {
+	var s Sketch
+	for v := int64(0); v < sketchSub; v++ {
+		s.Observe(v)
+	}
+	if got := s.Quantile(0.5); got != sketchSub/2-1 {
+		t.Errorf("median of 0..%d = %d, want %d", sketchSub-1, got, sketchSub/2-1)
+	}
+	if got := s.Quantile(1.0); got != sketchSub-1 {
+		t.Errorf("max quantile = %d, want %d", got, sketchSub-1)
+	}
+}
+
+// TestSketchMerge: folding two sketches bucket-wise must be
+// indistinguishable from observing the union directly.
+func TestSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole, a, b Sketch
+	for i := 0; i < 2000; i++ {
+		v := int64(rng.ExpFloat64() * 1e7)
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Add(&b)
+	if a.Count() != whole.Count() || a.Total() != whole.Total() || a.Max() != whole.Max() {
+		t.Fatalf("merged stats differ: count %d/%d total %d/%d max %d/%d",
+			a.Count(), whole.Count(), a.Total(), whole.Total(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.2f: merged %d, direct %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	a.Add(nil) // nil merge is a no-op
+	if a.Count() != whole.Count() {
+		t.Error("nil merge changed the sketch")
+	}
+}
+
+// TestSketchNegativeClamps: negative inputs clamp to zero instead of
+// corrupting the bucket index.
+func TestSketchNegativeClamps(t *testing.T) {
+	var s Sketch
+	s.Observe(-5)
+	if s.Count() != 1 || s.Max() != 0 || s.Quantile(1.0) != 0 {
+		t.Errorf("negative observation mishandled: %+v", s)
+	}
+}
+
+// TestSketchObserveAllocs bounds the per-event observe path: once the
+// bucket array covers the value range, observing allocates nothing.
+func TestSketchObserveAllocs(t *testing.T) {
+	var s Sketch
+	s.Observe(1 << 32) // grow to the full range up front
+	i := 0
+	avg := testing.AllocsPerRun(10_000, func() {
+		s.Observe(int64(i%1024) << 20)
+		i++
+	})
+	if avg > 0 {
+		t.Errorf("warm Observe allocates %.4f allocs/op, want 0", avg)
+	}
+}

@@ -9,12 +9,15 @@ import (
 	"path/filepath"
 	"strconv"
 	"time"
+
+	"repro/internal/simclock"
 )
 
 // WriteJSONL writes the recorded events as one JSON object per line, in
-// (At, Replica, Seq) order. The encoder emits a fixed field order and
-// fixed number formatting, so output is byte-stable across runs of the
-// same scenario.
+// the canonical (At, Replica, recorder rank, Seq) order with Seq
+// renumbered to the canonical position. The encoder emits a fixed field
+// order and fixed number formatting, so output is byte-stable across
+// runs of the same scenario — and across shard counts.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range r.Events() {
@@ -51,6 +54,57 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		bw.WriteString("}\n")
 	}
 	return bw.Flush()
+}
+
+// jsonlEvent is the wire shape of one events.jsonl line, mirroring the
+// field order WriteJSONL emits.
+type jsonlEvent struct {
+	Seq     uint64  `json:"seq"`
+	TNs     int64   `json:"t_ns"`
+	Kind    string  `json:"kind"`
+	Replica int32   `json:"replica"`
+	Request int32   `json:"request"`
+	Session int32   `json:"session"`
+	A       int64   `json:"a"`
+	B       int64   `json:"b"`
+	C       int64   `json:"c"`
+	F       float64 `json:"f"`
+	Label   string  `json:"label"`
+}
+
+// ReadEventsJSONL parses an events.jsonl export back into events —
+// the inverse of WriteJSONL, used by offline analyzers
+// (cmd/tokenflow-trace). Unknown kinds and malformed lines fail with
+// the offending line number.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: events.jsonl line %d: %w", line, err)
+		}
+		kind, ok := KindByName(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: events.jsonl line %d: unknown kind %q", line, je.Kind)
+		}
+		out = append(out, Event{
+			Seq: je.Seq, At: simclock.Time(je.TNs), Kind: kind,
+			Replica: je.Replica, Request: je.Request, Session: je.Session,
+			A: je.A, B: je.B, C: je.C, F: je.F, Label: je.Label,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events.jsonl: %w", err)
+	}
+	return out, nil
 }
 
 // WriteCSV writes every series as long-format CSV

@@ -58,6 +58,39 @@ func TestWriteJSONLStable(t *testing.T) {
 	}
 }
 
+// TestReadEventsJSONL: the export round-trips — reading the JSONL back
+// reproduces the canonical event slice exactly, so offline analyzers
+// (cmd/tokenflow-trace) see what the run recorded.
+func TestReadEventsJSONL(t *testing.T) {
+	rec := lifecycleRecorder()
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEventsJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Events()
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.rec = 0 // the wire format does not carry the recorder rank
+		if got[i] != w {
+			t.Errorf("event %d: read %+v, want %+v", i, got[i], w)
+		}
+	}
+
+	if _, err := ReadEventsJSONL(strings.NewReader("{\"kind\":\"no-such-kind\"}\n")); err == nil {
+		t.Error("unknown kind did not error")
+	}
+	if _, err := ReadEventsJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line did not error")
+	}
+}
+
 // TestWriteChromeTrace: the trace parses, carries the three lifecycle
 // slices on the serving replica's track, and binds the route flow.
 func TestWriteChromeTrace(t *testing.T) {

@@ -36,7 +36,10 @@ const (
 	// F=the policy's score for the pick; Label=policy name.
 	KindRouteDecision
 	// KindQueue: a request was injected into a replica's queue.
-	// A=cached prefix tokens credited at injection (prefix hit when >0).
+	// A=cached prefix tokens credited at injection (prefix hit when >0);
+	// B=QueuePayload(cause, turn) — the deferral-cause bits packed with
+	// the session turn; C=the request's arrival time (ns);
+	// F=the host-reload deferral (ns; 0 when injected immediately).
 	KindQueue
 	// KindAdmit: the scheduler admitted a request toward prefill.
 	// A=tokens to prefill (prompt minus cached), B=tokens allocated.
@@ -108,12 +111,57 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// KindByName resolves a wire name back to its Kind (the inverse of
+// String), reporting false for unknown names. Offline analyzers reading
+// the JSONL export use it to reconstruct typed events.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Deferral causes carried in KindQueue's B payload: a request can reach
+// the replica queue later than it arrived because the scale-to-zero
+// gateway held it, a prefix migration had to land first, or a host-tier
+// KV reload was booked at injection. The cause bits occupy the low bits
+// of B; the session turn rides above them, so one replica-scoped event
+// carries everything span derivation needs.
+const (
+	// QueueCauseReload: injection waited for a host-tier KV reload.
+	QueueCauseReload int64 = 1 << 0
+	// QueueCauseMigrate: injection waited for a prefix migration wire
+	// transfer onto the serving replica.
+	QueueCauseMigrate int64 = 1 << 1
+	// QueueCauseGateway: the scale-to-zero gateway buffered the arrival
+	// until a replica warmed up.
+	QueueCauseGateway int64 = 1 << 2
+
+	queueCauseShift = 3
+)
+
+// QueuePayload packs the deferral-cause bits and the session turn into
+// KindQueue's B field.
+func QueuePayload(cause int64, turn int) int64 {
+	return cause | int64(turn)<<queueCauseShift
+}
+
+// QueueCause unpacks the deferral-cause bits from KindQueue's B field.
+func QueueCause(b int64) int64 { return b & (1<<queueCauseShift - 1) }
+
+// QueueTurn unpacks the session turn from KindQueue's B field.
+func QueueTurn(b int64) int { return int(b >> queueCauseShift) }
+
 // Event is one recorded lifecycle event. The struct is fixed-size and
 // value-typed: recording an event copies it into a chunked arena and never
 // allocates per event. Fields that do not apply to a kind hold -1 (ints)
 // or 0; per-kind field meaning is documented on the Kind constants.
 type Event struct {
-	// Seq is the global emission order, unique within a run.
+	// Seq is the event's position in the run's canonical event order
+	// (assigned by Events(); during recording it holds the per-recorder
+	// emission order).
 	Seq uint64
 	// At is the virtual-clock instant of the event.
 	At simclock.Time
@@ -131,6 +179,10 @@ type Event struct {
 	// Label is a constant string payload (policy name, transfer class,
 	// decision name); emitting one never allocates.
 	Label string
+	// rec is the rank of the recorder that captured the event — the final
+	// tie-break when per-shard streams merge. Zero in single-recorder
+	// runs, so it never perturbs their ordering.
+	rec int32
 }
 
 // eventChunk is the arena granularity: one allocation per this many
@@ -146,13 +198,20 @@ type Options struct {
 	Series bool
 	// Profile times the simulator's own phases with the wall clock.
 	Profile bool
+	// Attribution streams per-request phase spans into bounded-memory
+	// quantile sketches (phase × request class × replica). Cluster runs
+	// only; it rides the event bus without retaining events, so it works
+	// at scales where storing the full stream would not fit.
+	Attribution bool
 	// SampleEvery records series every Nth sampling tick (0 or 1 = every
 	// tick).
 	SampleEvery int
 }
 
 // Enabled reports whether any layer is on.
-func (o Options) Enabled() bool { return o.Events || o.Series || o.Profile }
+func (o Options) Enabled() bool {
+	return o.Events || o.Series || o.Profile || o.Attribution
+}
 
 // Recorder is the event bus sink. A nil *Recorder is valid and free:
 // every method nil-guards, so subsystems emit unconditionally through
@@ -160,13 +219,44 @@ func (o Options) Enabled() bool { return o.Events || o.Series || o.Profile }
 //
 // The recorder is not goroutine-safe; one recorder serves one
 // single-goroutine simulation run, matching the simclock discipline.
+// Sharded runs give each shard its own recorder (NewShardRecorder) and
+// merge the streams afterwards (Merge); the per-recorder rank makes the
+// merged order total.
 type Recorder struct {
 	chunks [][]Event
 	seq    uint64
+	rank   int32
+	tap    func(Event)
+	store  bool
 }
 
-// NewRecorder returns an empty event recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// NewRecorder returns an empty event recorder (rank 0).
+func NewRecorder() *Recorder { return &Recorder{store: true} }
+
+// NewShardRecorder returns a recorder carrying the given rank, stamped
+// on every event it records as the final merge tie-break. Sharded runs
+// use rank 0 for the coordinator and 1+s for shard s.
+func NewShardRecorder(rank int) *Recorder {
+	return &Recorder{rank: int32(rank), store: true}
+}
+
+// SetTap installs fn, invoked with every emitted event (by value, before
+// storage). Streaming consumers — the attribution collector — ride the
+// tap so they see events even when storage is disabled.
+func (r *Recorder) SetTap(fn func(Event)) {
+	if r != nil {
+		r.tap = fn
+	}
+}
+
+// DisableStore stops chunk retention: events still flow to the tap, but
+// nothing accumulates. Attribution-only runs use this so 1M-request
+// streams never materialize.
+func (r *Recorder) DisableStore() {
+	if r != nil {
+		r.store = false
+	}
+}
 
 // On reports whether events should be emitted. A nil recorder is off;
 // emit sites may use this to skip argument computation.
@@ -184,12 +274,25 @@ func (r *Recorder) Len() int {
 	return n
 }
 
-// Emit records one event. It assigns the global sequence number and
-// copies the event into the current arena chunk; amortized cost is one
-// allocation per eventChunk events. Emitting on a nil recorder is a
-// no-op.
+// Emit records one event. It assigns the per-recorder sequence number,
+// hands the event to the tap when one is installed, and copies it into
+// the current arena chunk; amortized cost is one allocation per
+// eventChunk events. Emitting on a nil recorder is a no-op.
 func (r *Recorder) Emit(at simclock.Time, kind Kind, replica, request, session int, a, b, c int64, f float64, label string) {
 	if r == nil {
+		return
+	}
+	e := Event{
+		Seq: r.seq, At: at, Kind: kind,
+		Replica: int32(replica), Request: int32(request), Session: int32(session),
+		A: a, B: b, C: c, F: f, Label: label,
+		rec: r.rank,
+	}
+	r.seq++
+	if r.tap != nil {
+		r.tap(e)
+	}
+	if !r.store {
 		return
 	}
 	n := len(r.chunks)
@@ -197,18 +300,16 @@ func (r *Recorder) Emit(at simclock.Time, kind Kind, replica, request, session i
 		r.chunks = append(r.chunks, make([]Event, 0, eventChunk))
 		n++
 	}
-	r.chunks[n-1] = append(r.chunks[n-1], Event{
-		Seq: r.seq, At: at, Kind: kind,
-		Replica: int32(replica), Request: int32(request), Session: int32(session),
-		A: a, B: b, C: c, F: f, Label: label,
-	})
-	r.seq++
+	r.chunks[n-1] = append(r.chunks[n-1], e)
 }
 
-// Events returns the recorded events sorted by (At, Replica, Seq): the
-// deterministic tie-break that keeps exported output byte-stable across
-// runs even when several subsystems emit at the same virtual instant.
-// The returned slice is a fresh copy.
+// Events returns the recorded events in canonical order — sorted by
+// (At, Replica, recorder rank, per-recorder Seq), a total tie-break that
+// keeps exported output byte-stable across runs and across shard counts
+// even when several subsystems emit at the same virtual instant. Seq is
+// renumbered to the canonical position, so a merged sharded stream
+// exports byte-identically to its single-threaded twin. The returned
+// slice is a fresh copy.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
@@ -218,12 +319,43 @@ func (r *Recorder) Events() []Event {
 		out = append(out, c...)
 	}
 	sortEvents(out)
+	for i := range out {
+		out[i].Seq = uint64(i)
+	}
 	return out
 }
 
-// sortEvents orders events by (At, Replica, Seq). Seq is unique, so the
-// order is total. Emission already yields nondecreasing At (the clock
-// never runs backwards); the sort only reorders same-instant runs.
+// Merge returns a read-only recorder aggregating every event recorded
+// by recs (nil entries are skipped; all-nil input yields nil). Chunks
+// are shared, not copied — do not emit through the sources or the
+// merged recorder afterwards. Events() on the result interleaves the
+// per-shard streams into the canonical order.
+func Merge(recs ...*Recorder) *Recorder {
+	any := false
+	for _, r := range recs {
+		if r != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	m := &Recorder{store: true}
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		m.chunks = append(m.chunks, r.chunks...)
+		m.seq += r.seq
+	}
+	return m
+}
+
+// sortEvents orders events by (At, Replica, rec, Seq). The per-recorder
+// Seq is unique within a rank, so the order is total. Each recorder
+// already emits in nondecreasing At (its clock never runs backwards);
+// the sort only interleaves streams and reorders same-instant runs.
 func sortEvents(ev []Event) {
 	sort.Slice(ev, func(i, j int) bool { return eventLess(ev[i], ev[j]) })
 }
@@ -234,6 +366,9 @@ func eventLess(a, b Event) bool {
 	}
 	if a.Replica != b.Replica {
 		return a.Replica < b.Replica
+	}
+	if a.rec != b.rec {
+		return a.rec < b.rec
 	}
 	return a.Seq < b.Seq
 }

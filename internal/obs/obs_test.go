@@ -7,8 +7,10 @@ import (
 	"repro/internal/simclock"
 )
 
-// TestEmitOrdering: same-instant events sort by (At, Replica, Seq) —
-// the deterministic tie-break that keeps exports byte-stable.
+// TestEmitOrdering: same-instant events sort by the total (At, Replica,
+// recorder rank, emission sequence) order and Events() renumbers Seq to
+// the canonical position — the deterministic tie-break that keeps
+// exports byte-stable whatever order the sinks were written in.
 func TestEmitOrdering(t *testing.T) {
 	r := NewRecorder()
 	at := simclock.FromSeconds(1)
@@ -22,15 +24,66 @@ func TestEmitOrdering(t *testing.T) {
 		t.Fatalf("got %d events, want 4", len(ev))
 	}
 	wantReplica := []int32{0, 2, 2, -1}
-	wantSeq := []uint64{1, 0, 2, 3}
+	wantKind := []Kind{KindKVPin, KindKVEvict, KindKVPin, KindArrival}
 	for i := range ev {
-		if ev[i].Replica != wantReplica[i] || ev[i].Seq != wantSeq[i] {
-			t.Errorf("event %d: replica %d seq %d, want replica %d seq %d",
-				i, ev[i].Replica, ev[i].Seq, wantReplica[i], wantSeq[i])
+		if ev[i].Replica != wantReplica[i] || ev[i].Kind != wantKind[i] {
+			t.Errorf("event %d: replica %d kind %v, want replica %d kind %v",
+				i, ev[i].Replica, ev[i].Kind, wantReplica[i], wantKind[i])
+		}
+		if ev[i].Seq != uint64(i) {
+			t.Errorf("event %d: canonical seq %d, want %d", i, ev[i].Seq, i)
 		}
 	}
 	if r.CountKind(KindKVPin) != 2 {
 		t.Errorf("CountKind(KindKVPin) = %d, want 2", r.CountKind(KindKVPin))
+	}
+}
+
+// TestMergeOrdering (satellite of the sharded-safe recorder): events
+// split across per-shard recorders merge into exactly the stream a
+// single recorder would have produced — same-instant, same-replica runs
+// order by (recorder rank, per-recorder sequence), and renumbering makes
+// the merged export byte-comparable.
+func TestMergeOrdering(t *testing.T) {
+	at := simclock.FromSeconds(2)
+
+	// One recorder receiving everything, interleaved by replica the way a
+	// single-threaded run would emit.
+	single := NewRecorder()
+	single.Emit(at, KindArrival, -1, 5, 0, 0, 0, 0, 0, "")
+	single.Emit(at, KindQueue, 0, 5, 0, 0, 0, 0, 0, "")
+	single.Emit(at, KindAdmit, 0, 5, 0, 0, 0, 0, 0, "")
+	single.Emit(at, KindQueue, 1, 6, 0, 0, 0, 0, 0, "")
+	single.Emit(at.Add(3), KindFirstToken, 1, 6, 0, 0, 0, 0, 0, "")
+
+	// The same events routed by replica across a coordinator recorder
+	// (rank 0) and two shard recorders.
+	coord := NewRecorder()
+	sh0 := NewShardRecorder(1)
+	sh1 := NewShardRecorder(2)
+	coord.Emit(at, KindArrival, -1, 5, 0, 0, 0, 0, 0, "")
+	// Shard 1 writes before shard 0 — arrival order across sinks must not
+	// matter.
+	sh1.Emit(at, KindQueue, 1, 6, 0, 0, 0, 0, 0, "")
+	sh1.Emit(at.Add(3), KindFirstToken, 1, 6, 0, 0, 0, 0, 0, "")
+	sh0.Emit(at, KindQueue, 0, 5, 0, 0, 0, 0, 0, "")
+	sh0.Emit(at, KindAdmit, 0, 5, 0, 0, 0, 0, 0, "")
+
+	want := single.Events()
+	got := Merge(coord, sh0, sh1).Events()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		g.rec, w.rec = 0, 0 // recorder rank is an internal routing detail
+		if g != w {
+			t.Errorf("event %d: merged %+v, single %+v", i, g, w)
+		}
+	}
+
+	if Merge() != nil || Merge(nil, nil) != nil {
+		t.Error("merging no recorders must yield nil")
 	}
 }
 

@@ -19,11 +19,17 @@ const (
 	// PhaseFabricSettle is one transfer booking through the fabric's
 	// bottleneck scan.
 	PhaseFabricSettle
+	// PhaseAttribution is the latency-attribution finalize: merging the
+	// per-shard sketch grids and building the attribution report at
+	// collect time. The streaming observe path is deliberately not
+	// phase-timed (a wall-clock read per event would dwarf the work);
+	// its cost lands inside engine_step and fabric_settle instead.
+	PhaseAttribution
 
 	numPhases
 )
 
-var phaseNames = [numPhases]string{"control_tick", "engine_step", "fabric_settle"}
+var phaseNames = [numPhases]string{"control_tick", "engine_step", "fabric_settle", "attribution"}
 
 // String returns the phase's stable report name.
 func (p Phase) String() string {
@@ -74,6 +80,27 @@ func (p *Profiler) Stat(ph Phase) PhaseStat {
 		return PhaseStat{}
 	}
 	return p.stats[ph]
+}
+
+// MergeProfilers sums per-shard profilers into one (nil entries are
+// skipped; all-nil input yields nil). Sharded runs time each shard's
+// engine steps and fabric settles on the shard's own profiler and fold
+// them here at collect time.
+func MergeProfilers(ps ...*Profiler) *Profiler {
+	var m *Profiler
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if m == nil {
+			m = NewProfiler()
+		}
+		for ph := Phase(0); ph < numPhases; ph++ {
+			m.stats[ph].Calls += p.stats[ph].Calls
+			m.stats[ph].TotalNS += p.stats[ph].TotalNS
+		}
+	}
+	return m
 }
 
 // BenchPhase is one phase's entry in a BENCH_obs.json report.

@@ -108,9 +108,11 @@ type ClusterConfig struct {
 	// (replica i runs on shard i mod Shards, each on its own sub-clock,
 	// synchronized at every cross-replica event). The run stays
 	// deterministic and produces results identical to Shards=0 — only
-	// wall-clock time changes. Clamped to the replica count; incompatible
-	// with Obs event tracing and the self-profile (series sampling is
-	// fine). 0 or 1 keeps the single-threaded loop.
+	// wall-clock time changes. Clamped to the replica count. The flight
+	// recorder is sharded-safe: each shard records into its own sink and
+	// the streams merge deterministically, so every Obs layer — events,
+	// series, profile, attribution — exports byte-identically to the
+	// single-threaded run. 0 or 1 keeps the single-threaded loop.
 	Shards int
 }
 
@@ -500,6 +502,12 @@ type ClusterResult struct {
 	// (Config.Obs); nil otherwise. Setting it aside, an instrumented
 	// ClusterResult is identical to the uninstrumented one.
 	Obs *ObsCapture
+
+	// Attribution is the critical-path latency breakdown when
+	// Config.Obs.Attribution was on; nil otherwise. Like Obs, it is pure
+	// observation: setting it aside, the result is identical to an
+	// uninstrumented run.
+	Attribution *AttributionReport
 }
 
 // GatewaySample is one control-tick sample of the scale-to-zero gateway
@@ -765,6 +773,14 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		out.Obs = newObsCapture(res.Obs, "cluster-"+string(cfg.Router), wall)
 		if cfg.Obs.Out != "" {
 			if _, err := out.Obs.WriteFiles(cfg.Obs.Out); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if res.Attribution != nil {
+		out.Attribution = res.Attribution
+		if cfg.Obs.Out != "" {
+			if err := writeAttributionJSON(cfg.Obs.Out, res.Attribution); err != nil {
 				return nil, err
 			}
 		}

@@ -2,9 +2,12 @@ package tokenflow
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/attribution"
 )
 
 // ObsSpec turns on the flight recorder for a run. The zero value records
@@ -28,9 +31,20 @@ type ObsSpec struct {
 	Series bool
 
 	// Profile times the simulator's own phases (control tick, engine
-	// step, fabric settle) with the wall clock, for the BENCH_obs.json
-	// self-profile. Wall time never feeds back into virtual-time results.
+	// step, fabric settle, attribution) with the wall clock, for the
+	// BENCH_obs.json self-profile. Wall time never feeds back into
+	// virtual-time results.
 	Profile bool
+
+	// Attribution streams every request's lifecycle into a critical-path
+	// latency breakdown: per-request causal spans (gateway wait, KV
+	// reload / migration wire time, queue wait, prefill, decode,
+	// preemption gaps) folded into bounded-memory quantile sketches per
+	// phase × request class × replica. The result is
+	// ClusterResult.Attribution; memory is independent of request count,
+	// so it stays on for 1M-request runs where Events would not fit.
+	// Cluster-level only: single-device Run ignores it.
+	Attribution bool
 
 	// SampleEvery thins series recording to every Nth sampling tick
 	// (0 or 1 = every tick).
@@ -38,12 +52,15 @@ type ObsSpec struct {
 
 	// Out, when non-empty, writes every captured layer into this
 	// directory after the run: events.jsonl, trace.json (Chrome
-	// trace_event JSON — open in Perfetto), series.csv, BENCH_obs.json.
+	// trace_event JSON — open in Perfetto), series.csv, BENCH_obs.json,
+	// attribution.json.
 	Out string
 }
 
 // Enabled reports whether any layer is on.
-func (s ObsSpec) Enabled() bool { return s.Events || s.Series || s.Profile }
+func (s ObsSpec) Enabled() bool {
+	return s.Events || s.Series || s.Profile || s.Attribution
+}
 
 // options maps the public spec onto the internal capture options.
 func (s ObsSpec) options() obs.Options {
@@ -51,6 +68,7 @@ func (s ObsSpec) options() obs.Options {
 		Events:      s.Events,
 		Series:      s.Series,
 		Profile:     s.Profile,
+		Attribution: s.Attribution,
 		SampleEvery: s.SampleEvery,
 	}
 }
@@ -128,4 +146,39 @@ func (c *ObsCapture) WriteFiles(dir string) ([]string, error) {
 		return nil, nil
 	}
 	return c.cap.WriteFiles(dir, c.scenario, c.wall)
+}
+
+// AttributionReport is the end-of-run critical-path latency breakdown
+// recorded under ObsSpec.Attribution: exact per-phase totals and
+// sketch-backed quantiles (≤ 3.1% relative error) cluster-wide, split by
+// request class and by replica, plus the slowest spans for per-request
+// waterfalls. WriteJSON emits it in the attribution.json shape.
+type AttributionReport = attribution.Report
+
+// AttributionSpan is one request's causal span: its lifecycle
+// timestamps and the exact phase decomposition, which sums to the
+// measured TTFT and E2E latency by construction.
+type AttributionSpan = attribution.Span
+
+// Waterfall renders one span's phase breakdown as an aligned text
+// waterfall (one bar row per nonzero phase), width columns wide.
+func Waterfall(s AttributionSpan, width int) string {
+	return attribution.Waterfall(s, width)
+}
+
+// writeAttributionJSON lands the report as <dir>/attribution.json, the
+// Out-directory companion to the capture's own files.
+func writeAttributionJSON(dir string, rep *AttributionReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "attribution.json"))
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -40,7 +40,7 @@ func obsClusterConfig(spec tokenflow.ObsSpec) tokenflow.ClusterConfig {
 // instrumented runs with the capture set aside.
 func TestObsSpecZeroValueIsPure(t *testing.T) {
 	w := tokenflow.SessionWorkload(24, 60, 20, 42)
-	full := tokenflow.ObsSpec{Events: true, Series: true, Profile: true}
+	full := tokenflow.ObsSpec{Events: true, Series: true, Profile: true, Attribution: true}
 
 	t.Run("cluster", func(t *testing.T) {
 		off, err := tokenflow.RunCluster(obsClusterConfig(tokenflow.ObsSpec{}), w)
@@ -50,6 +50,9 @@ func TestObsSpecZeroValueIsPure(t *testing.T) {
 		if off.Obs != nil {
 			t.Fatal("zero ObsSpec attached a capture")
 		}
+		if off.Attribution != nil {
+			t.Fatal("zero ObsSpec attached an attribution report")
+		}
 		on, err := tokenflow.RunCluster(obsClusterConfig(full), w)
 		if err != nil {
 			t.Fatal(err)
@@ -57,7 +60,10 @@ func TestObsSpecZeroValueIsPure(t *testing.T) {
 		if on.Obs == nil || on.Obs.EventCount() == 0 {
 			t.Fatal("instrumented run recorded no events")
 		}
-		on.Obs = nil
+		if on.Attribution == nil || on.Attribution.Requests == 0 {
+			t.Fatal("instrumented run produced no attribution report")
+		}
+		on.Obs, on.Attribution = nil, nil
 		if !reflect.DeepEqual(off, on) {
 			t.Fatal("instrumented cluster run diverged from uninstrumented run")
 		}
@@ -71,6 +77,16 @@ func TestObsSpecZeroValueIsPure(t *testing.T) {
 		}
 		if off.Obs != nil {
 			t.Fatal("zero ObsSpec attached a capture")
+		}
+		// Attribution is cluster-level: on its own it must leave the
+		// single-device run uninstrumented.
+		cfg.Obs = tokenflow.ObsSpec{Attribution: true}
+		aoff, err := tokenflow.Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aoff.Obs != nil {
+			t.Fatal("attribution-only spec attached a capture to single-device Run")
 		}
 		cfg.Obs = tokenflow.ObsSpec{Events: true, Profile: true}
 		on, err := tokenflow.Run(cfg, w)
@@ -92,7 +108,7 @@ func TestObsSpecZeroValueIsPure(t *testing.T) {
 func TestObsExportsAreValid(t *testing.T) {
 	dir := t.TempDir()
 	spec := tokenflow.ObsSpec{
-		Events: true, Series: true, Profile: true,
+		Events: true, Series: true, Profile: true, Attribution: true,
 		Out: filepath.Join(dir, "obs"),
 	}
 	w := tokenflow.SessionWorkload(24, 60, 20, 42)
@@ -173,8 +189,35 @@ func TestObsExportsAreValid(t *testing.T) {
 		t.Fatalf("profile report inconsistent: %+v", prof)
 	}
 
-	// Out auto-wrote the same four files.
-	for _, name := range []string{"events.jsonl", "trace.json", "series.csv", "BENCH_obs.json"} {
+	// Attribution: phases conserve the measured latencies on every
+	// retained span, and the report round-trips through attribution.json.
+	if res.Attribution == nil || res.Attribution.Requests == 0 {
+		t.Fatal("attribution report missing")
+	}
+	for _, s := range res.Attribution.Slowest {
+		if s.PhaseSum() != s.E2E() || s.PhaseSumTTFT() != s.TTFT() {
+			t.Errorf("request %d: phase sums %v/%v do not match TTFT %v / E2E %v",
+				s.Request, s.PhaseSumTTFT(), s.PhaseSum(), s.TTFT(), s.E2E())
+		}
+	}
+	buf.Reset()
+	if err := res.Attribution.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var arep struct {
+		Requests int64            `json:"requests"`
+		Metrics  []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &arep); err != nil {
+		t.Fatalf("attribution JSON does not parse: %v", err)
+	}
+	if arep.Requests != res.Attribution.Requests || len(arep.Metrics) == 0 {
+		t.Fatalf("attribution JSON inconsistent: %+v", arep)
+	}
+
+	// Out auto-wrote the files, attribution included.
+	for _, name := range []string{"events.jsonl", "trace.json", "series.csv",
+		"BENCH_obs.json", "attribution.json"} {
 		if _, err := os.Stat(filepath.Join(spec.Out, name)); err != nil {
 			t.Errorf("Out directory lacks %s: %v", name, err)
 		}

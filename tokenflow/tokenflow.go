@@ -206,7 +206,9 @@ func Run(cfg Config, w Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cap := obs.NewCapture(cfg.Obs.options())
+	spec := cfg.Obs
+	spec.Attribution = false // cluster-level only; see ObsSpec.Attribution
+	cap := obs.NewCapture(spec.options())
 	if cap != nil {
 		e.SetObs(cap.Recorder(), cap.Prof(), 0)
 	}
