@@ -31,6 +31,13 @@
 // TOKENFLOW_SCALE:
 //
 //	TOKENFLOW_SCALE=0.02 tokenflow-bench -scale-trace scale-trace/
+//
+// -routing-curve runs the routing experiment's staleness sweep (indexed
+// session-affinity vs the omniscient references across event-propagation
+// lags) and writes the curve as CSV — the CI artifact behind the "routing"
+// table:
+//
+//	tokenflow-bench -routing-curve routing-curve.csv
 package main
 
 import (
@@ -193,6 +200,8 @@ func main() {
 		"shard goroutines for the -core-profile run (results are shard-count independent; this only sets parallelism)")
 	scaleTrace := flag.String("scale-trace", "",
 		"run the scale scenario with event tracing + attribution on and export events.jsonl and attribution.json into `dir` (use a reduced TOKENFLOW_SCALE)")
+	routingCurve := flag.String("routing-curve", "",
+		"run the routing staleness sweep and write the quality-vs-lag curve as CSV to `file` (skips the experiment tables)")
 	flag.Parse()
 	if *obsProfile != "" {
 		if err := runObsProfile(*obsProfile, *obsBaseline); err != nil {
@@ -216,6 +225,31 @@ func main() {
 		}
 		fmt.Printf("scale trace: %d replicas / %d shards, %d requests, %d events in %.1fs -> %s\n",
 			run.Replicas, run.Shards, run.Requests, run.Events, run.Wall.Seconds(), *scaleTrace)
+		return
+	}
+	if *routingCurve != "" {
+		curve, err := experiments.RunRoutingCurve()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routing curve: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*routingCurve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routing curve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteRoutingCSV(f, curve); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "routing curve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "routing curve: %v\n", err)
+			os.Exit(1)
+		}
+		freshWins, staleLoses := curve.Crossover()
+		fmt.Printf("routing curve: %d staleness points -> %s (fresh beats least-queue: %v; stalest loses: %v)\n",
+			len(curve.Points), *routingCurve, freshWins, staleLoses)
 		return
 	}
 	ids := flag.Args()

@@ -34,6 +34,15 @@
 //	    -max-replicas 4 -warmup 8 -router session-affinity \
 //	    -workload sessions -n 200 -duration 240
 //
+// -router indexed-session-affinity (or indexed-least-queue) routes against
+// the event-published gateway prefix index instead of scanning live replica
+// state; -index-delay, -index-drop, and -index-heartbeat model how stale
+// that view is allowed to get:
+//
+//	tokenflow-sim -replicas 8 -router indexed-session-affinity \
+//	    -index-delay 0.05 -index-heartbeat 0.25 \
+//	    -workload session-spikes -n 300 -duration 240
+//
 // -topology selects the transfer-fabric interconnect (shared per-replica
 // NICs contend; the default full mesh does not), -migration-policy cost
 // declines migrations the wire would lose, and -host-cache lets evicted
@@ -76,6 +85,8 @@ var flagGroups = []struct {
 	{"Workload", []string{"workload", "n", "lambda", "duration", "spike-every",
 		"prompt", "output", "rate", "seed"}},
 	{"Cluster", []string{"replicas", "router", "hetero", "migrate", "migration-policy", "shards"}},
+	{"Prefix index (gateway routing view)", []string{"prefix-index", "index-delay", "index-drop",
+		"index-heartbeat", "index-staleness"}},
 	{"Transfer fabric / KV movement", []string{"topology", "link-gbps", "switch-gbps", "host-cache",
 		"host-cache-pages"}},
 	{"Autoscaling", []string{"autoscale", "min-replicas", "max-replicas", "warmup", "prewarm",
@@ -169,7 +180,7 @@ func main() {
 		rate     = flag.Float64("rate", 20, "client consumption rate (tok/s); 0 = instant")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		replicas = flag.Int("replicas", 1, "engine replicas (cluster mode when > 1)")
-		routerP  = flag.String("router", "round-robin", "round-robin | least-queue | least-kv | weighted-capacity | session-affinity")
+		routerP  = flag.String("router", "round-robin", "round-robin | least-queue | least-kv | weighted-capacity | session-affinity | indexed-least-queue | indexed-session-affinity")
 		hetero   = flag.String("hetero", "", `heterogeneous pool as "GPU[:count[:memfrac]],..." (cluster mode)`)
 		migrate  = flag.Bool("migrate", false, "enable cross-replica KV migration over the interconnect")
 		migPol   = flag.String("migration-policy", "always", "always | cost (cost declines migrations the wire would lose)")
@@ -179,6 +190,11 @@ func main() {
 		hostCach = flag.Bool("host-cache", false, "host-tier prefix cache: evicted session pins reload over h2d instead of recomputing")
 		hostPage = flag.Int("host-cache-pages", 0, "cap the host-tier prefix cache at this many mirrored pages (0 = unbounded)")
 		shards   = flag.Int("shards", 0, "partition replicas across this many parallel worker goroutines (0/1 = single-threaded; results are identical either way)")
+		pfxIndex = flag.Bool("prefix-index", false, "publish KV lifecycle events into the gateway prefix index (implied by the indexed routers and by any -index-* flag)")
+		idxDelay = flag.Float64("index-delay", 0, "prefix-index event propagation delay (s); 0 = synchronous")
+		idxDrop  = flag.Float64("index-drop", 0, "prefix-index KV event drop probability in [0,1)")
+		idxHeart = flag.Float64("index-heartbeat", 0, "prefix-index load-digest heartbeat period (s); 0 = per-change load stream")
+		idxStale = flag.Float64("index-staleness", 0, "prefix-index digest staleness bound (s) before routing falls back; 0 = derived from heartbeat+delay")
 		scaler   = flag.String("autoscale", "", "autoscaling policy: queue-pressure | kv-utilization | slo-target | predictive (empty = static pool)")
 		minReps  = flag.Int("min-replicas", 1, "autoscaling lower bound on in-service replicas; 0 enables scale-to-zero with the gateway queue")
 		maxReps  = flag.Int("max-replicas", 0, "autoscaling upper bound (default: the replica layout size)")
@@ -231,10 +247,13 @@ func main() {
 
 	var res *tokenflow.Result
 	var ocap *tokenflow.ObsCapture
+	// Any -index-* knob implies -prefix-index; the indexed routers get the
+	// degenerate spec automatically even without it.
+	wantIndex := *pfxIndex || *idxDelay > 0 || *idxDrop > 0 || *idxHeart > 0 || *idxStale > 0
 	// -host-cache routes through cluster mode even for one replica (a
 	// 1-replica round-robin cluster reproduces Run exactly) so the host
 	// prefix cache's reload/fallback stats are reported.
-	if *replicas > 1 || *hetero != "" || *scaler != "" || *hostCach {
+	if *replicas > 1 || *hetero != "" || *scaler != "" || *hostCach || wantIndex {
 		ccfg := tokenflow.ClusterConfig{
 			Config:          cfg,
 			Replicas:        *replicas,
@@ -254,6 +273,15 @@ func main() {
 				log.Fatal(err)
 			}
 			ccfg.ReplicaSpecs = specs
+		}
+		if wantIndex {
+			ccfg.PrefixIndex = &tokenflow.PrefixIndexSpec{
+				PropagationDelaySeconds: *idxDelay,
+				DropRate:                *idxDrop,
+				HeartbeatEverySeconds:   *idxHeart,
+				MaxStalenessSeconds:     *idxStale,
+				Seed:                    *seed,
+			}
 		}
 		if *scaler != "" {
 			ws := *warmup
@@ -296,6 +324,12 @@ func main() {
 		if *hostCach {
 			fmt.Printf("host prefix cache   %d reloads (%d tokens), %d recompute fallbacks\n",
 				cres.HostReloads, cres.HostReloadTokens, cres.HostReloadFallbacks)
+		}
+		if st := cres.PrefixIndex; st != nil {
+			fmt.Printf("prefix index        %d events published (%d dropped, %d still in flight), %d heartbeats\n",
+				st.Published, st.Dropped, st.Pending, st.Heartbeats)
+			fmt.Printf("indexed routing     %d affinity hits, %d misses, %d stale / %d headroom / %d overload fallbacks\n",
+				st.AffinityHits, st.AffinityMisses, st.StaleFallbacks, st.HeadroomFallbacks, st.OverloadFallbacks)
 		}
 		fmt.Printf("transfer fabric     %s, %.1f GB/s links\n", *topology, *linkBW)
 		for _, cs := range cres.Transfers {

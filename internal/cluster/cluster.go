@@ -51,6 +51,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/attribution"
+	"repro/internal/prefixindex"
 	"repro/internal/request"
 	"repro/internal/router"
 	"repro/internal/simclock"
@@ -116,6 +117,16 @@ type Config struct {
 	// interconnect mesh is always built under autoscaling (pre-warm and
 	// drain hand-off use it) even when Migrate is off.
 	Autoscale *AutoscaleConfig
+
+	// PrefixIndex enables the event-published global prefix index
+	// (internal/prefixindex): replicas publish KV lifecycle events and
+	// load signals, and the gateway maintains the eventually-consistent
+	// session → holder map plus load digests that indexed routing policies
+	// read in O(1). Nil disables the index — unless the Policy routes
+	// against one (router.IndexBinder), in which case the degenerate
+	// synchronous spec is assumed and the index mirrors live state
+	// exactly. The migration donor scan also reads the index when present.
+	PrefixIndex *prefixindex.Spec
 
 	// Obs selects the flight-recorder layers (internal/obs): lifecycle
 	// events, per-tick telemetry series, phase self-profiling, and
@@ -415,6 +426,12 @@ type Result struct {
 	ForecastError   float64
 	ForecastSamples int
 
+	// PrefixIndex is the gateway index's end-of-run accounting: the
+	// publication ledger (published / dropped / applied / pending), the
+	// heartbeat count, and the indexed-affinity outcome counters. Nil when
+	// the run maintained no index.
+	PrefixIndex *prefixindex.Stats
+
 	// Obs is the run's flight-recorder capture: lifecycle events, telemetry
 	// series, and phase timings, per Config.Obs. Nil when every layer was
 	// off. The capture is observation only — nilling this field yields a
@@ -541,6 +558,19 @@ type Cluster struct {
 	gatewaySeries    []GatewayPoint
 	ttftWin          *metrics.TTFTWindow
 	arrivalsThisTick int
+
+	// Gateway prefix index (see index.go). idx is read and advanced only on
+	// the coordinator; pubFns are the per-replica publication closures
+	// (heartbeat digests reuse them); pubSeq the per-replica publication
+	// counters (sequence numbers, and the count behind the deferred fabric
+	// accounting — each slot has the same single writer as the closure);
+	// pubScratch is the barrier merge buffer for shard-buffered
+	// publications.
+	idx        *prefixindex.Index
+	idxSpec    prefixindex.Spec
+	pubFns     []func(kind prefixindex.EvKind, session int, val, aux int64)
+	pubSeq     []uint64
+	pubScratch []prefixindex.Pub
 
 	// svcMask records, per sampling tick, which replicas could hold load
 	// at that instant (active or draining) — the denominator of the
@@ -721,6 +751,9 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 			})
 		}
 	}
+	if err := c.initPrefixIndex(); err != nil {
+		return nil, err
+	}
 	c.initObsSeries()
 	return c, nil
 }
@@ -750,6 +783,7 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 		timedOut := c.runSharded(simclock.Time(c.cfg.MaxSimTime))
 		return c.collect(timedOut), nil
 	}
+	c.scheduleHeartbeats()
 	for i, it := range w.Items {
 		it := it
 		id := i
@@ -877,12 +911,25 @@ func (c *Cluster) route(id int, it trace.Item) *replica {
 		PromptLen: it.PromptLen,
 		OutputLen: it.OutputLen,
 	}
+	if c.idx != nil {
+		// Absorb every publication due by now, so the policy reads a
+		// consistent snapshot of the index at the decision instant.
+		c.idx.AdvanceTo(c.clock.Now())
+	}
 	pick := c.cfg.Policy.Pick(rr, views)
 	if pick < 0 || pick >= len(views) {
 		panic(fmt.Sprintf("cluster: policy %s picked replica %d of %d",
 			c.cfg.Policy.Name(), pick, len(views)))
 	}
 	rep := views[pick].(*replica)
+	if c.idx != nil {
+		// The policy noted what its indexed decision did; surface the
+		// diversions (miss, stale, headroom, overload) to the recorder.
+		if o := c.idx.TakeOutcome(); o.Fallback() {
+			c.recFor(rep.id).Emit(c.clock.Now(), obs.KindIndexFallback, rep.id, id,
+				it.Session, int64(o), 0, 0, 0, o.String())
+		}
+	}
 	if c.rec != nil {
 		// The policy's figure of merit for the winner rides the event, so a
 		// trace explains the pick. Scoring is read-only (router.Scorer
@@ -918,12 +965,22 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 	// they should do.
 	targetOwn := target.eng.CachedPrefixTokens(it.Session)
 	donor, best := -1, targetOwn
-	for _, rep := range c.replicas {
-		if rep == target {
-			continue
+	if c.idx != nil {
+		// The index's holder map replaces the full pool scan: O(holders)
+		// instead of O(replicas), and the gateway decides on its own
+		// (possibly stale) view — a believed donor whose pin is already
+		// gone fails BeginPrefixMigration below and the turn recomputes.
+		if r, t, ok := c.idx.DonorFor(it.Session, target.id, targetOwn, it.PromptLen); ok {
+			donor, best = r, t
 		}
-		if t := rep.eng.CachedPrefixTokens(it.Session); t > best && t < it.PromptLen {
-			donor, best = rep.id, t
+	} else {
+		for _, rep := range c.replicas {
+			if rep == target {
+				continue
+			}
+			if t := rep.eng.CachedPrefixTokens(it.Session); t > best && t < it.PromptLen {
+				donor, best = rep.id, t
+			}
 		}
 	}
 	if donor < 0 {
@@ -1029,6 +1086,7 @@ func (c *Cluster) collect(timedOut bool) *Result {
 	res.MigratedTokens = c.migratedTokens
 	res.MigrationDrops = c.migrationDrops
 	res.MigrationsDeclined = c.migrationsDeclined
+	c.settleIndexTraffic()
 	res.TransferClasses = c.fab.ClassStats()
 	for _, rs := range res.PerReplica {
 		res.HostReloads += rs.Result.KV.HostReloads
@@ -1068,6 +1126,11 @@ func (c *Cluster) collect(timedOut bool) *Result {
 			cap.Profile = obs.MergeProfilers(append([]*obs.Profiler{c.prof}, c.shardProfs...)...)
 		}
 		res.Obs = cap
+	}
+	if c.idx != nil {
+		c.idx.AdvanceTo(end)
+		st := c.idx.Stats()
+		res.PrefixIndex = &st
 	}
 	res.SimEnd = time.Duration(end)
 	res.EventsProcessed = c.eventsProcessed()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/obs/attribution"
+	"repro/internal/prefixindex"
 )
 
 // CheckInvariants verifies the conservation laws that tie the subsystems
@@ -57,10 +58,43 @@ func CheckInvariants(res *Result, wLen int) error {
 	if err := checkRequestConservation(res, wLen); err != nil {
 		return err
 	}
+	if err := checkIndexConservation(res); err != nil {
+		return err
+	}
 	if err := checkEventReconciliation(res, wLen); err != nil {
 		return err
 	}
 	return checkAttribution(res)
+}
+
+// checkIndexConservation ties the prefix index's publication ledger to the
+// fabric's index-class accounting: every publication — applied, dropped, or
+// still pending — was booked on the wire at exactly PubBytes, and the three
+// dispositions partition the published total.
+func checkIndexConservation(res *Result) error {
+	var transfers, bytes int64
+	for _, cs := range res.TransferClasses {
+		if cs.Class == fabric.ClassIndex {
+			transfers, bytes = cs.Transfers, cs.Bytes
+		}
+	}
+	if res.PrefixIndex == nil {
+		if transfers != 0 || bytes != 0 {
+			return fmt.Errorf("invariant: fabric index class booked %d transfers / %d bytes with no prefix index",
+				transfers, bytes)
+		}
+		return nil
+	}
+	st := res.PrefixIndex
+	if transfers != st.Published || bytes != st.Published*prefixindex.PubBytes {
+		return fmt.Errorf("invariant: fabric index class booked %d transfers / %d bytes, index published %d (%d bytes)",
+			transfers, bytes, st.Published, st.Published*prefixindex.PubBytes)
+	}
+	if st.Applied+st.Dropped+st.Pending != st.Published {
+		return fmt.Errorf("invariant: index publications leak: %d applied + %d dropped + %d pending != %d published",
+			st.Applied, st.Dropped, st.Pending, st.Published)
+	}
+	return nil
 }
 
 // checkAttribution verifies the exact-accounting law over the spans the
@@ -126,11 +160,12 @@ func checkEventReconciliation(res *Result, wLen int) error {
 		return nil
 	}
 	rec := res.Obs.Events
-	checks := []struct {
+	type eventCheck struct {
 		name string
 		kind obs.Kind
 		want int64
-	}{
+	}
+	checks := []eventCheck{
 		{"arrival", obs.KindArrival, int64(wLen)},
 		{"gateway-shed", obs.KindGatewayShed, res.GatewayShed},
 		{"gateway-buffer", obs.KindGatewayBuffer, res.GatewayBuffered},
@@ -138,6 +173,12 @@ func checkEventReconciliation(res *Result, wLen int) error {
 		{"migrate-decline", obs.KindMigrateDecline, res.MigrationsDeclined},
 		{"prewarm", obs.KindPrewarm, res.Prewarms},
 		{"drain", obs.KindDrain, res.DrainMigrations},
+	}
+	if st := res.PrefixIndex; st != nil {
+		checks = append(checks,
+			eventCheck{"index-publish", obs.KindIndexPublish, st.Published},
+			eventCheck{"index-fallback", obs.KindIndexFallback, st.AffinityMisses +
+				st.StaleFallbacks + st.HeadroomFallbacks + st.OverloadFallbacks})
 	}
 	for _, ck := range checks {
 		if got := int64(rec.CountKind(ck.kind)); got != ck.want {

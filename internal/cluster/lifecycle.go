@@ -18,6 +18,7 @@ package cluster
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/autoscale"
 	"repro/internal/fabric"
@@ -77,25 +78,79 @@ func (c *Cluster) controlTick(now simclock.Time) {
 	}
 }
 
-// signals assembles the per-tick cluster view the policy decides from.
-func (c *Cluster) signals() autoscale.Signals {
-	s := autoscale.Signals{Min: c.cfg.Autoscale.Min, Max: c.cfg.Autoscale.Max}
-	var used, total int
+// signalFold is one shard's partial sum of the per-replica signal sweep:
+// exact integer counts, so partial sums merge to the single-threaded
+// vector bit for bit.
+type signalFold struct {
+	active, warming, draining int
+	outstanding, used, total  int
+}
+
+func (f *signalFold) add(g signalFold) {
+	f.active += g.active
+	f.warming += g.warming
+	f.draining += g.draining
+	f.outstanding += g.outstanding
+	f.used += g.used
+	f.total += g.total
+}
+
+// foldSignals sums the signal contributions of the replicas owned by one
+// shard (every replica when shard < 0).
+func (c *Cluster) foldSignals(shard int) signalFold {
+	var f signalFold
 	for _, rep := range c.replicas {
+		if shard >= 0 && rep.id%len(c.shards) != shard {
+			continue
+		}
 		switch rep.state {
 		case autoscale.Active:
-			s.Active++
-			s.Outstanding += rep.eng.OutstandingRequests()
-			total += rep.eng.TotalKVPages()
-			used += rep.eng.TotalKVPages() - rep.eng.FreeKVPages()
+			f.active++
+			f.outstanding += rep.eng.OutstandingRequests()
+			f.total += rep.eng.TotalKVPages()
+			f.used += rep.eng.TotalKVPages() - rep.eng.FreeKVPages()
 		case autoscale.Warming:
-			s.Warming++
+			f.warming++
 		case autoscale.Draining:
-			s.Draining++
+			f.draining++
 		}
 	}
-	if total > 0 {
-		s.KVUtil = float64(used) / float64(total)
+	return f
+}
+
+// signals assembles the per-tick cluster view the policy decides from. In
+// sharded runs the per-replica sweep fans out: each worker folds its own
+// shard's replicas (the control tick is a coordinator event, so every
+// engine is quiescent and each goroutine reads only its shard's state) and
+// the exact integer partials merge in shard order — deep-equal to the
+// single-threaded sweep at any shard count.
+func (c *Cluster) signals() autoscale.Signals {
+	var f signalFold
+	if len(c.shards) > 1 {
+		folds := make([]signalFold, len(c.shards))
+		var wg sync.WaitGroup
+		wg.Add(len(c.shards))
+		for s := range c.shards {
+			s := s
+			go func() {
+				defer wg.Done()
+				folds[s] = c.foldSignals(s)
+			}()
+		}
+		wg.Wait()
+		for _, g := range folds {
+			f.add(g)
+		}
+	} else {
+		f = c.foldSignals(-1)
+	}
+	s := autoscale.Signals{
+		Min: c.cfg.Autoscale.Min, Max: c.cfg.Autoscale.Max,
+		Active: f.active, Warming: f.warming, Draining: f.draining,
+		Outstanding: f.outstanding,
+	}
+	if f.total > 0 {
+		s.KVUtil = float64(f.used) / float64(f.total)
 	}
 	return s
 }
@@ -109,6 +164,7 @@ func (c *Cluster) scaleUp(now simclock.Time) {
 	for _, rep := range c.replicas {
 		if rep.state == autoscale.Draining {
 			rep.state = autoscale.Active
+			c.noteActive(rep.id, true)
 			c.event(now, ScaleReactivate, rep.id)
 			c.drainGateway(rep, now)
 			return
@@ -133,6 +189,7 @@ func (c *Cluster) scaleUp(now simclock.Time) {
 	c.clock.After(c.cfg.Autoscale.Warmup, func(t simclock.Time) {
 		if target.state == autoscale.Warming {
 			target.state = autoscale.Active
+			c.noteActive(target.id, true)
 			c.event(t, ScaleActivate, target.id)
 			c.drainGateway(target, t)
 		}
@@ -202,6 +259,7 @@ func (c *Cluster) scaleDown(now simclock.Time, active int) {
 		return
 	}
 	target.state = autoscale.Draining
+	c.noteActive(target.id, false)
 	c.event(now, ScaleDrain, target.id)
 	c.drainPins(target, now)
 }

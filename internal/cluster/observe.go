@@ -30,6 +30,10 @@ const (
 	seriesActiveReplicas = "cluster/active_replicas"
 	seriesGatewayDepth   = "gateway/depth"
 	seriesAttribRequests = "attrib/requests"
+	seriesIndexPending   = "index/pending"
+	seriesIndexSessions  = "index/sessions"
+	seriesIndexHits      = "index/affinity_hits"
+	seriesIndexFallbacks = "index/fallbacks"
 )
 
 // attribSeriesNames maps each attribution phase onto its running-mean
@@ -96,6 +100,16 @@ func (c *Cluster) recordSampleSeries(now simclock.Time) {
 		c.reg.Observe(c.linkBacklog[i], now, snap.Backlog.Seconds())
 	}
 	c.reg.Observe(seriesActiveReplicas, now, float64(c.activeCount()))
+	if c.idx != nil {
+		// Staleness at a glance: in-flight publications, indexed sessions,
+		// and the cumulative hit / fallback split of indexed decisions.
+		st := c.idx.Stats()
+		c.reg.Observe(seriesIndexPending, now, float64(st.Pending))
+		c.reg.Observe(seriesIndexSessions, now, float64(st.Sessions))
+		c.reg.Observe(seriesIndexHits, now, float64(st.AffinityHits))
+		c.reg.Observe(seriesIndexFallbacks, now, float64(st.AffinityMisses+
+			st.StaleFallbacks+st.HeadroomFallbacks+st.OverloadFallbacks))
+	}
 	c.recordAttributionSeries(now)
 }
 

@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/prefixindex"
 	"repro/internal/request"
 	"repro/internal/router"
 	"repro/internal/simclock"
@@ -74,6 +75,10 @@ type shard struct {
 	// since the last barrier (only filled when a TTFT-driven autoscale
 	// policy is active).
 	ttft []ttftSample
+	// pubs buffers prefix-index publications emitted by this shard's
+	// replicas since the last barrier; the coordinator merges them into
+	// the index in (time, replica, sequence) order (index.go).
+	pubs []prefixindex.Pub
 }
 
 // advance runs every shard event strictly before barrier — never past the
@@ -112,6 +117,7 @@ func (c *Cluster) fastShardPath() bool {
 		!c.cfg.Migrate &&
 		c.cfg.SampleEvery == 0 &&
 		!c.cfg.Obs.Events &&
+		c.idx == nil &&
 		c.cfg.Policy.Name() == router.NameRoundRobin
 }
 
@@ -214,6 +220,7 @@ func (c *Cluster) advanceShards(barrier, deadline simclock.Time) {
 		wg.Wait()
 	}
 	c.mergeTTFT()
+	c.mergePubs()
 }
 
 // mergeTTFT folds the shard-local first-token observations gathered since

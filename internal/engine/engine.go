@@ -277,6 +277,14 @@ type Engine struct {
 	// observation: it must not schedule events or mutate engine state.
 	onFirstToken func(r *request.Request, now simclock.Time)
 
+	// onLoad, when set, observes every change to OutstandingRequests —
+	// the per-change queue-depth stream replicas publish to the cluster's
+	// prefix index. Deduplicated against lastLoad so internal state moves
+	// (waiting → running → preempted) never fire it; only injection and
+	// completion shift the total. Pure observation, like onFirstToken.
+	onLoad   func(outstanding int)
+	lastLoad int
+
 	// obs/prof are the optional flight-recorder sinks (nil = off, free);
 	// obsReplica is the replica id stamped on emitted events. Pure
 	// observation, like onFirstToken.
@@ -520,6 +528,7 @@ func (e *Engine) injectNow(r *request.Request, now simclock.Time, cause int64, i
 	e.obs.Emit(now, obs.KindQueue, e.obsReplica, r.ID, r.Session,
 		int64(r.CachedPrompt), obs.QueuePayload(cause, r.Turn),
 		int64(r.Arrival), float64(now.Sub(injectAt)), "")
+	e.notifyLoad()
 	e.kick(now)
 }
 
@@ -549,6 +558,7 @@ func (e *Engine) tryHostReload(r *request.Request, now simclock.Time, cause int6
 		return false
 	}
 	e.pendingInjects++
+	e.notifyLoad()
 	e.clock.At(done, func(t simclock.Time) {
 		// The manager's install callback fired first (it was scheduled
 		// first for the same instant), so a successful reload is already a
@@ -569,6 +579,24 @@ func (e *Engine) SetArrivalsDone() { e.arrivalsDone = true }
 // autoscaling control loop uses it to maintain a windowed P99 TTFT.
 func (e *Engine) SetFirstTokenObserver(fn func(r *request.Request, now simclock.Time)) {
 	e.onFirstToken = fn
+}
+
+// SetLoadObserver installs a callback fired whenever OutstandingRequests
+// changes — the per-change queue-depth stream a replica publishes to the
+// cluster's prefix index. Like onFirstToken it is pure observation.
+func (e *Engine) SetLoadObserver(fn func(outstanding int)) { e.onLoad = fn }
+
+// notifyLoad fires the load observer when the outstanding total actually
+// moved. Injection and completion are the only movers; internal state
+// transitions conserve the sum and never reach the observer.
+func (e *Engine) notifyLoad() {
+	if e.onLoad == nil {
+		return
+	}
+	if n := e.OutstandingRequests(); n != e.lastLoad {
+		e.lastLoad = n
+		e.onLoad(n)
+	}
 }
 
 // MarkTimedOut records that the owning driver aborted the run at its
@@ -593,6 +621,16 @@ func (e *Engine) TotalKVPages() int { return e.mem.TotalPages() }
 
 // FreeKVTokens reports the free device KV capacity in tokens.
 func (e *Engine) FreeKVTokens() int { return e.mem.FreePages() * e.cfg.PageTokens }
+
+// KVPageTokens reports the KV page granularity in tokens (the conversion
+// factor between the prefix index's page digests and token headroom).
+func (e *Engine) KVPageTokens() int { return e.cfg.PageTokens }
+
+// SetPrefixPublisher forwards the cluster's prefix-index publication hooks
+// to the KV manager (see kvcache.Manager.SetPrefixPublisher).
+func (e *Engine) SetPrefixPublisher(pin, mirror func(session, tokens int)) {
+	e.mem.SetPrefixPublisher(pin, mirror)
+}
 
 // PinnedPrefixPages reports the pool pages currently held by session
 // prefix pins (per-replica KV pressure telemetry).

@@ -494,6 +494,7 @@ func (e *Engine) finish(r *request.Request, now simclock.Time) {
 	e.track.Transition(r, request.StateFinished)
 	e.obs.Emit(now, obs.KindComplete, e.obsReplica, r.ID, r.Session,
 		int64(r.Generated), int64(r.PromptLen), 0, 0, "")
+	e.notifyLoad()
 }
 
 // observeDecode updates the profiled decode iteration latency (EWMA).

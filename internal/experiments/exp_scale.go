@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"runtime"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/prefixindex"
 	"repro/internal/router"
 	"repro/internal/trace"
 )
@@ -98,18 +101,27 @@ func RunScaleTraced(shards int, dir string) (ScaleRun, error) {
 }
 
 func runScale(shards int, o obs.Options) (ScaleRun, *cluster.Result, error) {
+	return runScaleWith(router.NewRoundRobin(), nil, shards, o)
+}
+
+func runScaleWith(pol router.Policy, spec *prefixindex.Spec, shards int, o obs.Options) (ScaleRun, *cluster.Result, error) {
 	replicas := scaled(500)
 	w := scaleWorkload()
 	cl, err := cluster.New(cluster.Config{
-		Replicas:   replicas,
-		Policy:     router.NewRoundRobin(),
-		Shards:     shards,
-		MaxSimTime: 4 * time.Hour,
-		Obs:        o,
+		Replicas:    replicas,
+		Policy:      pol,
+		PrefixIndex: spec,
+		Shards:      shards,
+		MaxSimTime:  4 * time.Hour,
+		Obs:         o,
 	}, buildReplica(dep4090Llama))
 	if err != nil {
 		return ScaleRun{}, nil, err
 	}
+	// Level the GC pacer before timing: back-to-back runs in one process
+	// (the routed pair, the experiment table) otherwise charge the second
+	// run with collecting the first one's garbage.
+	runtime.GC()
 	start := time.Now()
 	res, err := cl.Run(w)
 	if err != nil {
@@ -130,33 +142,80 @@ func runScale(shards int, o obs.Options) (ScaleRun, *cluster.Result, error) {
 	}, res, nil
 }
 
-// ExpScale runs the scale envelope once at the reference shard count and
-// tabulates it.
+// RunScaleRouted runs the scale scenario twice under least-queue routing —
+// the omniscient policy, whose every pick scans all scaled(500) replicas,
+// and its indexed twin on the degenerate prefix index, whose pick is a
+// tree-root read — and verifies the two runs made identical decisions
+// before returning both measurements. The pair is the end-to-end form of
+// BenchmarkRouterPick: same results, the wall-clock difference is what the
+// per-decision scan cost the gateway.
+func RunScaleRouted(shards int) (omni, indexed ScaleRun, err error) {
+	omni, omniRes, err := runScaleWith(router.NewLeastQueue(), nil, shards, obs.Options{})
+	if err != nil {
+		return omni, indexed, err
+	}
+	indexed, idxRes, err := runScaleWith(router.NewIndexedLeastQueue(), nil, shards, obs.Options{})
+	if err != nil {
+		return omni, indexed, err
+	}
+	if st := idxRes.PrefixIndex; st == nil || st.Published == 0 {
+		return omni, indexed, fmt.Errorf("scale-routed: indexed run published no events")
+	}
+	if !reflect.DeepEqual(omniRes.Report, idxRes.Report) {
+		return omni, indexed, fmt.Errorf("scale-routed: indexed run diverged from omniscient least-queue:\n%+v\n%+v",
+			omniRes.Report, idxRes.Report)
+	}
+	if omni.Events != indexed.Events {
+		return omni, indexed, fmt.Errorf("scale-routed: degenerate index changed the event count: %d vs %d",
+			omni.Events, indexed.Events)
+	}
+	return omni, indexed, nil
+}
+
+// scaleRow renders one ScaleRun as an ExpScale table row.
+func scaleRow(name string, run ScaleRun) []string {
+	perReq := time.Duration(0)
+	if run.Requests > 0 {
+		perReq = run.Wall / time.Duration(run.Requests)
+	}
+	return []string{
+		name,
+		fint(int64(run.Replicas)),
+		fint(int64(run.Shards)),
+		fint(int64(run.Requests)),
+		fint(run.OutputTokens),
+		fint(int64(run.Events)),
+		fsec(run.Makespan),
+		fsec(run.Wall),
+		perReq.String(),
+	}
+}
+
+// ExpScale runs the scale envelope at the reference shard count — the
+// round-robin reference run plus the least-queue routed pair (omniscient
+// scan vs prefix-index) — and tabulates all three.
 func ExpScale() (*Table, error) {
 	run, err := RunScale(scaleShards)
 	if err != nil {
 		return nil, err
 	}
-	perReq := time.Duration(0)
-	if run.Requests > 0 {
-		perReq = run.Wall / time.Duration(run.Requests)
+	omni, indexed, err := RunScaleRouted(scaleShards)
+	if err != nil {
+		return nil, err
 	}
 	return &Table{
 		ID:    "scale",
 		Title: "simulator scale envelope (sharded executor)",
-		Header: []string{"replicas", "shards", "requests", "out-tokens",
+		Header: []string{"router", "replicas", "shards", "requests", "out-tokens",
 			"events", "sim-makespan", "wall", "wall/request"},
-		Rows: [][]string{{
-			fint(int64(run.Replicas)),
-			fint(int64(run.Shards)),
-			fint(int64(run.Requests)),
-			fint(run.OutputTokens),
-			fint(int64(run.Events)),
-			fsec(run.Makespan),
-			fsec(run.Wall),
-			perReq.String(),
-		}},
+		Rows: [][]string{
+			scaleRow(router.NameRoundRobin, run),
+			scaleRow(router.NameLeastQueue, omni),
+			scaleRow(router.NameIndexedLeastQueue, indexed),
+		},
 		Notes: "the simulator's envelope, not a paper artifact; " +
-			"BENCH_core.json gates this scenario at 2x in CI",
+			"BENCH_core.json gates the round-robin scenario at 2x in CI; " +
+			"the least-queue pair makes identical routing decisions — the wall gap " +
+			"is the omniscient per-pick replica scan the prefix index removes",
 	}, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "tab01", "fig16", "fig17",
 		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "tab02",
 		"overhead", "cluster", "hetero", "autoscale", "fabric", "slo",
-		"scale",
+		"routing", "scale",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -121,4 +122,29 @@ func TestFig08Ordering(t *testing.T) {
 // parseMs parses "12.34ms" into millis.
 func parseMs(s string) (float64, error) {
 	return strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+}
+
+// TestRoutingCrossover pins the staleness curve's shape at paper scale: the
+// zero-lag indexed run must reproduce omniscient session-affinity exactly
+// (same Report, request for request) and beat omniscient least-queue on P99
+// TTFT; the most stale point must lose to least-queue — the crossover the
+// routing experiment exists to locate.
+func TestRoutingCrossover(t *testing.T) {
+	curve, err := RunRoutingCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(curve.Points[0].Res.Report, curve.Affinity.Report) {
+		t.Errorf("zero-lag indexed report diverged from omniscient affinity:\n%+v\n%+v",
+			curve.Points[0].Res.Report, curve.Affinity.Report)
+	}
+	freshWins, staleLoses := curve.Crossover()
+	if !freshWins {
+		t.Errorf("fresh index lost to omniscient least-queue on P99 TTFT: %s vs %s",
+			curve.Points[0].Res.Report.P99TTFT, curve.LeastQueue.Report.P99TTFT)
+	}
+	if !staleLoses {
+		t.Errorf("stalest index still beat omniscient least-queue on P99 TTFT: %s vs %s",
+			curve.Points[len(curve.Points)-1].Res.Report.P99TTFT, curve.LeastQueue.Report.P99TTFT)
+	}
 }

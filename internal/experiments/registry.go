@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"autoscale", ExpAutoscale},
 		{"fabric", ExpFabric},
 		{"slo", ExpSLO},
+		{"routing", ExpRouting},
 		{"scale", ExpScale},
 	}
 }

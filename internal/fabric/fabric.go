@@ -272,12 +272,17 @@ const (
 	ClassPrewarm
 	// ClassDrain: drain hand-off migrations off a stopping replica.
 	ClassDrain
+	// ClassIndex: prefix-index publications — the control-plane events
+	// replicas stream to the gateway's global KV index. Accounting-only
+	// traffic (see Account): the propagation delay is modelled by the
+	// index, not by link occupancy.
+	ClassIndex
 
 	numClasses
 )
 
 var classNames = [numClasses]string{
-	"sync", "evict", "load", "reload", "migrate", "prewarm", "drain",
+	"sync", "evict", "load", "reload", "migrate", "prewarm", "drain", "index",
 }
 
 func (c Class) String() string {
@@ -428,6 +433,31 @@ func (s *TransferScheduler) book(class Class, path []*gpu.Link, now simclock.Tim
 // topology's path for the pair.
 func (s *TransferScheduler) BookBetween(class Class, from, to int, now simclock.Time, bytes int64) (start, done simclock.Time) {
 	return s.book(class, s.topo.Path(from, to), now, bytes, from)
+}
+
+// Account tallies control-plane traffic into a class's ledger without
+// reserving link time: the bytes are real (they cross the fabric and show
+// up in per-class totals and conservation laws) but far too small to
+// contend with KV payloads, and their latency is modelled by the consumer
+// — the prefix index applies publications after its propagation delay.
+// Like link bookings, each replica's accounting row has a single writer,
+// so shard goroutines account concurrently without contention.
+func (s *TransferScheduler) Account(class Class, replica int, bytes int64) {
+	s.topo.checkReplica(replica)
+	cs := &s.classes[replica+1][class]
+	cs.Transfers++
+	cs.Bytes += bytes
+}
+
+// AccountN tallies n equal-sized control-plane transfers in one ledger
+// write — the batched form of Account for producers that count their own
+// traffic (the prefix index's publication counters) and settle the ledger
+// at collection time instead of paying a ledger write per event.
+func (s *TransferScheduler) AccountN(class Class, replica int, bytes, n int64) {
+	s.topo.checkReplica(replica)
+	cs := &s.classes[replica+1][class]
+	cs.Transfers += n
+	cs.Bytes += n * bytes
 }
 
 // ETABetween predicts, without booking, how long an interconnect transfer

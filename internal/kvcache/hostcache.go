@@ -69,6 +69,9 @@ func (m *Manager) dropHostMirror(hp *hostPin) {
 	m.hostMirroredPages -= hp.pages
 	m.obs.Emit(m.clock.Now(), obs.KindKVMirrorDrop, m.obsReplica, -1, hp.session,
 		int64(hp.tokens), int64(hp.pages), 0, 0, "")
+	if m.pubMirror != nil {
+		m.pubMirror(hp.session, 0)
+	}
 }
 
 // enforceHostBudget drops the oldest non-reloading mirrors until the
@@ -109,6 +112,9 @@ func (m *Manager) mirrorEvictedPin(p *pin, readyAt simclock.Time) {
 	m.hostMirroredPages += p.pages
 	m.obs.Emit(m.clock.Now(), obs.KindKVMirror, m.obsReplica, -1, p.session,
 		int64(p.tokens), int64(p.pages), 0, 0, "")
+	if m.pubMirror != nil {
+		m.pubMirror(p.session, p.tokens)
+	}
 	m.enforceHostBudget()
 }
 

@@ -202,6 +202,15 @@ type Manager struct {
 	obs        *obs.Recorder
 	obsReplica int
 
+	// pubPin / pubMirror publish pin and host-mirror lifecycle changes to
+	// the cluster's prefix index (nil = no index, free). pubPin fires with
+	// the session's pinned tokens after every transition that changes what
+	// a router probe would see — insert, eviction, adoption, supersession,
+	// migration staking — with tokens 0 when the prefix leaves the device.
+	// pubMirror is the host-tier analogue.
+	pubPin    func(session, tokens int)
+	pubMirror func(session, tokens int)
+
 	// stats
 	evictions, loads, discards, syncChunks    int64
 	bytesEvicted, bytesLoaded, bytesSynced    int64
@@ -252,6 +261,16 @@ func New(cfg Config, clock *simclock.Clock, ep *fabric.Endpoint, cb Callbacks) (
 func (m *Manager) SetObs(rec *obs.Recorder, replica int) {
 	m.obs = rec
 	m.obsReplica = replica
+}
+
+// SetPrefixPublisher installs the prefix-index publication hooks. Both
+// are optional (nil = no publication); installation happens before the
+// run starts, so the index sees every lifecycle transition. The hooks
+// run synchronously inside cache mutations — propagation delay and drops
+// are the subscriber's model, not the manager's.
+func (m *Manager) SetPrefixPublisher(pin, mirror func(session, tokens int)) {
+	m.pubPin = pin
+	m.pubMirror = mirror
 }
 
 // Config returns the manager's configuration.

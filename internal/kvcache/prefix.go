@@ -85,10 +85,27 @@ func (m *Manager) insertPin(p *pin) {
 	}
 	m.obs.Emit(m.clock.Now(), obs.KindKVPin, m.obsReplica, -1, p.session,
 		int64(p.tokens), int64(p.pages), 0, 0, "")
+	if m.pubPin != nil {
+		m.pubPin(p.session, p.tokens)
+	}
 }
 
-// removePin unregisters a pin without releasing its pool pages.
+// removePin unregisters a pin without releasing its pool pages. insertPin
+// and removePin are the pin set's only mutation choke points, so
+// publishing here covers every lifecycle path — eviction, adoption,
+// supersession, migration completion, install replacement.
 func (m *Manager) removePin(p *pin) {
+	m.removePinQuiet(p)
+	if m.pubPin != nil {
+		m.pubPin(p.session, 0)
+	}
+}
+
+// removePinQuiet is removePin without the index publication — for the
+// supersede path only, where insertPin publishes the session's new pin at
+// the same instant: the wire sees one pin update, not a remove/re-add
+// pair, and the index mutates the holder entry in place.
+func (m *Manager) removePinQuiet(p *pin) {
 	delete(m.pins, p.session)
 	m.pinOrder.Remove(p.elem)
 	p.elem = nil
@@ -349,6 +366,11 @@ func (m *Manager) BeginMigrateOut(session int) (tokens int, bytes int64, ok bool
 	// counter is the kvcache-side mirror of the fabric's migrate, prewarm,
 	// and drain classes combined (the invariant suite cross-checks them).
 	m.migratedOutBytes += bytes
+	// A staked pin stops hitting and adopting (PeekPrefix reports zero),
+	// so the index learns the departure now, not at transfer completion.
+	if m.pubPin != nil {
+		m.pubPin(p.session, 0)
+	}
 	return p.tokens, bytes, true
 }
 

@@ -91,6 +91,16 @@ const (
 	// A=start (ns), B=done (ns), C=bytes. Replica is the booking side's
 	// replica when known, -1 otherwise.
 	KindTransfer
+	// KindIndexPublish: a replica published a KV lifecycle or load event
+	// to the gateway's prefix index. Replica=publisher; Session set for
+	// pin/mirror events; A=event kind (prefixindex.EvKind), B=payload
+	// value (tokens or queue depth), C=1 when the publication was dropped
+	// in flight; Label=event kind name.
+	KindIndexPublish
+	// KindIndexFallback: an indexed routing decision diverted away from
+	// its indexed target (index miss, stale digest, no headroom, or
+	// overload). Replica=the replica finally picked; Label=outcome name.
+	KindIndexFallback
 
 	numKinds
 )
@@ -100,7 +110,7 @@ var kindNames = [numKinds]string{
 	"preempt", "resume", "first-token", "decode", "complete",
 	"kv-pin", "kv-evict", "kv-mirror", "kv-mirror-drop", "kv-reload",
 	"migrate-accept", "migrate-decline", "prewarm", "drain",
-	"scale-decision", "transfer",
+	"scale-decision", "transfer", "index-publish", "index-fallback",
 }
 
 // String returns the kind's stable wire name (used in JSONL and CSV).

@@ -71,17 +71,23 @@ type Scorer interface {
 
 // Policy names accepted by ByName.
 const (
-	NameRoundRobin       = "round-robin"
-	NameLeastQueue       = "least-queue"
-	NameLeastKV          = "least-kv"
-	NameWeightedCapacity = "weighted-capacity"
-	NameSessionAffinity  = "session-affinity"
+	NameRoundRobin             = "round-robin"
+	NameLeastQueue             = "least-queue"
+	NameLeastKV                = "least-kv"
+	NameWeightedCapacity       = "weighted-capacity"
+	NameSessionAffinity        = "session-affinity"
+	NameIndexedLeastQueue      = "indexed-least-queue"
+	NameIndexedSessionAffinity = "indexed-session-affinity"
 )
 
-// Names lists the built-in policy names.
+// Names lists the built-in policy names. The indexed variants route
+// against the event-published prefix index (see indexed.go); a cluster run
+// binds its index to them automatically, defaulting to the synchronous
+// index spec when none is configured.
 func Names() []string {
 	return []string{NameRoundRobin, NameLeastQueue, NameLeastKV,
-		NameWeightedCapacity, NameSessionAffinity}
+		NameWeightedCapacity, NameSessionAffinity,
+		NameIndexedLeastQueue, NameIndexedSessionAffinity}
 }
 
 // ByName constructs a fresh policy instance by name.
@@ -97,6 +103,10 @@ func ByName(name string) (Policy, error) {
 		return NewWeightedCapacity(), nil
 	case NameSessionAffinity:
 		return NewSessionAffinity(), nil
+	case NameIndexedLeastQueue:
+		return NewIndexedLeastQueue(), nil
+	case NameIndexedSessionAffinity:
+		return NewIndexedSessionAffinity(), nil
 	default:
 		return nil, fmt.Errorf("router: unknown policy %q (have %v)", name, Names())
 	}

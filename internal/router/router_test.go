@@ -2,6 +2,8 @@ package router
 
 import (
 	"testing"
+
+	"repro/internal/prefixindex"
 )
 
 // fakeReplica is a synthetic replica state for policy tests; pages are
@@ -223,6 +225,40 @@ func TestTieBreakStableByID(t *testing.T) {
 			t.Errorf("%s: tied pick went to replica %d, want lowest ID 2", p.Name(), got)
 		}
 		// The same state permuted must pick the same replica.
+		views = state()
+		views[0], views[2] = views[2], views[0]
+		pick = p.Pick(req, views)
+		if got := views[pick].ID(); got != 2 {
+			t.Errorf("%s: permuted tied pick went to replica %d, want 2", p.Name(), got)
+		}
+	}
+
+	// The indexed variants must break the same tie the same way through the
+	// prefix-index view: replicas 2 and 5 publish identical load, the
+	// tournament trees must crown the lowest ID, and the pick must survive
+	// view permutation (the tree returns a replica ID, not a slice slot).
+	bindIndex := func(t *testing.T) *prefixindex.Index {
+		t.Helper()
+		x, err := prefixindex.New(prefixindex.Spec{}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range state() {
+			fr := f.(*fakeReplica)
+			x.SeedReplica(fr.id, fr.TotalKVPages(), 16)
+			x.SetActive(fr.id, true)
+			x.Publish(prefixindex.Pub{Replica: fr.id, Kind: prefixindex.EvLoad,
+				Session: -1, Val: int64(fr.queue)})
+		}
+		return x
+	}
+	for _, p := range []Policy{NewIndexedLeastQueue(), NewIndexedSessionAffinity()} {
+		p.(IndexBinder).BindIndex(bindIndex(t))
+		views := state()
+		pick := p.Pick(req, views)
+		if got := views[pick].ID(); got != 2 {
+			t.Errorf("%s: tied pick went to replica %d, want lowest ID 2", p.Name(), got)
+		}
 		views = state()
 		views[0], views[2] = views[2], views[0]
 		pick = p.Pick(req, views)

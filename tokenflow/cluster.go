@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/fabric"
+	"repro/internal/prefixindex"
 	"repro/internal/router"
 	"repro/internal/simclock"
 )
@@ -32,12 +33,23 @@ const (
 	// holding their pinned prefix KV, falling back to least-queue for
 	// stateless requests and overloaded targets.
 	RouterSessionAffinity RouterPolicy = "session-affinity"
+	// RouterIndexedLeastQueue is least-queue against the event-published
+	// prefix index: the winner is an O(1) tree-root read, so the
+	// per-decision cost is independent of pool size. With the default
+	// (degenerate) index spec it picks exactly what RouterLeastQueue
+	// picks; under PrefixIndex staleness it routes on the lagged view.
+	RouterIndexedLeastQueue RouterPolicy = "indexed-least-queue"
+	// RouterIndexedSessionAffinity is session affinity against the prefix
+	// index: holder lookup is a map read and fallbacks are tree-root
+	// reads — no per-replica scan anywhere on the hot path.
+	RouterIndexedSessionAffinity RouterPolicy = "indexed-session-affinity"
 )
 
 // RouterPolicies lists all routing policies.
 func RouterPolicies() []RouterPolicy {
 	return []RouterPolicy{RouterRoundRobin, RouterLeastQueue, RouterLeastKV,
-		RouterWeightedCapacity, RouterSessionAffinity}
+		RouterWeightedCapacity, RouterSessionAffinity,
+		RouterIndexedLeastQueue, RouterIndexedSessionAffinity}
 }
 
 // ReplicaSpec describes one group of identical replicas in a
@@ -104,6 +116,14 @@ type ClusterConfig struct {
 	// MinReplicas and MaxReplicas. Nil keeps the static pool.
 	Autoscale *AutoscaleSpec
 
+	// PrefixIndex configures the event-published global prefix index: the
+	// gateway-side, eventually-consistent view of every replica's pinned
+	// prefixes and load that the indexed routing policies read in O(1).
+	// Nil disables it — except under an indexed Router, which then gets
+	// the degenerate synchronous index (zero delay, zero drops) and
+	// routes exactly like its omniscient twin.
+	PrefixIndex *PrefixIndexSpec
+
 	// Shards partitions the replicas across parallel worker goroutines
 	// (replica i runs on shard i mod Shards, each on its own sub-clock,
 	// synchronized at every cross-replica event). The run stays
@@ -133,6 +153,72 @@ const (
 // MigrationPolicies lists the migration policies.
 func MigrationPolicies() []MigrationPolicy {
 	return []MigrationPolicy{MigrateAlways, MigrateCost}
+}
+
+// PrefixIndexSpec configures the gateway's event-published prefix index:
+// how stale the routing view is allowed to get. The zero value is the
+// degenerate synchronous index — every publication applies at its emission
+// instant, so indexed policies route exactly like their omniscient twins.
+type PrefixIndexSpec struct {
+	// PropagationDelaySeconds is the lag between a replica publishing a KV
+	// or load event and the gateway index absorbing it (control-plane
+	// latency). Zero applies events synchronously.
+	PropagationDelaySeconds float64
+
+	// DropRate is the probability in [0, 1) that a KV lifecycle
+	// publication is lost in flight. Load signals are never dropped.
+	// Drops are deterministic per (Seed, replica, sequence).
+	DropRate float64
+
+	// HeartbeatEverySeconds switches load signalling from per-change
+	// queue publications to periodic digests of queue depth and
+	// bucket-quantized free KV pages. Zero keeps the per-change stream.
+	HeartbeatEverySeconds float64
+
+	// MaxStalenessSeconds bounds how old a replica's digest may be before
+	// indexed policies stop trusting it and divert to capacity-weighted
+	// routing. Zero defaults to 3×heartbeat + propagation delay under
+	// heartbeats, and to no staleness check otherwise.
+	MaxStalenessSeconds float64
+
+	// Seed keys the deterministic drop decisions.
+	Seed int64
+}
+
+// indexSpec maps the public spec onto the internal prefixindex spec.
+func (s *PrefixIndexSpec) indexSpec() *prefixindex.Spec {
+	if s == nil {
+		return nil
+	}
+	return &prefixindex.Spec{
+		PropagationDelay: simclock.Duration(s.PropagationDelaySeconds),
+		DropRate:         s.DropRate,
+		HeartbeatEvery:   simclock.Duration(s.HeartbeatEverySeconds),
+		MaxStaleness:     simclock.Duration(s.MaxStalenessSeconds),
+		Seed:             s.Seed,
+	}
+}
+
+// PrefixIndexStats reports the gateway index's end-of-run accounting.
+type PrefixIndexStats struct {
+	// Published counts every publication put on the wire (dropped ones
+	// included — they consumed fabric bytes); Dropped the subset lost in
+	// flight; Applied the subset absorbed into the index; Pending the
+	// publications still in flight when the run ended.
+	Published, Dropped, Applied, Pending int64
+	// Heartbeats counts applied digest publications.
+	Heartbeats int64
+	// AffinityHits counts indexed affinity decisions that stuck a session
+	// to its indexed holder; the four fallback counters classify the
+	// diversions (no holder indexed, digest too stale, no KV headroom,
+	// holder overloaded).
+	AffinityHits      int64
+	AffinityMisses    int64
+	StaleFallbacks    int64
+	HeadroomFallbacks int64
+	OverloadFallbacks int64
+	// Sessions is the distinct sessions indexed at the end of the run.
+	Sessions int64
 }
 
 // TopologyKind selects the interconnect layout of the transfer fabric.
@@ -493,6 +579,11 @@ type ClusterResult struct {
 	ForecastError   float64
 	ForecastSamples int
 
+	// PrefixIndex is the gateway index's accounting when the run
+	// maintained one (Config.PrefixIndex or an indexed Router); nil
+	// otherwise.
+	PrefixIndex *PrefixIndexStats
+
 	// EventsProcessed totals the simulator events fired across every
 	// clock of the run — a determinism witness: a sharded run fires
 	// exactly the events of its single-threaded twin.
@@ -655,6 +746,7 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		InterconnectGBps: cfg.InterconnectGBps,
 		Topology:         topoSpec,
 		Autoscale:        asCfg,
+		PrefixIndex:      cfg.PrefixIndex.indexSpec(),
 		Shards:           cfg.Shards,
 		Obs:              cfg.Obs.options(),
 	}, func(i int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
@@ -709,6 +801,19 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		ForecastError:   res.ForecastError,
 		ForecastSamples: res.ForecastSamples,
 		EventsProcessed: res.EventsProcessed,
+	}
+	if st := res.PrefixIndex; st != nil {
+		out.PrefixIndex = &PrefixIndexStats{
+			Published: st.Published, Dropped: st.Dropped,
+			Applied: st.Applied, Pending: st.Pending,
+			Heartbeats:        st.Heartbeats,
+			AffinityHits:      st.AffinityHits,
+			AffinityMisses:    st.AffinityMisses,
+			StaleFallbacks:    st.StaleFallbacks,
+			HeadroomFallbacks: st.HeadroomFallbacks,
+			OverloadFallbacks: st.OverloadFallbacks,
+			Sessions:          st.Sessions,
+		}
 	}
 	for _, p := range res.GatewaySeries {
 		out.GatewayDepthSeries = append(out.GatewayDepthSeries, GatewaySample{
