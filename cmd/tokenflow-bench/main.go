@@ -38,6 +38,12 @@
 // table:
 //
 //	tokenflow-bench -routing-curve routing-curve.csv
+//
+// -chaos-csv runs the chaos experiment's three cells (fault-free,
+// mid-spike crash, crash with 2-way pin redundancy) and writes the
+// recovery table as CSV — the CI artifact behind the "chaos" table:
+//
+//	tokenflow-bench -chaos-csv chaos.csv
 package main
 
 import (
@@ -202,6 +208,8 @@ func main() {
 		"run the scale scenario with event tracing + attribution on and export events.jsonl and attribution.json into `dir` (use a reduced TOKENFLOW_SCALE)")
 	routingCurve := flag.String("routing-curve", "",
 		"run the routing staleness sweep and write the quality-vs-lag curve as CSV to `file` (skips the experiment tables)")
+	chaosCSV := flag.String("chaos-csv", "",
+		"run the chaos recovery cells and write the crash-damage-vs-redundancy table as CSV to `file` (skips the experiment tables)")
 	flag.Parse()
 	if *obsProfile != "" {
 		if err := runObsProfile(*obsProfile, *obsBaseline); err != nil {
@@ -250,6 +258,32 @@ func main() {
 		freshWins, staleLoses := curve.Crossover()
 		fmt.Printf("routing curve: %d staleness points -> %s (fresh beats least-queue: %v; stalest loses: %v)\n",
 			len(curve.Points), *routingCurve, freshWins, staleLoses)
+		return
+	}
+	if *chaosCSV != "" {
+		cells, err := experiments.RunChaosCells()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos csv: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*chaosCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos csv: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteChaosCSV(f, cells); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "chaos csv: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos cells: crash P99 %.2fs vs K=2 %.2fs (baseline %.2fs) -> %s\n",
+			cells.PostCrashP99(cells.Crash).Seconds(),
+			cells.PostCrashP99(cells.Redundant).Seconds(),
+			cells.PostCrashP99(cells.Baseline).Seconds(), *chaosCSV)
 		return
 	}
 	ids := flag.Args()

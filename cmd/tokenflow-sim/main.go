@@ -52,6 +52,15 @@
 //	    -topology shared-nic -link-gbps 1 -migration-policy cost -host-cache \
 //	    -workload session-spikes -n 300 -duration 240
 //
+// -chaos injects seeded-random faults on the virtual clock; -crash-at
+// scripts replica crashes and -flap scripts interconnect link flaps, with
+// recovery — retry/backoff re-routing, -redundancy pin mirrors, autoscaler
+// backfill — fully simulated:
+//
+//	tokenflow-sim -replicas 4 -router session-affinity -host-cache \
+//	    -crash-at 1:30 -redundancy 2 \
+//	    -workload session-spikes -n 300 -duration 240
+//
 // -trace-out records the request lifecycle and writes Chrome trace_event
 // JSON (open in Perfetto at ui.perfetto.dev), -series-out dumps per-tick
 // telemetry series as CSV, and -obs-profile writes the simulator's
@@ -91,6 +100,7 @@ var flagGroups = []struct {
 		"host-cache-pages"}},
 	{"Autoscaling", []string{"autoscale", "min-replicas", "max-replicas", "warmup", "prewarm",
 		"slo-p99", "forecast-rate", "gateway-depth"}},
+	{"Chaos / fault injection", []string{"chaos", "crash-at", "flap", "redundancy"}},
 	{"Observability", []string{"trace-out", "series-out", "obs-profile"}},
 }
 
@@ -126,6 +136,76 @@ func groupedUsage() {
 			printFlag(f)
 		}
 	})
+}
+
+// parseCrashes parses a "replica:atSeconds" comma list into scripted crash
+// faults, e.g. "1:30,2:45".
+func parseCrashes(s string) ([]tokenflow.FaultSpec, error) {
+	var out []tokenflow.FaultSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q (want replica:atSeconds)", part)
+		}
+		rep, err := strconv.Atoi(fields[0])
+		if err != nil || rep < 0 {
+			return nil, fmt.Errorf("bad replica in crash spec %q", part)
+		}
+		at, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("bad time in crash spec %q", part)
+		}
+		out = append(out, tokenflow.FaultSpec{Kind: "crash", Replica: rep, AtSeconds: at})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -crash-at spec %q", s)
+	}
+	return out, nil
+}
+
+// parseFlaps parses a "from-to:atSeconds:durationSeconds" comma list into
+// scripted link-flap faults, e.g. "0-1:20:5".
+func parseFlaps(s string) ([]tokenflow.FaultSpec, error) {
+	var out []tokenflow.FaultSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad flap spec %q (want from-to:atSeconds:durationSeconds)", part)
+		}
+		pair := strings.Split(fields[0], "-")
+		if len(pair) != 2 {
+			return nil, fmt.Errorf("bad link pair in flap spec %q", part)
+		}
+		from, err1 := strconv.Atoi(pair[0])
+		to, err2 := strconv.Atoi(pair[1])
+		if err1 != nil || err2 != nil || from < 0 || to < 0 {
+			return nil, fmt.Errorf("bad link pair in flap spec %q", part)
+		}
+		at, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("bad time in flap spec %q", part)
+		}
+		dur, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("bad duration in flap spec %q", part)
+		}
+		out = append(out, tokenflow.FaultSpec{
+			Kind: "link-flap", From: from, To: to,
+			AtSeconds: at, DurationSeconds: dur,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -flap spec %q", s)
+	}
+	return out, nil
 }
 
 // parseHetero parses a "GPU[:count[:memfrac]]" comma list into replica
@@ -203,6 +283,10 @@ func main() {
 		sloP99   = flag.Float64("slo-p99", 2, "slo-target policy: windowed P99 TTFT goal (s)")
 		fcRate   = flag.Float64("forecast-rate", 0, "predictive policy: arrival rate (req/s) one replica absorbs (0 = default 0.6)")
 		gwDepth  = flag.Int("gateway-depth", 0, "scale-to-zero gateway buffer bound (0 = default 512; negative = zero capacity, cold arrivals shed)")
+		chaosN   = flag.Int("chaos", 0, "inject this many seeded-random faults (crashes, brownouts, link flaps) over the workload window, keyed by -seed")
+		crashAt  = flag.String("crash-at", "", "scripted replica crashes as `replica:atSeconds,...` (e.g. \"1:30,2:45\")")
+		flapAt   = flag.String("flap", "", "scripted link flaps as `from-to:atSeconds:durationSeconds,...` (e.g. \"0-1:20:5\")")
+		redund   = flag.Int("redundancy", 0, "pin-redundancy factor K: keep host mirrors of pinned prefixes on K-1 backup replicas, re-pinned after a crash (0/1 = off)")
 		traceOut = flag.String("trace-out", "", "record lifecycle events and write a Chrome trace_event JSON `file` (open in Perfetto); a .jsonl suffix writes the raw event log instead")
 		seriesOu = flag.String("series-out", "", "record per-tick telemetry series and write them as CSV to `file` (cluster mode)")
 		obsProf  = flag.String("obs-profile", "", "self-profile the simulator's phases and write BENCH_obs.json to `file`")
@@ -253,7 +337,8 @@ func main() {
 	// -host-cache routes through cluster mode even for one replica (a
 	// 1-replica round-robin cluster reproduces Run exactly) so the host
 	// prefix cache's reload/fallback stats are reported.
-	if *replicas > 1 || *hetero != "" || *scaler != "" || *hostCach || wantIndex {
+	wantChaos := *chaosN > 0 || *crashAt != "" || *flapAt != "" || *redund > 1
+	if *replicas > 1 || *hetero != "" || *scaler != "" || *hostCach || wantIndex || wantChaos {
 		ccfg := tokenflow.ClusterConfig{
 			Config:          cfg,
 			Replicas:        *replicas,
@@ -282,6 +367,29 @@ func main() {
 				MaxStalenessSeconds:     *idxStale,
 				Seed:                    *seed,
 			}
+		}
+		if wantChaos {
+			cs := &tokenflow.ChaosSpec{
+				RandomFaults:   *chaosN,
+				Seed:           *seed,
+				HorizonSeconds: *duration,
+				Redundancy:     *redund,
+			}
+			if *crashAt != "" {
+				faults, err := parseCrashes(*crashAt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cs.Faults = append(cs.Faults, faults...)
+			}
+			if *flapAt != "" {
+				faults, err := parseFlaps(*flapAt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cs.Faults = append(cs.Faults, faults...)
+			}
+			ccfg.Chaos = cs
 		}
 		if *scaler != "" {
 			ws := *warmup
@@ -324,6 +432,16 @@ func main() {
 		if *hostCach {
 			fmt.Printf("host prefix cache   %d reloads (%d tokens), %d recompute fallbacks\n",
 				cres.HostReloads, cres.HostReloadTokens, cres.HostReloadFallbacks)
+		}
+		if wantChaos {
+			fmt.Printf("chaos               %d crashes, %d brownouts, %d link flaps injected\n",
+				cres.Crashes, cres.Brownouts, cres.LinkFlaps)
+			fmt.Printf("chaos recovery      %d retries, %d permanent failures, %d backfills, %d transfers aborted\n",
+				cres.Retries, cres.RetryFailures, cres.Backfills, cres.MigrationsAborted)
+			if *redund > 1 {
+				fmt.Printf("pin redundancy      K=%d: %d replication transfers, %.1f MB over the fabric\n",
+					*redund, cres.Replications, float64(cres.ReplicatedBytes)/1e6)
+			}
 		}
 		if st := cres.PrefixIndex; st != nil {
 			fmt.Printf("prefix index        %d events published (%d dropped, %d still in flight), %d heartbeats\n",

@@ -23,6 +23,13 @@
 // verdict (wire ETA vs recompute estimate), and how the request fared
 // afterwards — the exact workflow the JSONL export exists for.
 //
+// Finally it re-runs the pool with a scripted mid-run replica crash and
+// 2-way pin redundancy (exports land in observe-out/chaos/) and walks
+// the recovery from the event log: the crash, the orphan retries onto
+// survivors, the host-mirror repins — and the crash-recovery waterfall
+// of the hardest-hit request, whose lost time shows up as the span's
+// retry phase.
+//
 //	go run ./examples/observe
 package main
 
@@ -107,8 +114,10 @@ func main() {
 		}
 	}
 	fmt.Printf("latency attribution over %d requests:\n", rep.Requests)
-	for _, m := range rep.Metrics[:6] {
-		if m.Count == 0 || e2eTotal == 0 {
+	for _, m := range rep.Metrics {
+		// The phase rows decompose E2E exactly; skip the aggregate
+		// ttft/e2e rows themselves.
+		if m.Name == "ttft" || m.Name == "e2e" || m.Count == 0 || e2eTotal == 0 {
 			continue
 		}
 		fmt.Printf("  %-9s %5.1f%% of E2E time  (p99 %8.2fms)\n",
@@ -135,9 +144,16 @@ func main() {
 	}
 	if decline == nil {
 		fmt.Println("no migration was declined on this run")
-		return
+	} else {
+		walkDecline(events, decline)
 	}
 
+	chaosRecovery(w)
+}
+
+// walkDecline replays one declined migration's session lifecycle around
+// the cost model's verdict.
+func walkDecline(events []event, decline *event) {
 	fmt.Printf("one declined migration, end to end (session %d):\n", decline.Session)
 	shown := 0
 	for _, e := range events {
@@ -183,6 +199,101 @@ func main() {
 			fmt.Println("  ... (session continues; see observe-out/events.jsonl)")
 			break
 		}
+	}
+}
+
+// chaosRecovery re-runs the pool with a scripted mid-run crash of
+// replica 1 and 2-way pin redundancy, then walks the recovery from the
+// exported event log and renders the hardest-hit request's waterfall —
+// its lost attempt, detection delay, and backoff all land in the span's
+// retry phase.
+func chaosRecovery(w tokenflow.Workload) {
+	fmt.Println("\ncrash recovery: the same pool, plus a scripted mid-run crash")
+	res, err := tokenflow.RunCluster(tokenflow.ClusterConfig{
+		Config: tokenflow.Config{
+			System: tokenflow.SystemTokenFlow,
+			Model:  "Llama3-8B",
+			// Redundancy mirrors live in the host prefix-cache tier.
+			HostPrefixCache: true,
+			Obs: tokenflow.ObsSpec{
+				Events:      true,
+				Attribution: true,
+				Out:         filepath.Join("observe-out", "chaos"),
+			},
+		},
+		ReplicaSpecs: []tokenflow.ReplicaSpec{
+			{GPU: "H200", Count: 1, MemFraction: 0.3},
+			{GPU: "RTX-4090", Count: 2, MemFraction: 0.75},
+		},
+		Router: tokenflow.RouterSessionAffinity,
+		Chaos: &tokenflow.ChaosSpec{
+			Faults:     []tokenflow.FaultSpec{{Kind: "crash", AtSeconds: 65, Replica: 1}},
+			Redundancy: 2,
+		},
+	}, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash of replica 1 at t=65s: %d orphan(s) retried (%d failed), "+
+		"%d replication transfers (%.1f GB) on the replicate class\n",
+		res.Retries, res.RetryFailures, res.Replications,
+		float64(res.ReplicatedBytes)/1e9)
+
+	events, err := readEvents(filepath.Join("observe-out", "chaos", "events.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	for _, e := range events {
+		t := float64(e.TNs) / 1e9
+		switch e.Kind {
+		case "crash":
+			fmt.Printf("  t=%7.3fs  replica %d CRASHES: %d in-flight orphaned, "+
+				"%d pins and %d host mirrors lost\n", t, e.Replica, e.A, e.B, e.C)
+		case "retry":
+			switch e.Label {
+			case "reroute":
+				fmt.Printf("  t=%7.3fs  orphan %d retries (attempt %d) -> replica %d\n",
+					t, e.Request, e.A, e.Replica)
+			case "gateway":
+				fmt.Printf("  t=%7.3fs  orphan %d re-buffers in the gateway (attempt %d)\n",
+					t, e.Request, e.A)
+			case "failed":
+				fmt.Printf("  t=%7.3fs  orphan %d exhausts its retry budget\n", t, e.Request)
+			default:
+				continue
+			}
+		case "replicate":
+			// The steady redundancy copies are background noise here; show
+			// only the post-crash repins that restore lost pins.
+			if e.Label != "repin" {
+				continue
+			}
+			fmt.Printf("  t=%7.3fs  replica %d repins session %d from its host mirror "+
+				"(%d tokens)\n", t, e.Replica, e.Session, e.B)
+		default:
+			continue
+		}
+		if shown++; shown >= 16 {
+			fmt.Println("  ... (see observe-out/chaos/events.jsonl)")
+			break
+		}
+	}
+
+	// The recovery cost is first-class in attribution: find the span that
+	// lost the most time to the crash and render its waterfall.
+	var worst *tokenflow.AttributionSpan
+	for i := range res.Attribution.Slowest {
+		s := &res.Attribution.Slowest[i]
+		if s.Phases[tokenflow.PhaseRetry] > 0 &&
+			(worst == nil || s.Phases[tokenflow.PhaseRetry] > worst.Phases[tokenflow.PhaseRetry]) {
+			worst = s
+		}
+	}
+	if worst != nil {
+		fmt.Printf("\nhardest-hit request (%.2fs lost to the crash):\n",
+			worst.Phases[tokenflow.PhaseRetry].Seconds())
+		fmt.Print(tokenflow.Waterfall(*worst, 48))
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
@@ -138,6 +139,12 @@ type Config struct {
 	// rides the SampleEvery loop (per replica) and the control loop
 	// (autoscale signals), so series stay empty unless those loops run.
 	Obs obs.Options
+
+	// Chaos injects faults — replica crashes, brownouts, link flaps — on
+	// the virtual clock, with gateway-driven recovery (internal/chaos and
+	// chaos.go). Nil, or a spec with no faults and no redundancy, leaves
+	// the run byte-identical to a cluster without the field.
+	Chaos *chaos.Spec
 }
 
 // AutoscaleConfig parameterizes the cluster's dynamic replica lifecycle.
@@ -414,8 +421,9 @@ type Result struct {
 	//
 	// GatewayBuffered counts arrivals held in the gateway while no replica
 	// was active; GatewayShed the arrivals dropped because the gateway was
-	// full (they never enter Requests). GatewaySeries samples the gateway
-	// depth at every control tick.
+	// full — or, under chaos, because every replica was crash-dead with no
+	// gateway to wait in (they never enter Requests). GatewaySeries
+	// samples the gateway depth at every control tick.
 	GatewayBuffered int64
 	GatewayShed     int64
 	GatewaySeries   []GatewayPoint
@@ -437,6 +445,28 @@ type Result struct {
 	// off. The capture is observation only — nilling this field yields a
 	// Result deep-equal to the same run without the recorder.
 	Obs *obs.Capture
+
+	// Chaos outcome (all zero without an active Config.Chaos; see
+	// chaos.go). Crashes counts replica crash faults that landed on a live
+	// replica; Retries the orphaned requests re-entered (re-routed to a
+	// survivor or re-buffered through the gateway); RetryFailures the
+	// requests that exhausted the retry budget and failed permanently
+	// (they stay in Requests, unfinished, with censored TTFT). Backfills
+	// counts crashed replicas the autoscaler resurrected through the
+	// warm-up path. Replications / ReplicatedBytes total the redundancy
+	// traffic (proactive mirror copies plus post-crash re-pins) on the
+	// fabric's replicate class. Brownouts and LinkFlaps count the faults
+	// injected; MigrationsAborted the pin transfers a crash or flap tore
+	// off the wire.
+	Crashes           int64
+	Retries           int64
+	RetryFailures     int64
+	Backfills         int64
+	Replications      int64
+	ReplicatedBytes   int64
+	Brownouts         int64
+	LinkFlaps         int64
+	MigrationsAborted int64
 
 	// Attribution is the critical-path latency attribution report
 	// (Config.Obs.Attribution): per-phase latency distributions split by
@@ -487,6 +517,9 @@ const (
 	ScaleDrain ScaleKind = "drain"
 	// ScaleOff: draining → off (in-flight work finished, pins handed off).
 	ScaleOff ScaleKind = "off"
+	// ScaleCrash: in-service → off by fault injection (chaos.go): the
+	// replica died mid-flight, outside the control loop's will.
+	ScaleCrash ScaleKind = "crash"
 )
 
 // ScaleEvent is one replica lifecycle transition.
@@ -585,6 +618,10 @@ type Cluster struct {
 	// streams merge deterministically at collect. The name slices
 	// precompute per-replica and per-link series names, so per-tick
 	// recording builds no strings.
+	// Chaos fault-injection runtime (chaos.go); nil when Config.Chaos is
+	// absent or inactive, which gates every chaos hook off the hot path.
+	chaos *chaosRuntime
+
 	rec         *obs.Recorder
 	reg         *obs.Registry
 	prof        *obs.Profiler
@@ -754,6 +791,9 @@ func New(cfg Config, build BuildEngine) (*Cluster, error) {
 	if err := c.initPrefixIndex(); err != nil {
 		return nil, err
 	}
+	if err := c.initChaos(); err != nil {
+		return nil, err
+	}
 	c.initObsSeries()
 	return c, nil
 }
@@ -784,6 +824,7 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 		return c.collect(timedOut), nil
 	}
 	c.scheduleHeartbeats()
+	c.scheduleChaos()
 	for i, it := range w.Items {
 		it := it
 		id := i
@@ -804,6 +845,12 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 			}
 			if c.gatewayEnabled() && c.activeCount() == 0 {
 				c.gatewayAdmit(id, it, now)
+				return
+			}
+			if c.chaos != nil && len(c.routable()) == 0 {
+				// Every replica is crash-dead and there is no gateway to
+				// wait in: the arrival sheds at the cluster edge.
+				c.shedCrashed(id, it, now)
 				return
 			}
 			rep := c.route(id, it)
@@ -873,7 +920,16 @@ func (c *Cluster) Run(w trace.Workload) (*Result, error) {
 // the router's by-ID tie-breaking matches by-index iteration.
 func (c *Cluster) routable() []router.Replica {
 	if c.cfg.Autoscale == nil {
-		return c.views
+		if c.chaos == nil {
+			return c.views
+		}
+		out := make([]router.Replica, 0, len(c.replicas))
+		for _, rep := range c.replicas {
+			if !rep.eng.Crashed() {
+				out = append(out, rep)
+			}
+		}
+		return out
 	}
 	out := make([]router.Replica, 0, len(c.replicas))
 	for _, rep := range c.replicas {
@@ -1003,7 +1059,7 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 	// The deferred inject rides the transfer completion: the request is
 	// delivered together with its KV, so the wire time lands inside TTFT.
 	return c.migratePin(c.replicas[donor], target, it.Session, fabric.ClassMigrate, now,
-		&c.migrations, &c.migratedTokens, func(t simclock.Time) {
+		&c.migrations, &c.migratedTokens, r, func(t simclock.Time) {
 			target.eng.InjectCause(r, t, obs.QueueCauseMigrate)
 		})
 }
@@ -1014,6 +1070,9 @@ func (c *Cluster) maybeMigrate(r *request.Request, it trace.Item, target *replic
 // as drained).
 func (c *Cluster) done() bool {
 	if !c.arrivalsDone || c.migrationsInFlight > 0 || len(c.gateway) > 0 {
+		return false
+	}
+	if c.chaos != nil && (c.chaos.retryPending > 0 || c.chaos.replicationsInFlight > 0) {
 		return false
 	}
 	for _, rep := range c.replicas {
@@ -1059,6 +1118,21 @@ func (c *Cluster) collect(timedOut bool) *Result {
 		if c.cfg.Autoscale == nil || rep.routed > 0 {
 			loads = append(loads, float64(er.Report.TotalOut))
 		}
+	}
+	if ch := c.chaos; ch != nil {
+		// Requests that exhausted the retry budget belong to no replica;
+		// they enter the population unfinished (censored TTFT, zero output)
+		// so the cluster report prices the failures it caused.
+		res.Requests = append(res.Requests, ch.failed...)
+		res.Crashes = ch.crashes
+		res.Retries = ch.retries
+		res.RetryFailures = ch.retryFailures
+		res.Backfills = ch.backfills
+		res.Replications = ch.replications
+		res.ReplicatedBytes = ch.replicatedBytes
+		res.Brownouts = ch.brownouts
+		res.LinkFlaps = ch.linkFlaps
+		res.MigrationsAborted = ch.migrationsAborted
 	}
 	sort.SliceStable(res.Requests, func(i, j int) bool { return res.Requests[i].ID < res.Requests[j].ID })
 

@@ -463,7 +463,7 @@ func TestTransferClassLedger(t *testing.T) {
 	for _, cs := range res.TransferClasses {
 		classes[cs.Class.String()] = cs
 	}
-	if len(classes) != 8 {
+	if len(classes) != 9 {
 		t.Fatalf("ledger has %d classes: %+v", len(classes), res.TransferClasses)
 	}
 	if classes["sync"].Bytes == 0 {

@@ -35,7 +35,15 @@ import (
 //     sheds/migrations/declines/pre-warms/drain hand-offs match their
 //     Result counters. A flight recorder that disagreed with the ledgers
 //     it observes would be worse than none.
-//  6. Exact latency accounting: the causal spans derived from the event
+//  6. Chaos conservation: on a finished run every admitted request either
+//     finished generating or exhausted the chaos retry budget (crashes
+//     lose work, never requests), and the fabric's replicate class booked
+//     exactly the redundancy bytes the chaos runtime accounted. The
+//     GPU-seconds integral (law 3) and the request/event ledgers (laws 4
+//     and 5) are themselves chaos-aware: a crash ends a replica's
+//     in-service interval at the fault, failed requests belong to no
+//     replica, and retry events reconcile against the retry counters.
+//  7. Exact latency accounting: the causal spans derived from the event
 //     stream (internal/obs/attribution) partition each completed
 //     request's measured lifetime — gateway + wire + queue + prefill
 //     equals its TTFT to the nanosecond, adding decode + preempted
@@ -64,7 +72,49 @@ func CheckInvariants(res *Result, wLen int) error {
 	if err := checkEventReconciliation(res, wLen); err != nil {
 		return err
 	}
+	if err := checkChaosAccounting(res, wLen); err != nil {
+		return err
+	}
 	return checkAttribution(res)
+}
+
+// checkChaosAccounting verifies the chaos-aware conservation laws: on a
+// finished run, every admitted request either generated all its tokens or
+// is one of the RetryFailures that exhausted the retry budget — crashes
+// lose work but never lose requests — and the fabric's replicate class
+// booked exactly the redundancy bytes the chaos runtime accounted
+// (proactive mirror copies plus post-crash re-pins).
+func checkChaosAccounting(res *Result, wLen int) error {
+	if !res.TimedOut {
+		var finished, unfinished int64
+		for _, r := range res.Requests {
+			if r.GenerationDone() {
+				finished++
+			} else {
+				unfinished++
+			}
+		}
+		if unfinished != res.RetryFailures {
+			return fmt.Errorf("invariant: %d unfinished requests in results, %d retry failures",
+				unfinished, res.RetryFailures)
+		}
+		admitted := int64(wLen) - res.GatewayShed
+		if finished+res.RetryFailures != admitted {
+			return fmt.Errorf("invariant: %d finished + %d retry failures != %d admitted",
+				finished, res.RetryFailures, admitted)
+		}
+	}
+	var replicate int64
+	for _, cs := range res.TransferClasses {
+		if cs.Class == fabric.ClassReplicate {
+			replicate = cs.Bytes
+		}
+	}
+	if replicate != res.ReplicatedBytes {
+		return fmt.Errorf("invariant: fabric replicate class booked %d bytes, chaos accounts %d",
+			replicate, res.ReplicatedBytes)
+	}
+	return nil
 }
 
 // checkIndexConservation ties the prefix index's publication ledger to the
@@ -135,12 +185,15 @@ func checkAttribution(res *Result) error {
 				s.Request, got, want)
 		}
 	}
-	// Every finished request must derive exactly one span; a timed-out run
-	// legitimately leaves requests mid-flight.
+	// Every finished request must derive exactly one span — including
+	// crash-retried requests, whose doomed attempts reset the derivation
+	// state so only the surviving attempt finalizes. Retry failures never
+	// complete and derive none; a timed-out run legitimately leaves
+	// requests mid-flight.
 	if !res.TimedOut {
-		if len(spans) != len(res.Requests) {
+		if want := len(res.Requests) - int(res.RetryFailures); len(spans) != want {
 			return fmt.Errorf("invariant: %d spans derived for %d completed requests",
-				len(spans), len(res.Requests))
+				len(spans), want)
 		}
 	}
 	if res.Attribution != nil && !res.TimedOut {
@@ -173,6 +226,9 @@ func checkEventReconciliation(res *Result, wLen int) error {
 		{"migrate-decline", obs.KindMigrateDecline, res.MigrationsDeclined},
 		{"prewarm", obs.KindPrewarm, res.Prewarms},
 		{"drain", obs.KindDrain, res.DrainMigrations},
+		{"crash", obs.KindCrash, res.Crashes},
+		{"replicate", obs.KindReplicate, res.Replications},
+		{"retry", obs.KindRetry, res.Retries + res.RetryFailures},
 	}
 	if st := res.PrefixIndex; st != nil {
 		checks = append(checks,
@@ -196,9 +252,9 @@ func checkEventReconciliation(res *Result, wLen int) error {
 			routed-res.GatewayBuffered, res.GatewayBuffered, admitted)
 	}
 	if !res.TimedOut {
-		if got := int64(rec.CountKind(obs.KindComplete)); got != admitted {
-			return fmt.Errorf("invariant: %d complete events recorded, %d requests admitted",
-				got, admitted)
+		if got, want := int64(rec.CountKind(obs.KindComplete)), admitted-res.RetryFailures; got != want {
+			return fmt.Errorf("invariant: %d complete events recorded, %d requests admitted and not failed",
+				got, want)
 		}
 	}
 	return nil
@@ -281,6 +337,10 @@ func checkGPUSeconds(res *Result) error {
 			inService++
 		case ScaleOff:
 			inService--
+		case ScaleCrash:
+			// A crash drops the replica out of service instantly; its
+			// GPU-seconds stop accruing at the fault, not at a drain.
+			inService--
 		}
 		if inService < 0 {
 			return fmt.Errorf("invariant: in-service replica count went negative at %v", at)
@@ -318,9 +378,11 @@ func checkRequestConservation(res *Result, wLen int) error {
 	for _, rs := range res.PerReplica {
 		perReplica += rs.Result.Report.N
 	}
-	if perReplica != len(res.Requests) {
-		return fmt.Errorf("invariant: per-replica request sum %d != merged %d",
-			perReplica, len(res.Requests))
+	// Requests that exhausted the chaos retry budget belong to no replica:
+	// the crashed engine disowned them and no survivor ever served them.
+	if perReplica+int(res.RetryFailures) != len(res.Requests) {
+		return fmt.Errorf("invariant: per-replica request sum %d + %d retry failures != merged %d",
+			perReplica, res.RetryFailures, len(res.Requests))
 	}
 	if res.Report.N != len(res.Requests) {
 		return fmt.Errorf("invariant: cluster report covers %d requests, merged %d",

@@ -24,6 +24,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/kvcache"
 	"repro/internal/obs"
+	"repro/internal/request"
 	"repro/internal/simclock"
 )
 
@@ -183,6 +184,12 @@ func (c *Cluster) scaleUp(now simclock.Time) {
 	target.state = autoscale.Warming
 	target.sinceOn = now
 	c.event(now, ScaleWarmup, target.id)
+	if c.chaos != nil && target.eng.Crashed() {
+		// Backfill: the warm-up path resurrects a crash-dead engine — the
+		// replacement replica boots on the same slot.
+		target.eng.ClearCrashed()
+		c.chaos.backfills++
+	}
 	if c.cfg.Autoscale.Prewarm {
 		c.prewarm(target, now)
 	}
@@ -233,7 +240,7 @@ func (c *Cluster) prewarm(target *replica, now simclock.Time) {
 			break
 		}
 		if c.migratePin(cd.donor, target, cd.info.Session, fabric.ClassPrewarm, now,
-			&c.prewarms, &c.prewarmedTokens, nil) {
+			&c.prewarms, &c.prewarmedTokens, nil, nil) {
 			shipped++
 		}
 	}
@@ -293,7 +300,7 @@ func (c *Cluster) drainPins(rep *replica, now simclock.Time) {
 			continue
 		}
 		if c.migratePin(rep, dst, info.Session, fabric.ClassDrain, now,
-			&c.drainMigrations, nil, nil) {
+			&c.drainMigrations, nil, nil, nil) {
 			planned[dst] += info.Pages
 		}
 	}
@@ -306,9 +313,15 @@ func (c *Cluster) drainPins(rep *replica, now simclock.Time) {
 // gating stays in one place — and so all three classes contend for the
 // same topology links. onDone, if set, runs after the install attempt at
 // transfer completion (the routing path injects its deferred request
-// there). It reports whether a migration started.
+// there); req is that path's deferred request, registered with the chaos
+// flight so a crash or link flap that tears the transfer down can still
+// deliver or retry it. It reports whether a migration started.
 func (c *Cluster) migratePin(donor, target *replica, session int, class fabric.Class,
-	now simclock.Time, count, tokenCount *int64, onDone func(now simclock.Time)) bool {
+	now simclock.Time, count, tokenCount *int64, req *request.Request,
+	onDone func(now simclock.Time)) bool {
+	if c.chaos != nil && !c.linkUp(donor.id, target.id, now) {
+		return false // the pair is flapped dark; the turn recomputes
+	}
 	tokens, bytes, ok := donor.eng.BeginPrefixMigration(session)
 	if !ok {
 		return false
@@ -329,8 +342,12 @@ func (c *Cluster) migratePin(donor, target *replica, session int, class fabric.C
 	c.migrationsInFlight++
 	donor.outMigrations++
 	target.inMigrations++
+	var fl *flight
 	_, done := c.fab.BookBetween(class, donor.id, target.id, now, bytes)
-	c.clock.At(done, func(t simclock.Time) {
+	handle := c.clock.At(done, func(t simclock.Time) {
+		if fl != nil {
+			c.removeFlight(fl)
+		}
 		donor.eng.CompletePrefixMigration(session, t)
 		donor.outMigrations--
 		target.inMigrations--
@@ -342,6 +359,10 @@ func (c *Cluster) migratePin(donor, target *replica, session int, class fabric.C
 			onDone(t)
 		}
 	})
+	if c.chaos != nil {
+		fl = &flight{donor: donor, target: target, session: session, handle: handle, req: req}
+		c.registerFlight(fl)
+	}
 	return true
 }
 

@@ -34,6 +34,9 @@ const (
 	seriesIndexSessions  = "index/sessions"
 	seriesIndexHits      = "index/affinity_hits"
 	seriesIndexFallbacks = "index/fallbacks"
+	seriesChaosCrashed   = "chaos/crashed_replicas"
+	seriesChaosRetries   = "chaos/retry_pending"
+	seriesChaosCopies    = "chaos/replications_in_flight"
 )
 
 // attribSeriesNames maps each attribution phase onto its running-mean
@@ -109,6 +112,17 @@ func (c *Cluster) recordSampleSeries(now simclock.Time) {
 		c.reg.Observe(seriesIndexHits, now, float64(st.AffinityHits))
 		c.reg.Observe(seriesIndexFallbacks, now, float64(st.AffinityMisses+
 			st.StaleFallbacks+st.HeadroomFallbacks+st.OverloadFallbacks))
+	}
+	if c.chaos != nil {
+		crashed := 0
+		for _, rep := range c.replicas {
+			if rep.eng.Crashed() {
+				crashed++
+			}
+		}
+		c.reg.Observe(seriesChaosCrashed, now, float64(crashed))
+		c.reg.Observe(seriesChaosRetries, now, float64(c.chaos.retryPending))
+		c.reg.Observe(seriesChaosCopies, now, float64(c.chaos.replicationsInFlight))
 	}
 	c.recordAttributionSeries(now)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fabric"
@@ -102,6 +103,22 @@ func RandomScenario(rng *rand.Rand) Scenario {
 	}
 
 	hostCache := rng.Intn(2) == 0
+
+	if replicas >= 2 && rng.Intn(2) == 0 {
+		// Fault dimension: half the multi-replica scenarios inject a
+		// seeded random fault plan (crashes, brownouts, link flaps), so
+		// the invariant sweep and the determinism grid exercise the chaos
+		// recovery paths across the whole configuration space.
+		cfg.Chaos = &chaos.Spec{
+			RandomFaults: 1 + rng.Intn(3),
+			Seed:         rng.Int63(),
+			Horizon:      simclock.FromSeconds(20),
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Chaos.Redundancy = 2
+		}
+	}
+
 	build := func(_ int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		kv := engine.TokenFlowKVPolicy()
 		kv.HostCache = hostCache

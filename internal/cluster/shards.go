@@ -114,6 +114,7 @@ func (c *Cluster) shardOf(replica int) *shard {
 func (c *Cluster) fastShardPath() bool {
 	return len(c.shards) > 0 &&
 		c.cfg.Autoscale == nil &&
+		c.chaos == nil &&
 		!c.cfg.Migrate &&
 		c.cfg.SampleEvery == 0 &&
 		!c.cfg.Obs.Events &&

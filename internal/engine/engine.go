@@ -234,11 +234,24 @@ type Engine struct {
 	// pendingInjects counts arrivals deferred behind an in-flight host-tier
 	// prefix reload: the request is delivered together with its KV, so it
 	// is outstanding work the engine (and a draining replica) must wait
-	// for, though not yet registered in any queue.
+	// for, though not yet registered in any queue. deferred tracks those
+	// arrivals and their clock handles so a crash can cancel the deliveries
+	// and orphan the requests.
 	pendingInjects int
+	deferred       []deferredInject
 
 	gpuBusy bool
 	inKick  bool
+	// crashed marks a replica killed by chaos fault injection: the loop
+	// refuses to schedule until the cluster backfills it (ClearCrashed).
+	crashed bool
+	// slowdown > 1 is a chaos brownout: every launched iteration's duration
+	// multiplies by it (the slow-node model). 0 or 1 is full speed.
+	slowdown float64
+	// iterHandle/stallHandle are the in-flight iteration's (or boundary
+	// stall's) pending completion events, kept so a crash can cancel them.
+	iterHandle  simclock.Handle
+	stallHandle simclock.Handle
 	// retryTick is the single scheduled wakeup for quantum-gated
 	// schedulers (armed at sched.Waker's NextDecisionTime); retryAt is its
 	// target instant, kept to avoid cancel/reschedule churn. All other
@@ -559,14 +572,16 @@ func (e *Engine) tryHostReload(r *request.Request, now simclock.Time, cause int6
 	}
 	e.pendingInjects++
 	e.notifyLoad()
-	e.clock.At(done, func(t simclock.Time) {
+	h := e.clock.At(done, func(t simclock.Time) {
 		// The manager's install callback fired first (it was scheduled
 		// first for the same instant), so a successful reload is already a
 		// pin and injectNow assesses it as an ordinary hit; a dropped
 		// install falls back to a full recompute.
+		e.dropDeferred(r)
 		e.pendingInjects--
 		e.injectNow(r, t, cause|obs.QueueCauseReload, now)
 	})
+	e.deferred = append(e.deferred, deferredInject{req: r, handle: h})
 	return true
 }
 

@@ -21,7 +21,7 @@ func (e *Engine) kick(now simclock.Time) {
 	// The KV manager's callbacks (EvictDone for an instant discard) can
 	// fire synchronously from inside applyDecision; the reentrancy guard
 	// keeps one kick as the sole iteration launcher.
-	if e.gpuBusy || e.inKick {
+	if e.gpuBusy || e.inKick || e.crashed {
 		return
 	}
 	e.inKick = true
@@ -33,7 +33,7 @@ func (e *Engine) kick(now simclock.Time) {
 	if stall := e.mem.IterBoundaryStall(now); stall > 0 {
 		e.gpuBusy = true
 		e.boundaryStall += stall
-		e.clock.After(stall, e.stallDoneFn)
+		e.stallHandle = e.clock.After(stall, e.stallDoneFn)
 		return
 	}
 
@@ -302,10 +302,15 @@ const (
 // most one iteration in flight they cannot be overwritten before
 // completeIteration consumes them.
 func (e *Engine) launch(now simclock.Time, dur time.Duration) {
+	if e.slowdown > 1 {
+		// Chaos brownout: the slow node pays the multiplier on every
+		// iteration launched inside the fault window.
+		dur = time.Duration(float64(dur) * e.slowdown)
+	}
 	e.iterations++
 	e.gpuBusy = true
 	e.iterDur = dur
-	e.clock.After(dur, e.iterDoneFn)
+	e.iterHandle = e.clock.After(dur, e.iterDoneFn)
 }
 
 // completeIteration applies the staged iteration's effects at its

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "tab01", "fig16", "fig17",
 		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "tab02",
 		"overhead", "cluster", "hetero", "autoscale", "fabric", "slo",
-		"routing", "scale",
+		"routing", "scale", "chaos",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -122,6 +122,50 @@ func TestFig08Ordering(t *testing.T) {
 // parseMs parses "12.34ms" into millis.
 func parseMs(s string) (float64, error) {
 	return strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+}
+
+// TestChaosRedundancyRecovery pins the chaos experiment's headline
+// claim: a mid-spike crash damages post-crash P99 TTFT, and 2-way pin
+// redundancy measurably reduces that damage — the survivors repin lost
+// prefixes from host mirrors instead of recomputing them. The cells are
+// fixed-size (see chaosWorkload), so the regime holds regardless of
+// TOKENFLOW_SCALE.
+func TestChaosRedundancyRecovery(t *testing.T) {
+	cells, err := RunChaosCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cells.PostCrashP99(cells.Baseline)
+	crash := cells.PostCrashP99(cells.Crash)
+	red := cells.PostCrashP99(cells.Redundant)
+	if crash <= base {
+		t.Fatalf("crash did not damage post-crash P99: crash %v <= baseline %v", crash, base)
+	}
+	crashDamage := crash - base
+	redDamage := red - base
+	if redDamage >= crashDamage*3/4 {
+		t.Errorf("K=2 redundancy should buy back at least a quarter of the tail damage: "+
+			"baseline %v, crash %v (damage %v), K=2 %v (damage %v)",
+			base, crash, crashDamage, red, redDamage)
+	}
+	// The machinery the headline rests on must actually have run.
+	if cells.Crash.Crashes != 1 || cells.Redundant.Crashes != 1 {
+		t.Errorf("crashes = %d / %d, want 1 each", cells.Crash.Crashes, cells.Redundant.Crashes)
+	}
+	if cells.Crash.Retries == 0 || cells.Redundant.Retries == 0 {
+		t.Errorf("no retries recorded: %d / %d", cells.Crash.Retries, cells.Redundant.Retries)
+	}
+	if cells.Redundant.Replications == 0 || cells.Redundant.ReplicatedBytes == 0 {
+		t.Errorf("redundant cell moved no mirror bytes: %d transfers, %d bytes",
+			cells.Redundant.Replications, cells.Redundant.ReplicatedBytes)
+	}
+	if cells.Crash.RetryFailures != 0 || cells.Redundant.RetryFailures != 0 {
+		t.Errorf("unexpected permanent failures: %d / %d",
+			cells.Crash.RetryFailures, cells.Redundant.RetryFailures)
+	}
+	if cells.Baseline.Crashes != 0 || cells.Baseline.Retries != 0 || cells.Baseline.Replications != 0 {
+		t.Errorf("baseline cell saw chaos traffic: %+v", cells.Baseline)
+	}
 }
 
 // TestRoutingCrossover pins the staleness curve's shape at paper scale: the

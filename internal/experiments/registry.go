@@ -38,6 +38,7 @@ func All() []Experiment {
 		{"slo", ExpSLO},
 		{"routing", ExpRouting},
 		{"scale", ExpScale},
+		{"chaos", ExpChaos},
 	}
 }
 

@@ -277,12 +277,17 @@ const (
 	// traffic (see Account): the propagation delay is modelled by the
 	// index, not by link occupancy.
 	ClassIndex
+	// ClassReplicate: chaos pin-redundancy traffic — periodic host-mirror
+	// copies of pinned session prefixes onto backup replicas, and the
+	// post-crash re-replication restoring lost pins from surviving mirrors.
+	ClassReplicate
 
 	numClasses
 )
 
 var classNames = [numClasses]string{
 	"sync", "evict", "load", "reload", "migrate", "prewarm", "drain", "index",
+	"replicate",
 }
 
 func (c Class) String() string {

@@ -1,0 +1,153 @@
+package kvcache
+
+// Chaos support: the cache-side half of replica crash recovery. Crash
+// wipes the device instantly (every residency, pin, and host mirror dies
+// with the replica) and bumps the crash epoch so completion closures from
+// transfers booked before the crash cannot resurrect state on the
+// backfilled manager. AdoptMirror and RepinFromMirror are the pin-
+// redundancy mechanics: a backup replica adopts host-tier copies of a
+// peer's pinned prefixes, and after the peer crashes, re-pins them from
+// its own mirror so retried session turns reload instead of recomputing.
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/simclock"
+)
+
+// Crash destroys every byte the manager holds: request residencies are
+// invalidated (their epochs bump, killing in-flight sync/evict/load
+// completions), all prefix pins and host mirrors vanish with index
+// unpublications, and the pool resets to empty. Cumulative stats are
+// preserved — the replica's history happened. It reports how many pins
+// and mirrors were lost, for the crash event's payload.
+func (m *Manager) Crash() (pinsLost, mirrorsLost int) {
+	for _, e := range m.entries {
+		e.epoch++
+		e.gpuHeld = 0
+		e.res = ResNone
+	}
+	m.entries = make(map[int]*entry)
+	m.syncOrder = nil
+	// Walk the recency lists, not the maps: unpublication order must be
+	// deterministic for the index traffic ledger and event stream.
+	for el := m.pinOrder.Front(); el != nil; {
+		p := el.Value.(*pin)
+		el = el.Next()
+		m.removePin(p)
+		pinsLost++
+	}
+	for el := m.hostPinOrder.Front(); el != nil; {
+		hp := el.Value.(*hostPin)
+		el = el.Next()
+		m.dropHostMirror(hp)
+		mirrorsLost++
+	}
+	m.free = m.cfg.GPUPages
+	m.crashEpoch++
+	return pinsLost, mirrorsLost
+}
+
+// AbortMigrateOut un-stakes a pin whose interconnect transfer was torn
+// down mid-flight (a link flap): the pin returns to normal service — it
+// hits, adopts, and evicts again — and its renewed availability is
+// republished to the index. Byte counters are untouched: migratedOutBytes
+// counts at stake time, mirroring the fabric's book-time accounting, and
+// the aborted transfer's bytes were genuinely booked on the wire.
+func (m *Manager) AbortMigrateOut(session int) {
+	p, ok := m.pins[session]
+	if !ok || !p.migrating {
+		return
+	}
+	p.migrating = false
+	if m.pubPin != nil {
+		m.pubPin(p.session, p.tokens)
+	}
+}
+
+// MirrorTokens reports the raw host-mirrored prefix tokens for a session —
+// unlike HostMirrorTokens it ignores device pins and in-flight reloads, so
+// the redundancy loop can tell whether a backup already holds a copy.
+func (m *Manager) MirrorTokens(session int) int {
+	hp, ok := m.hostPins[session]
+	if !ok {
+		return 0
+	}
+	return hp.tokens
+}
+
+// AdoptMirror installs a host-tier mirror copied in from a peer replica
+// (the receiving half of a redundancy replication): usable once the wire
+// transfer lands at readyAt, budget-enforced like any other mirror. A
+// mirror at least as large, or one mid-reload, is kept instead. It
+// reports whether the copy was adopted.
+func (m *Manager) AdoptMirror(session, tokens int, readyAt simclock.Time) bool {
+	if !m.HostCacheEnabled() || session == 0 || tokens <= 0 {
+		return false
+	}
+	if old, ok := m.hostPins[session]; ok {
+		if old.reloading || old.tokens >= tokens {
+			return false
+		}
+		m.dropHostMirror(old)
+	}
+	hp := &hostPin{
+		session: session, tokens: tokens, pages: m.Pages(tokens), readyAt: readyAt,
+	}
+	hp.elem = m.hostPinOrder.PushFront(hp)
+	m.hostPins[session] = hp
+	m.hostMirroredPages += hp.pages
+	m.obs.Emit(m.clock.Now(), obs.KindKVMirror, m.obsReplica, -1, session,
+		int64(tokens), int64(hp.pages), 0, 0, "")
+	if m.pubMirror != nil {
+		m.pubMirror(session, tokens)
+	}
+	m.enforceHostBudget()
+	return true
+}
+
+// RepinFromMirror rematerializes a session's host mirror as a device pin
+// over the h2d link on the fabric's replicate class — post-crash recovery
+// restoring a pin the crashed replica held, from this surviving backup's
+// mirror. Same admission rules as a host reload; the install is dropped
+// (mirror kept) when a pin appeared mid-flight or the pool cannot fit it.
+// It reports the completion time, the mirrored tokens, and the booked
+// bytes.
+func (m *Manager) RepinFromMirror(session int, now simclock.Time) (done simclock.Time, tokens int, bytes int64, ok bool) {
+	if !m.HostCacheEnabled() {
+		return 0, 0, 0, false
+	}
+	hp, exists := m.hostPins[session]
+	if !exists || hp.reloading {
+		return 0, 0, 0, false
+	}
+	if _, pinned := m.pins[session]; pinned {
+		return 0, 0, 0, false
+	}
+	hp.reloading = true
+	start := now
+	if hp.readyAt > start {
+		start = hp.readyAt
+	}
+	bytes = int64(hp.pages) * m.PageBytes()
+	_, done = m.ep.EnqueueH2D(fabric.ClassReplicate, start, bytes)
+	crashEpoch := m.crashEpoch
+	m.clock.At(done, func(t simclock.Time) {
+		if m.crashEpoch != crashEpoch {
+			return // this replica crashed too before the re-pin landed
+		}
+		hp.reloading = false
+		if _, pinned := m.pins[hp.session]; pinned || hp.pages > m.cfg.PrefixPages {
+			return
+		}
+		if !m.placePin(hp.session, hp.tokens, hp.pages, t) {
+			return
+		}
+		// Budgeted tiers consume the mirror on a successful re-pin, exactly
+		// as installReloadedPin does.
+		if m.cfg.HostCachePages > 0 {
+			m.dropHostMirror(hp)
+		}
+	})
+	return done, hp.tokens, bytes, true
+}

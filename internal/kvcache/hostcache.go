@@ -180,7 +180,11 @@ func (m *Manager) StartHostReload(session int, now simclock.Time) (done simclock
 	m.obs.Emit(now, obs.KindKVReload, m.obsReplica, -1, session,
 		int64(hp.tokens), bytes, 0, 0, "")
 	_, done = m.ep.EnqueueH2D(fabric.ClassReload, start, bytes)
+	crashEpoch := m.crashEpoch
 	m.clock.At(done, func(t simclock.Time) {
+		if m.crashEpoch != crashEpoch {
+			return // the mirror died with the replica mid-flight
+		}
 		hp.reloading = false
 		m.installReloadedPin(hp, t)
 	})

@@ -211,6 +211,12 @@ type Manager struct {
 	pubPin    func(session, tokens int)
 	pubMirror func(session, tokens int)
 
+	// crashEpoch is the manager's generation counter: Crash bumps it, and
+	// completion closures that outlive per-entry epochs (pin eviction
+	// drains, host reloads) capture it so a transfer booked before a crash
+	// cannot mutate the post-crash (backfilled) manager state.
+	crashEpoch uint64
+
 	// stats
 	evictions, loads, discards, syncChunks    int64
 	bytesEvicted, bytesLoaded, bytesSynced    int64

@@ -204,7 +204,11 @@ func (m *Manager) evictPin(p *pin, now simclock.Time) {
 	m.prefixBytesDrained += bytes
 	_, done := m.ep.EnqueueD2H(fabric.ClassEvict, now, bytes)
 	m.mirrorEvictedPin(p, done)
+	crashEpoch := m.crashEpoch
 	m.clock.At(done, func(t simclock.Time) {
+		if m.crashEpoch != crashEpoch {
+			return // the drain's pages died with the replica
+		}
 		m.free += dirty
 		if m.cb.PinDrained != nil {
 			m.cb.PinDrained(t)

@@ -2,12 +2,12 @@
 // into per-request causal spans and answers the question the flat stream
 // cannot: where does tail latency actually come from — gateway
 // buffering, KV delivery (host reload or migration wire), queue wait,
-// prefill, decode, or preemption gaps?
+// prefill, decode, preemption gaps, or crash-recovery retries?
 //
-// The derivation is exact by construction: the six phases partition the
-// request's measured lifetime, so gateway + wire + queue + prefill sums
-// to the request's TTFT and adding decode + preempted reaches its E2E
-// latency — a conservation law the cluster invariant suite checks per
+// The derivation is exact by construction: the seven phases partition
+// the request's measured lifetime, so gateway + wire + queue + prefill
+// + retry sums to the request's TTFT and adding decode + preempted
+// reaches its E2E latency — a conservation law the cluster invariant suite checks per
 // request over the experiment grid. Everything the pass needs rides on
 // replica-scoped events (KindQueue carries the arrival time and the
 // deferral cause), so it runs per shard with no cross-shard state:
@@ -46,13 +46,19 @@ const (
 	// PhasePreempted: total time parked by memory preemption between
 	// first token and completion.
 	PhasePreempted
+	// PhaseRetry: time lost to crash recovery — from the request's arrival
+	// (or prior attempt) to its post-crash re-queue, covering the doomed
+	// attempt, the detection delay, and the retry backoff. Only the final,
+	// completing attempt emits KindComplete, so a retried request derives
+	// exactly one span with the pre-requeue loss in this phase.
+	PhaseRetry
 
 	// NumPhases is the number of span phases.
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
-	"gateway", "wire", "queue", "prefill", "decode", "preempted",
+	"gateway", "wire", "queue", "prefill", "decode", "preempted", "retry",
 }
 
 // String returns the phase's stable report name.
@@ -135,7 +141,7 @@ func (s *Span) E2E() time.Duration { return s.CompleteAt.Sub(s.Arrival) }
 // invariant requires it to equal TTFT().
 func (s *Span) PhaseSumTTFT() time.Duration {
 	return s.Phases[PhaseGateway] + s.Phases[PhaseWire] +
-		s.Phases[PhaseQueue] + s.Phases[PhasePrefill]
+		s.Phases[PhaseQueue] + s.Phases[PhasePrefill] + s.Phases[PhaseRetry]
 }
 
 // PhaseSum sums all phases; the exact-accounting invariant requires it
@@ -224,6 +230,11 @@ func (st *reqState) finish(completeAt simclock.Time) Span {
 	}
 	gap := preQueue - wire
 	switch {
+	case st.cause&obs.QueueCauseRetry != 0:
+		// A retried request's final queue event wins the derivation; the
+		// whole pre-requeue gap — the doomed attempt, crash detection, and
+		// backoff — is crash-recovery loss.
+		s.Phases[PhaseRetry] = gap
 	case st.cause&obs.QueueCauseMigrate != 0:
 		wire += gap
 	case st.cause&obs.QueueCauseGateway != 0:
@@ -299,7 +310,7 @@ func Waterfall(s Span, width int) string {
 	e2e := s.E2E()
 	for p := Phase(0); p < NumPhases; p++ {
 		d := s.Phases[p]
-		if d == 0 && (p == PhaseGateway || p == PhaseWire || p == PhasePreempted) {
+		if d == 0 && (p == PhaseGateway || p == PhaseWire || p == PhasePreempted || p == PhaseRetry) {
 			continue
 		}
 		bar := 0

@@ -8,7 +8,7 @@ import (
 	"repro/internal/obs"
 )
 
-// Metric rows of the sketch grid: the six phases plus the two measured
+// Metric rows of the sketch grid: the span phases plus the two measured
 // latencies, so the report can quote TTFT/E2E quantiles next to their
 // decomposition.
 const (
@@ -18,7 +18,7 @@ const (
 )
 
 var metricNames = [numMetrics]string{
-	"gateway", "wire", "queue", "prefill", "decode", "preempted",
+	"gateway", "wire", "queue", "prefill", "decode", "preempted", "retry",
 	"ttft", "e2e",
 }
 

@@ -101,6 +101,25 @@ const (
 	// its indexed target (index miss, stale digest, no headroom, or
 	// overload). Replica=the replica finally picked; Label=outcome name.
 	KindIndexFallback
+	// KindCrash: a chaos fault killed the replica. A=orphaned requests
+	// handed back for retry, B=pinned sessions lost, C=host mirrors lost.
+	KindCrash
+	// KindBrownout: a chaos brownout window opened (Label="begin",
+	// F=iteration-cost factor) or closed (Label="end").
+	KindBrownout
+	// KindLinkFlap: an interconnect pair went down (Label="down") or
+	// recovered (Label="up"). Replica=From, A=To, B=in-flight transfers
+	// aborted by the outage.
+	KindLinkFlap
+	// KindRetry: an orphaned request re-entered the gateway after a crash.
+	// Replica=the replica picked for the retry (-1 when it re-buffered in
+	// the gateway or exhausted its budget); A=attempt number;
+	// Label="reroute", "gateway", or "failed".
+	KindRetry
+	// KindReplicate: pin redundancy copied a pinned session prefix into a
+	// backup replica's host-mirror tier. Replica=source, A=target replica,
+	// B=tokens, C=bytes.
+	KindReplicate
 
 	numKinds
 )
@@ -111,6 +130,7 @@ var kindNames = [numKinds]string{
 	"kv-pin", "kv-evict", "kv-mirror", "kv-mirror-drop", "kv-reload",
 	"migrate-accept", "migrate-decline", "prewarm", "drain",
 	"scale-decision", "transfer", "index-publish", "index-fallback",
+	"crash", "brownout", "link-flap", "retry", "replicate",
 }
 
 // String returns the kind's stable wire name (used in JSONL and CSV).
@@ -148,8 +168,11 @@ const (
 	// QueueCauseGateway: the scale-to-zero gateway buffered the arrival
 	// until a replica warmed up.
 	QueueCauseGateway int64 = 1 << 2
+	// QueueCauseRetry: the request re-entered after its serving replica
+	// crashed (chaos recovery path).
+	QueueCauseRetry int64 = 1 << 3
 
-	queueCauseShift = 3
+	queueCauseShift = 4
 )
 
 // QueuePayload packs the deferral-cause bits and the session turn into

@@ -104,6 +104,12 @@ type Request struct {
 	Preemptions   int
 	Resumes       int
 	LoadedResumes int
+
+	// Retries counts how many times the request re-entered the gateway
+	// after its serving replica crashed. Each retry resets generation
+	// progress (the dead replica's partial output is gone) but keeps
+	// Arrival, so TTFT stays honest about the full client wait.
+	Retries int
 }
 
 // New returns a queued request. OutputLen must be at least 1.
@@ -273,6 +279,33 @@ func (r *Request) CancelConsumption(clock *simclock.Clock) {
 
 // InstantConsumer reports whether the request drains its buffer instantly.
 func (r *Request) InstantConsumer() bool { return r.Rate <= 0 }
+
+// ResetForRetry rewinds the request to a fresh queued state after its
+// serving replica crashed: all generation progress, per-token records, and
+// client-buffer state are discarded (the partial output died with the
+// replica) and any pending consume event is cancelled on the clock that
+// was driving it. Arrival is preserved — the retried request's TTFT spans
+// the crash and the backoff, which is exactly the damage the chaos
+// experiments measure — and Retries increments.
+func (r *Request) ResetForRetry(clock *simclock.Clock) {
+	r.CancelConsumption(clock)
+	r.State = StateQueued
+	r.CachedPrompt = 0
+	r.PrefilledTokens = 0
+	r.Generated = 0
+	r.Consumed = 0
+	r.FirstTokenAt = 0
+	r.FinishedAt = 0
+	r.TokenTimes = nil
+	r.BufferAtGen = nil
+	r.RebufferTotal = 0
+	r.waitingForToken = false
+	r.stallStart = 0
+	r.Preemptions = 0
+	r.Resumes = 0
+	r.LoadedResumes = 0
+	r.Retries++
+}
 
 func (r *Request) String() string {
 	return fmt.Sprintf("req%d[%s p=%d o=%d r=%.0f gen=%d buf=%d]",

@@ -50,6 +50,24 @@ func (t *Tracker) Transition(r *Request, to State) {
 	t.byState[to]++
 }
 
+// Remove unregisters a request, keeping state counts consistent. Used when
+// a replica crashes and its orphaned requests are handed back to the
+// gateway for retry elsewhere — the dead replica's results must not count
+// them. Removing an unregistered request is a wiring bug and panics.
+func (t *Tracker) Remove(r *Request) {
+	for i, have := range t.all {
+		if have == r {
+			t.all = append(t.all[:i], t.all[i+1:]...)
+			t.byState[r.State]--
+			if t.byState[r.State] < 0 {
+				panic(fmt.Sprintf("tracker: negative count for state %v", r.State))
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("tracker: removing unregistered request %d", r.ID))
+}
+
 // Count reports how many registered requests are in the given state.
 func (t *Tracker) Count(s State) int { return t.byState[s] }
 

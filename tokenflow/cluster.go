@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/fabric"
@@ -134,6 +135,110 @@ type ClusterConfig struct {
 	// series, profile, attribution — exports byte-identically to the
 	// single-threaded run. 0 or 1 keeps the single-threaded loop.
 	Shards int
+
+	// Chaos injects faults on the virtual clock — replica crashes,
+	// slow-node brownouts, interconnect link flaps — with full recovery
+	// simulated: crash detection after a heartbeat delay, capped
+	// exponential-backoff re-routing of orphaned requests, optional pin
+	// redundancy (host mirrors on backup replicas, re-pinned after a
+	// crash), and autoscaler backfill through the warm-up path. Nil, or a
+	// spec with no faults and no redundancy, leaves the run byte-identical
+	// to one without the field. Chaos runs stay deterministic: identical
+	// specs (including seeded random plans) reproduce identical results at
+	// any shard count.
+	Chaos *ChaosSpec
+}
+
+// FaultKinds lists the injectable fault kinds.
+func FaultKinds() []string { return []string{"crash", "brownout", "link-flap"} }
+
+// FaultSpec is one scheduled fault in a chaos plan.
+type FaultSpec struct {
+	// Kind is "crash", "brownout", or "link-flap".
+	Kind string
+	// AtSeconds is the virtual-clock injection instant.
+	AtSeconds float64
+	// Replica targets crash and brownout faults.
+	Replica int
+	// DurationSeconds bounds brownout and link-flap windows.
+	DurationSeconds float64
+	// Factor is the brownout iteration-cost multiplier (must exceed 1).
+	Factor float64
+	// From and To name the link-flap replica pair (both directions flap).
+	From, To int
+}
+
+// ChaosSpec is the fault-injection plan plus the recovery knobs. The zero
+// value injects nothing.
+type ChaosSpec struct {
+	// Faults is the scripted fault plan.
+	Faults []FaultSpec
+
+	// RandomFaults adds this many seeded-random faults drawn over
+	// [0, HorizonSeconds); Seed keys the draw, so identical specs inject
+	// identical plans.
+	RandomFaults   int
+	Seed           int64
+	HorizonSeconds float64
+
+	// RetryMax caps re-routing attempts per crash-orphaned request before
+	// it counts failed (default 3). RetryBackoffSeconds is the first retry
+	// delay, doubling per attempt (default 0.25). DetectDelaySeconds
+	// models the gateway noticing a crash via missed heartbeats (default
+	// 0.25).
+	RetryMax            int
+	RetryBackoffSeconds float64
+	DetectDelaySeconds  float64
+
+	// Redundancy is the pin-redundancy factor K: host-tier mirrors of
+	// every pinned session prefix are kept on K-1 backup replicas
+	// (refreshed every ReplicateEverySeconds, at most
+	// ReplicateConcurrency copies in flight) and re-pinned from the
+	// backups after a crash. 0 or 1 disables redundancy.
+	Redundancy            int
+	ReplicateEverySeconds float64
+	ReplicateConcurrency  int
+}
+
+// chaosSpec maps the public spec onto the internal chaos spec.
+func (s *ChaosSpec) chaosSpec() (*chaos.Spec, error) {
+	if s == nil {
+		return nil, nil
+	}
+	out := &chaos.Spec{
+		RandomFaults:         s.RandomFaults,
+		Seed:                 s.Seed,
+		Horizon:              simclock.FromSeconds(s.HorizonSeconds),
+		RetryMax:             s.RetryMax,
+		RetryBackoff:         time.Duration(s.RetryBackoffSeconds * float64(time.Second)),
+		DetectDelay:          time.Duration(s.DetectDelaySeconds * float64(time.Second)),
+		Redundancy:           s.Redundancy,
+		ReplicateEvery:       time.Duration(s.ReplicateEverySeconds * float64(time.Second)),
+		ReplicateConcurrency: s.ReplicateConcurrency,
+	}
+	for i, f := range s.Faults {
+		g := chaos.Fault{
+			At:       simclock.FromSeconds(f.AtSeconds),
+			Replica:  f.Replica,
+			Duration: time.Duration(f.DurationSeconds * float64(time.Second)),
+			Factor:   f.Factor,
+			From:     f.From,
+			To:       f.To,
+		}
+		switch f.Kind {
+		case "crash":
+			g.Kind = chaos.Crash
+		case "brownout":
+			g.Kind = chaos.Brownout
+		case "link-flap":
+			g.Kind = chaos.LinkFlap
+		default:
+			return nil, fmt.Errorf("tokenflow: fault %d has unknown kind %q (have %v)",
+				i, f.Kind, FaultKinds())
+		}
+		out.Faults = append(out.Faults, g)
+	}
+	return out, nil
 }
 
 // MigrationPolicy selects how cross-replica KV migrations are committed.
@@ -573,6 +678,29 @@ type ClusterResult struct {
 	GatewayShed        int64
 	GatewayDepthSeries []GatewaySample
 
+	// Chaos outcome (all zero without an active Config.Chaos).
+	//
+	// Crashes counts replica crash faults that hit a live replica;
+	// Retries the orphaned requests re-entered (re-routed to a survivor
+	// or re-buffered through the gateway); RetryFailures the requests
+	// that exhausted the retry budget and failed (they stay in the merged
+	// report, unfinished, with censored TTFT). Backfills counts crashed
+	// replicas the autoscaler resurrected through the warm-up path.
+	// Replications / ReplicatedBytes total the pin-redundancy traffic
+	// (proactive mirror copies plus post-crash re-pins) on the fabric's
+	// replicate class. Brownouts and LinkFlaps count the faults injected;
+	// MigrationsAborted the pin transfers a crash or flap tore off the
+	// wire.
+	Crashes           int64
+	Retries           int64
+	RetryFailures     int64
+	Backfills         int64
+	Replications      int64
+	ReplicatedBytes   int64
+	Brownouts         int64
+	LinkFlaps         int64
+	MigrationsAborted int64
+
 	// ForecastError is the predictive policy's mean absolute arrival-rate
 	// forecast error (req/s) over ForecastSamples scored forecasts; both
 	// zero for non-forecasting policies.
@@ -736,6 +864,10 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	chaosSpec, err := cfg.Chaos.chaosSpec()
+	if err != nil {
+		return nil, err
+	}
 	cl, err := cluster.New(cluster.Config{
 		Replicas:         len(reps),
 		Policy:           pol,
@@ -749,6 +881,7 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 		PrefixIndex:      cfg.PrefixIndex.indexSpec(),
 		Shards:           cfg.Shards,
 		Obs:              cfg.Obs.options(),
+		Chaos:            chaosSpec,
 	}, func(i int, clock *simclock.Clock, ep *fabric.Endpoint) (*engine.Engine, error) {
 		rcfg := cfg.Config
 		rcfg.GPU = reps[i].GPU
@@ -798,6 +931,17 @@ func RunCluster(cfg ClusterConfig, w Workload) (*ClusterResult, error) {
 
 		GatewayBuffered: res.GatewayBuffered,
 		GatewayShed:     res.GatewayShed,
+
+		Crashes:           res.Crashes,
+		Retries:           res.Retries,
+		RetryFailures:     res.RetryFailures,
+		Backfills:         res.Backfills,
+		Replications:      res.Replications,
+		ReplicatedBytes:   res.ReplicatedBytes,
+		Brownouts:         res.Brownouts,
+		LinkFlaps:         res.LinkFlaps,
+		MigrationsAborted: res.MigrationsAborted,
+
 		ForecastError:   res.ForecastError,
 		ForecastSamples: res.ForecastSamples,
 		EventsProcessed: res.EventsProcessed,

@@ -166,6 +166,19 @@ func Waterfall(s AttributionSpan, width int) string {
 	return attribution.Waterfall(s, width)
 }
 
+// Span phase indices into AttributionSpan.Phases, for consumers walking
+// spans directly (e.g. picking out a request's crash-recovery retry
+// time).
+const (
+	PhaseGateway   = attribution.PhaseGateway
+	PhaseWire      = attribution.PhaseWire
+	PhaseQueue     = attribution.PhaseQueue
+	PhasePrefill   = attribution.PhasePrefill
+	PhaseDecode    = attribution.PhaseDecode
+	PhasePreempted = attribution.PhasePreempted
+	PhaseRetry     = attribution.PhaseRetry
+)
+
 // writeAttributionJSON lands the report as <dir>/attribution.json, the
 // Out-directory companion to the capture's own files.
 func writeAttributionJSON(dir string, rep *AttributionReport) error {
